@@ -1,0 +1,91 @@
+// Command ratest finds a smallest counterexample distinguishing two
+// relational algebra queries on a database instance — the command-line
+// equivalent of the paper's RATest web tool.
+//
+// Usage:
+//
+//	ratest -data instance.txt -q1 correct.ra -q2 submitted.ra [-algo auto]
+//
+// The data file uses the format documented on ratest.LoadDatabase; the
+// query files contain a single relational algebra expression each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "database instance file")
+	q1Path := flag.String("q1", "", "reference (correct) query file")
+	q2Path := flag.String("q2", "", "query under test file")
+	algo := flag.String("algo", "auto", "algorithm: auto|optsigma|optsigmaall|basic|monotone|justar|spjudstar|aggbasic|aggparam|aggopt")
+	showStats := flag.Bool("stats", false, "print timing statistics")
+	flag.Parse()
+	if *dataPath == "" || *q1Path == "" || *q2Path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	db, constraints, err := ratest.LoadDatabase(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("loading %s: %w", *dataPath, err))
+	}
+
+	q1, err := loadQuery(*q1Path)
+	if err != nil {
+		fatal(err)
+	}
+	q2, err := loadQuery(*q2Path)
+	if err != nil {
+		fatal(err)
+	}
+
+	eq, err := ratest.Equivalent(q1, q2, db, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if eq {
+		fmt.Println("The queries return identical results on this instance; no counterexample within it.")
+		return
+	}
+
+	ce, stats, err := ratest.Explain(q1, q2, db, &ratest.Options{
+		Constraints: constraints,
+		Algorithm:   *algo,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ratest.FormatCounterexample(q1, q2, ce, nil))
+	if *showStats {
+		fmt.Printf("\nalgorithm=%s total=%v raw=%v prov=%v solver=%v models=%d optimal=%v\n",
+			stats.Algorithm, stats.TotalTime, stats.RawEvalTime, stats.ProvEvalTime,
+			stats.SolverTime, stats.ModelsTried, stats.Optimal)
+	}
+}
+
+func loadQuery(path string) (ratest.Query, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	q, err := ratest.ParseQuery(string(b))
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return q, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ratest:", err)
+	os.Exit(1)
+}

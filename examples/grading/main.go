@@ -1,0 +1,67 @@
+// Grading: an auto-grader loop over a bank of wrong student queries.
+//
+// This mirrors the paper's deployment scenario (Sections 7.1 and 8): a
+// course has reference solutions and a hidden test instance; submissions
+// that fail get back a small counterexample instead of the whole instance.
+//
+// Run with: go run ./examples/grading
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/course"
+)
+
+func main() {
+	// The hidden auto-grader instance (10k tuples).
+	db := course.GenerateDB(10000, 42)
+	fmt.Printf("hidden test instance: %d tuples\n", db.Size())
+
+	// "Submissions": mutation-generated wrong queries, as stand-ins for
+	// real student mistakes.
+	bank := course.WrongQueryBank(db, 3)
+	discovered, err := course.DiscoveredWrong(db, bank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := map[string]ratest.Query{}
+	text := map[string]string{}
+	for _, q := range course.Questions() {
+		correct[q.ID] = q.Correct
+		text[q.ID] = q.Text
+	}
+
+	graded := 0
+	for _, sub := range discovered {
+		if graded >= 5 {
+			break
+		}
+		graded++
+		fmt.Printf("\n--- submission for %s (%q)\n", sub.Question, text[sub.Question])
+		fmt.Printf("    injected error: %s\n", sub.Desc)
+		ce, stats, err := ratest.Explain(correct[sub.Question], sub.Query, db, &ratest.Options{
+			Constraints: course.Constraints(),
+		})
+		if err != nil {
+			fmt.Printf("    could not explain: %v\n", err)
+			continue
+		}
+		fmt.Printf("    WRONG — counterexample with %d tuples (found in %v, shrunk from %d):\n",
+			ce.Size(), stats.TotalTime, db.Size())
+		for _, name := range ce.DB.Names() {
+			r := ce.DB.Relation(name)
+			if r.Len() > 0 {
+				fmt.Printf("      %s", r)
+			}
+		}
+		if err := core.Verify(core.Problem{Q1: correct[sub.Question], Q2: sub.Query, DB: db,
+			Constraints: course.Constraints()}, ce); err != nil {
+			log.Fatalf("invalid counterexample: %v", err)
+		}
+	}
+	fmt.Printf("\n%d submissions graded; every counterexample verified.\n", graded)
+}

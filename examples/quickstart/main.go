@@ -1,0 +1,70 @@
+// Quickstart: the paper's running example (Example 1) end to end.
+//
+// A database course asks for "students registered for exactly one CS
+// course". A student submits a query that actually returns students with
+// one OR MORE CS courses. Given the 11-tuple test instance of Figure 1,
+// ratest produces the 3-tuple counterexample of Example 2.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Build the Figure 1 instance.
+	db := ratest.NewDatabase()
+	db.CreateRelation("Student", ratest.NewSchema(
+		ratest.Attr("name", ratest.KindString),
+		ratest.Attr("major", ratest.KindString)))
+	db.CreateRelation("Registration", ratest.NewSchema(
+		ratest.Attr("name", ratest.KindString),
+		ratest.Attr("course", ratest.KindString),
+		ratest.Attr("dept", ratest.KindString),
+		ratest.Attr("grade", ratest.KindInt)))
+	for _, s := range [][2]string{{"Mary", "CS"}, {"John", "ECON"}, {"Jesse", "CS"}} {
+		db.Insert("Student", ratest.NewTuple(ratest.Str(s[0]), ratest.Str(s[1])))
+	}
+	regs := []struct {
+		name, course, dept string
+		grade              int64
+	}{
+		{"Mary", "216", "CS", 100}, {"Mary", "230", "CS", 75}, {"Mary", "208D", "ECON", 95},
+		{"John", "316", "CS", 90}, {"John", "208D", "ECON", 88},
+		{"Jesse", "216", "CS", 95}, {"Jesse", "316", "CS", 90}, {"Jesse", "330", "CS", 85},
+	}
+	for _, r := range regs {
+		db.Insert("Registration", ratest.NewTuple(
+			ratest.Str(r.name), ratest.Str(r.course), ratest.Str(r.dept), ratest.Int(r.grade)))
+	}
+
+	// The reference solution: exactly one CS course.
+	q1 := ratest.MustParseQuery(`
+		project[name, major](select[dept = 'CS'](Student join Registration))
+		diff
+		project[s.name, s.major](
+			select[s.name = r1.name and s.name = r2.name and r1.course <> r2.course
+			       and r1.dept = 'CS' and r2.dept = 'CS']
+			(rename[s](Student) cross rename[r1](Registration) cross rename[r2](Registration)))`)
+
+	// The student's wrong answer: one or more CS courses.
+	q2 := ratest.MustParseQuery(
+		`project[name, major](select[dept = 'CS'](Student join Registration))`)
+
+	constraints := []ratest.Constraint{
+		ratest.Key{Relation: "Student", Attrs: []string{"name"}},
+		ratest.ForeignKey{ChildRel: "Registration", ChildAttrs: []string{"name"},
+			ParentRel: "Student", ParentAttrs: []string{"name"}},
+	}
+
+	ce, stats, err := ratest.Explain(q1, q2, db, &ratest.Options{Constraints: constraints})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Found a smallest counterexample in %v using %s:\n\n", stats.TotalTime, stats.Algorithm)
+	fmt.Print(ratest.FormatCounterexample(q1, q2, ce, nil))
+}

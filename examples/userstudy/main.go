@@ -1,0 +1,46 @@
+// Userstudy: the Section 8 user-study infrastructure.
+//
+// Runs the cohort simulator that regenerates the shape of Figures 8–10 and
+// Table 5, and then demonstrates the actual tool on the study's problem (e)
+// ("bars frequented by either Ben or Dan, but not both") with an injected
+// student error.
+//
+// Run with: go run ./examples/userstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/mutation"
+	"repro/internal/study"
+)
+
+func main() {
+	cohort := study.Simulate(170, 2018)
+	fmt.Print(cohort.FormatReport(2018))
+
+	// Live demo on problem (e).
+	db := study.DB(25, 3)
+	var prob study.Problem
+	for _, p := range study.Problems() {
+		if p.ID == "e" {
+			prob = p
+		}
+	}
+	fmt.Printf("\nLive demo — problem (e): %s\n", prob.Text)
+	for _, m := range mutation.Mutants(prob.Correct) {
+		eq, err := ratest.Equivalent(prob.Correct, m.Query, db, nil)
+		if err != nil || eq {
+			continue
+		}
+		ce, _, err := ratest.Explain(prob.Correct, m.Query, db, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("injected error: %s\n", m.Desc)
+		fmt.Print(ratest.FormatCounterexample(prob.Correct, m.Query, ce, nil))
+		break
+	}
+}

@@ -1,0 +1,245 @@
+// Package boolexpr implements the Boolean how-provenance expressions of
+// Section 2.3 of the paper: variables annotate base tuples, joins combine
+// annotations with conjunction, projections/unions with disjunction, and
+// difference contributes negation. It supports evaluation, simplification,
+// monotone DNF with absorption (the Theorem 6 algorithm), and Tseitin CNF
+// construction for the SAT solver.
+package boolexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is the node type of an expression.
+type Op uint8
+
+// Expression node kinds.
+const (
+	OpFalse Op = iota
+	OpTrue
+	OpVar
+	OpNot
+	OpAnd
+	OpOr
+)
+
+// Expr is an immutable Boolean expression over integer-identified variables
+// (tuple identifiers). Construct with the package functions; shared
+// subexpressions are represented by shared pointers, which the algorithms
+// exploit via memoization.
+type Expr struct {
+	Op   Op
+	X    int // variable id when Op == OpVar
+	Kids []*Expr
+}
+
+var (
+	trueExpr  = &Expr{Op: OpTrue}
+	falseExpr = &Expr{Op: OpFalse}
+)
+
+// True returns the constant true expression.
+func True() *Expr { return trueExpr }
+
+// False returns the constant false expression.
+func False() *Expr { return falseExpr }
+
+// Var returns the expression for variable id.
+func Var(id int) *Expr { return &Expr{Op: OpVar, X: id} }
+
+// Not returns the negation of e, simplifying double negation and constants.
+func Not(e *Expr) *Expr {
+	switch e.Op {
+	case OpTrue:
+		return falseExpr
+	case OpFalse:
+		return trueExpr
+	case OpNot:
+		return e.Kids[0]
+	}
+	return &Expr{Op: OpNot, Kids: []*Expr{e}}
+}
+
+// And returns the conjunction of es, flattening nested conjunctions and
+// simplifying constants.
+func And(es ...*Expr) *Expr { return nary(OpAnd, es) }
+
+// Or returns the disjunction of es, flattening nested disjunctions and
+// simplifying constants.
+func Or(es ...*Expr) *Expr { return nary(OpOr, es) }
+
+func nary(op Op, es []*Expr) *Expr {
+	identity, absorbing := trueExpr, falseExpr
+	if op == OpOr {
+		identity, absorbing = falseExpr, trueExpr
+	}
+	kids := make([]*Expr, 0, len(es))
+	for _, e := range es {
+		if e == nil || e == identity {
+			continue
+		}
+		if e == absorbing {
+			return absorbing
+		}
+		if e.Op == op {
+			kids = append(kids, e.Kids...)
+			continue
+		}
+		kids = append(kids, e)
+	}
+	switch len(kids) {
+	case 0:
+		return identity
+	case 1:
+		return kids[0]
+	}
+	return &Expr{Op: op, Kids: kids}
+}
+
+// IsConst reports whether e is the constant true or false.
+func (e *Expr) IsConst() bool { return e.Op == OpTrue || e.Op == OpFalse }
+
+// Eval evaluates e under the assignment, memoizing shared subexpressions.
+func (e *Expr) Eval(assign func(id int) bool) bool {
+	memo := make(map[*Expr]bool)
+	return evalMemo(e, assign, memo)
+}
+
+func evalMemo(e *Expr, assign func(int) bool, memo map[*Expr]bool) bool {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var r bool
+	switch e.Op {
+	case OpTrue:
+		r = true
+	case OpFalse:
+		r = false
+	case OpVar:
+		r = assign(e.X)
+	case OpNot:
+		r = !evalMemo(e.Kids[0], assign, memo)
+	case OpAnd:
+		r = true
+		for _, k := range e.Kids {
+			if !evalMemo(k, assign, memo) {
+				r = false
+				break
+			}
+		}
+	case OpOr:
+		r = false
+		for _, k := range e.Kids {
+			if evalMemo(k, assign, memo) {
+				r = true
+				break
+			}
+		}
+	}
+	memo[e] = r
+	return r
+}
+
+// Vars returns the sorted set of variable ids occurring in e.
+func (e *Expr) Vars() []int {
+	set := make(map[int]bool)
+	seen := make(map[*Expr]bool)
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		if x.Op == OpVar {
+			set[x.X] = true
+		}
+		for _, k := range x.Kids {
+			walk(k)
+		}
+	}
+	walk(e)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of nodes in the expression DAG (shared nodes
+// counted once).
+func (e *Expr) Size() int {
+	seen := make(map[*Expr]bool)
+	var walk func(*Expr) int
+	walk = func(x *Expr) int {
+		if seen[x] {
+			return 0
+		}
+		seen[x] = true
+		n := 1
+		for _, k := range x.Kids {
+			n += walk(k)
+		}
+		return n
+	}
+	return walk(e)
+}
+
+// IsMonotone reports whether e contains no negation.
+func (e *Expr) IsMonotone() bool {
+	seen := make(map[*Expr]bool)
+	var walk func(*Expr) bool
+	walk = func(x *Expr) bool {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+		if x.Op == OpNot {
+			return false
+		}
+		for _, k := range x.Kids {
+			if !walk(k) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(e)
+}
+
+// String renders the expression with the paper's conventions: conjunction by
+// juxtaposition-like "·", disjunction by "+", negation by "¬".
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpTrue:
+		return "⊤"
+	case OpFalse:
+		return "⊥"
+	case OpVar:
+		return fmt.Sprintf("t%d", e.X)
+	case OpNot:
+		return "¬" + parenIf(e.Kids[0], OpNot)
+	case OpAnd:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = parenIf(k, OpAnd)
+		}
+		return strings.Join(parts, "·")
+	case OpOr:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.String()
+		}
+		return strings.Join(parts, " + ")
+	}
+	return "?"
+}
+
+func parenIf(e *Expr, ctx Op) string {
+	if e.Op == OpOr || (ctx == OpNot && e.Op == OpAnd) {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}

@@ -1,0 +1,175 @@
+package boolexpr
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrDNFTooLarge is returned when DNF construction exceeds the term budget.
+var ErrDNFTooLarge = errors.New("boolexpr: DNF exceeds term budget")
+
+// Minterm is a conjunction of variables (a monotone DNF term), stored as a
+// sorted, duplicate-free slice of variable ids.
+type Minterm []int
+
+// DNF is a disjunction of minterms.
+type DNF []Minterm
+
+// MonotoneDNF converts a negation-free expression to DNF with absorption
+// (supersets of other minterms are dropped). maxTerms bounds the number of
+// terms kept at any point during construction; exceeding it returns
+// ErrDNFTooLarge. This realizes the Theorem 6 algorithm: for bounded-size
+// SPJU queries the DNF is polynomial and its smallest minterm is the
+// smallest witness.
+func MonotoneDNF(e *Expr, maxTerms int) (DNF, error) {
+	if !e.IsMonotone() {
+		return nil, errors.New("boolexpr: MonotoneDNF requires a negation-free expression")
+	}
+	memo := make(map[*Expr]DNF)
+	return dnfRec(e, maxTerms, memo)
+}
+
+func dnfRec(e *Expr, maxTerms int, memo map[*Expr]DNF) (DNF, error) {
+	if d, ok := memo[e]; ok {
+		return d, nil
+	}
+	var out DNF
+	switch e.Op {
+	case OpFalse:
+		out = DNF{}
+	case OpTrue:
+		out = DNF{Minterm{}}
+	case OpVar:
+		out = DNF{Minterm{e.X}}
+	case OpOr:
+		acc := DNF{}
+		for _, k := range e.Kids {
+			d, err := dnfRec(k, maxTerms, memo)
+			if err != nil {
+				return nil, err
+			}
+			acc = append(acc, d...)
+			if len(acc) > 4*maxTerms {
+				acc = absorb(acc)
+				if len(acc) > maxTerms {
+					return nil, ErrDNFTooLarge
+				}
+			}
+		}
+		out = absorb(acc)
+	case OpAnd:
+		acc := DNF{Minterm{}}
+		for _, k := range e.Kids {
+			d, err := dnfRec(k, maxTerms, memo)
+			if err != nil {
+				return nil, err
+			}
+			next := make(DNF, 0, len(acc)*len(d))
+			for _, a := range acc {
+				for _, b := range d {
+					next = append(next, mergeMinterm(a, b))
+					if len(next) > 4*maxTerms {
+						next = absorb(next)
+						if len(next) > maxTerms {
+							return nil, ErrDNFTooLarge
+						}
+					}
+				}
+			}
+			acc = absorb(next)
+		}
+		out = acc
+	default:
+		return nil, errors.New("boolexpr: unexpected negation in monotone DNF")
+	}
+	if len(out) > maxTerms {
+		return nil, ErrDNFTooLarge
+	}
+	memo[e] = out
+	return out, nil
+}
+
+func mergeMinterm(a, b Minterm) Minterm {
+	out := make(Minterm, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// absorb removes minterms that are supersets of other minterms, and exact
+// duplicates.
+func absorb(d DNF) DNF {
+	sort.Slice(d, func(i, j int) bool {
+		if len(d[i]) != len(d[j]) {
+			return len(d[i]) < len(d[j])
+		}
+		return lessInts(d[i], d[j])
+	})
+	kept := make(DNF, 0, len(d))
+	for _, m := range d {
+		sub := false
+		for _, k := range kept {
+			if isSubset(k, m) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			kept = append(kept, m)
+		}
+	}
+	return kept
+}
+
+func isSubset(a, b Minterm) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+func lessInts(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Smallest returns the minterm with the fewest variables, or nil for an
+// empty (unsatisfiable) DNF.
+func (d DNF) Smallest() Minterm {
+	var best Minterm
+	for _, m := range d {
+		if best == nil || len(m) < len(best) {
+			best = m
+		}
+	}
+	return best
+}

@@ -1,0 +1,66 @@
+package boolexpr
+
+// TriState is three-valued logic used for partial-assignment evaluation.
+type TriState int8
+
+// Three-valued truth values.
+const (
+	TriFalse   TriState = -1
+	TriUnknown TriState = 0
+	TriTrue    TriState = 1
+)
+
+// Not3 negates a TriState.
+func Not3(t TriState) TriState { return -t }
+
+// EvalTri evaluates e under a partial assignment; assign returns TriUnknown
+// for unassigned variables. The result is TriUnknown only when the truth
+// value genuinely depends on unassigned variables (up to the usual
+// three-valued approximation, which never claims True/False incorrectly).
+func (e *Expr) EvalTri(assign func(id int) TriState) TriState {
+	memo := make(map[*Expr]TriState)
+	return evalTriMemo(e, assign, memo)
+}
+
+func evalTriMemo(e *Expr, assign func(int) TriState, memo map[*Expr]TriState) TriState {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var r TriState
+	switch e.Op {
+	case OpTrue:
+		r = TriTrue
+	case OpFalse:
+		r = TriFalse
+	case OpVar:
+		r = assign(e.X)
+	case OpNot:
+		r = Not3(evalTriMemo(e.Kids[0], assign, memo))
+	case OpAnd:
+		r = TriTrue
+		for _, k := range e.Kids {
+			v := evalTriMemo(k, assign, memo)
+			if v == TriFalse {
+				r = TriFalse
+				break
+			}
+			if v == TriUnknown {
+				r = TriUnknown
+			}
+		}
+	case OpOr:
+		r = TriFalse
+		for _, k := range e.Kids {
+			v := evalTriMemo(k, assign, memo)
+			if v == TriTrue {
+				r = TriTrue
+				break
+			}
+			if v == TriUnknown {
+				r = TriUnknown
+			}
+		}
+	}
+	memo[e] = r
+	return r
+}

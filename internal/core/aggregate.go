@@ -1,0 +1,708 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/boolexpr"
+	"repro/internal/eval"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/sat"
+	"repro/internal/smt"
+)
+
+// AggOptions configure the aggregate algorithms.
+type AggOptions struct {
+	// Parameterize keeps HAVING thresholds symbolic (Section 5.3.1,
+	// Definition 3: smallest parameterized counterexample).
+	Parameterize bool
+	// MaxGroups bounds how many candidate groups are tried (smallest
+	// first); 0 means 4.
+	MaxGroups int
+	// MaxNodes bounds the branch-and-bound solver (0 = package default).
+	MaxNodes int64
+	// MaxRetries bounds AggOpt's model re-enumeration loop (0 = 64).
+	MaxRetries int
+}
+
+// AggBasic implements the provenance-for-aggregate-queries approach of
+// Section 5.2: encode, for a candidate output group, "the group's presence
+// differs between Q1 and Q2, or some aggregate value differs" as a symbolic
+// constraint over the tuple variables (Table 2 / Listing 2) and minimize
+// the number of kept tuples with the optimizing solver.
+//
+// With opts.Parameterize it solves the smallest parameterized
+// counterexample problem instead (Section 5.3.1): HAVING thresholds become
+// symbolic integer parameters chosen by the solver.
+func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
+	name := "Agg-Basic"
+	if opts.Parameterize {
+		name = "Agg-Param"
+	}
+	stats := &Stats{Algorithm: name}
+	start := time.Now()
+
+	q1, q2 := p.Q1, p.Q2
+	origParams := p.Params
+	if opts.Parameterize {
+		var o1, o2 map[string]relation.Value
+		q1, o1 = ParameterizeHaving(q1)
+		q2, o2 = ParameterizeHaving(q2)
+		merged := map[string]relation.Value{}
+		for k, v := range origParams {
+			merged[k] = v
+		}
+		for k, v := range o1 {
+			merged[k] = v
+		}
+		for k, v := range o2 {
+			merged[k] = v
+		}
+		origParams = merged
+	}
+
+	t0 := time.Now()
+	differs, d12, d21, err := Disagrees(q1, q2, p.DB, origParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+	if !differs {
+		return nil, nil, fmt.Errorf("core: queries agree on D")
+	}
+
+	// Aggregate provenance. When parameterizing, the HAVING parameters are
+	// withheld from the binding so they stay symbolic.
+	provParams := origParams
+	var paramNames []string
+	if opts.Parameterize {
+		provParams = map[string]relation.Value{}
+		for k, v := range origParams {
+			provParams[k] = v
+		}
+		for _, n := range append(ra.CollectParams(q1), ra.CollectParams(q2)...) {
+			delete(provParams, n)
+			paramNames = append(paramNames, n)
+		}
+	}
+	t0 = time.Now()
+	ap1, err := evalAggProvHaving(q1, p.DB, provParams, origParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	ap2, err := evalAggProvHaving(q2, p.DB, provParams, origParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.ProvEvalTime = time.Since(t0)
+
+	// Candidate groups: keys present in either side. Groups whose concrete
+	// output rows already differ come first (they are certain to admit a
+	// counterexample under the original parameters); within each class the
+	// smallest group is tried first (the paper picks the group with the
+	// fewest tuples for tractability).
+	differKeys := map[string]bool{}
+	for _, rel := range []*relation.Relation{d12, d21} {
+		ap := ap1
+		if rel == d21 {
+			ap = ap2
+		}
+		keyCols := ap.GroupKeyCols()
+		for _, tup := range rel.Tuples {
+			// The output tuple's non-aggregate columns locate its group.
+			key := make(relation.Tuple, 0, len(keyCols))
+			for pos, c := range ap.OutCols {
+				if !c.IsAgg && pos < len(tup) {
+					key = append(key, tup[pos])
+				}
+			}
+			// Map output key back to the full group key when the
+			// projection kept all group columns in order; otherwise match
+			// by scanning.
+			for _, g := range ap.Groups {
+				if projectedKey(g, ap).Key() == key.Key() {
+					differKeys[g.Key.Key()] = true
+				}
+			}
+		}
+	}
+	type cand struct {
+		key     relation.Tuple
+		size    int
+		differs bool
+	}
+	var cands []cand
+	seen := map[string]bool{}
+	for _, ap := range []*eval.AggProvResult{ap1, ap2} {
+		for _, g := range ap.Groups {
+			ks := g.Key.Key()
+			if seen[ks] {
+				continue
+			}
+			seen[ks] = true
+			size := g.Size
+			if o := otherGroup(ap1, ap2, ap, g.Key); o != nil && o.Size > size {
+				size = o.Size
+			}
+			cands = append(cands, cand{key: g.Key, size: size, differs: differKeys[ks]})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].differs != cands[j].differs {
+			return cands[i].differs
+		}
+		return cands[i].size < cands[j].size
+	})
+	maxGroups := opts.MaxGroups
+	if maxGroups <= 0 {
+		maxGroups = 4
+	}
+	if len(cands) > maxGroups {
+		cands = cands[:maxGroups]
+	}
+
+	var specs []smt.ParamSpec
+	if opts.Parameterize {
+		specs = paramSpecs(paramNames, origParams)
+	}
+
+	fks := p.ForeignKeys()
+	var best *Counterexample
+	t0 = time.Now()
+	for _, c := range cands {
+		g1 := ap1.GroupByKey(c.key)
+		g2 := ap2.GroupByKey(c.key)
+		f := groupDisagreement(g1, g2, ap1, ap2)
+		f = addFKFormulas(f, p.DB, fks)
+		res := smt.Solve(smt.Problem{Formula: f, Params: specs, MaxNodes: opts.MaxNodes})
+		stats.ModelsTried++
+		if res.Status != smt.Optimal && res.Status != smt.Feasible {
+			if res.Status == smt.Unknown {
+				stats.TimedOut = true
+			}
+			continue
+		}
+		stats.Optimal = res.Status == smt.Optimal
+		var ids []int
+		for v, val := range res.Assign {
+			if val {
+				ids = append(ids, v)
+			}
+		}
+		ids, err := fkClose(ids, p.DB, fks)
+		if err != nil {
+			return nil, nil, err
+		}
+		sub, tids := subinstanceFromIDs(p.DB, ids)
+		ce := &Counterexample{DB: sub, IDs: tids, Witness: c.key, Q1: q1, Q2: q2}
+		if opts.Parameterize {
+			ce.Params = map[string]relation.Value{}
+			for k, v := range origParams {
+				ce.Params[k] = v
+			}
+			for k, v := range res.Params {
+				ce.Params[k] = floatValue(v)
+			}
+		} else if len(origParams) > 0 {
+			ce.Params = origParams
+		}
+		if Verify(Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}, ce) != nil {
+			continue
+		}
+		if best == nil || ce.Size() < best.Size() {
+			best = ce
+		}
+	}
+	stats.SolverTime = time.Since(t0)
+	stats.TotalTime = time.Since(start)
+	if best == nil {
+		return nil, nil, fmt.Errorf("core: %s found no verifying counterexample", name)
+	}
+	stats.WitnessSize = best.Size()
+	return best, stats, nil
+}
+
+// evalAggProvHaving computes aggregate provenance, using symParams for the
+// symbolic HAVING translation while the inner query is evaluated under the
+// full parameter binding when it needs parameters of its own.
+func evalAggProvHaving(q ra.Node, db *relation.Database, symParams, fullParams map[string]relation.Value) (*eval.AggProvResult, error) {
+	res, err := eval.EvalAggProv(q, db, symParams)
+	if err == nil {
+		return res, nil
+	}
+	// The inner query may reference withheld parameters; retry fully bound.
+	return eval.EvalAggProv(q, db, fullParams)
+}
+
+// projectedKey returns a group's non-aggregate output columns (the values
+// by which its output row is identified after projection).
+func projectedKey(g *eval.AggGroup, ap *eval.AggProvResult) relation.Tuple {
+	var out relation.Tuple
+	for _, c := range ap.OutCols {
+		if !c.IsAgg {
+			out = append(out, g.Key[c.Idx])
+		}
+	}
+	return out
+}
+
+func otherGroup(ap1, ap2, this *eval.AggProvResult, key relation.Tuple) *eval.AggGroup {
+	if this == ap1 {
+		return ap2.GroupByKey(key)
+	}
+	return ap1.GroupByKey(key)
+}
+
+// groupDisagreement builds the Listing 2 constraint for one group key:
+// presence in exactly one result, or presence in both with some compared
+// aggregate value differing.
+func groupDisagreement(g1, g2 *eval.AggGroup, ap1, ap2 *eval.AggProvResult) smt.Formula {
+	p1 := smt.Formula(&smt.FConst{Val: false})
+	if g1 != nil {
+		p1 = g1.Presence()
+	}
+	p2 := smt.Formula(&smt.FConst{Val: false})
+	if g2 != nil {
+		p2 = g2.Presence()
+	}
+	onlyOne := smt.Or(smt.And(p1, smt.Not(p2)), smt.And(smt.Not(p1), p2))
+	if g1 == nil || g2 == nil {
+		return onlyOne
+	}
+	// Pair aggregate output columns positionally.
+	var diffs []smt.Formula
+	n := len(ap1.OutCols)
+	if len(ap2.OutCols) < n {
+		n = len(ap2.OutCols)
+	}
+	for i := 0; i < n; i++ {
+		c1, c2 := ap1.OutCols[i], ap2.OutCols[i]
+		if !c1.IsAgg || !c2.IsAgg {
+			continue
+		}
+		diffs = append(diffs, &smt.FCmp{Op: ra.NE, L: smt.AggOp(g1.Aggs[c1.Idx]), R: smt.AggOp(g2.Aggs[c2.Idx])})
+	}
+	if len(diffs) == 0 {
+		return onlyOne
+	}
+	return smt.Or(onlyOne, smt.And(p1, p2, smt.Or(diffs...)))
+}
+
+// addFKFormulas conjoins child→parent implications for every tuple variable
+// reachable in the formula (Section 4.3), to a fixpoint.
+func addFKFormulas(f smt.Formula, db *relation.Database, fks []relation.ForeignKey) smt.Formula {
+	if len(fks) == 0 {
+		return f
+	}
+	parentMaps := make([]map[relation.TupleID][]relation.TupleID, len(fks))
+	for i, fk := range fks {
+		m, err := fk.ParentsOf(db)
+		if err != nil {
+			return f
+		}
+		parentMaps[i] = m
+	}
+	processed := map[int]bool{}
+	out := f
+	frontier := smt.FormulaVars(f)
+	for len(frontier) > 0 {
+		var next []int
+		for _, id := range frontier {
+			if processed[id] {
+				continue
+			}
+			processed[id] = true
+			for _, m := range parentMaps {
+				if ps, ok := m[relation.TupleID(id)]; ok {
+					kids := []*boolexpr.Expr{boolexpr.Not(boolexpr.Var(id))}
+					for _, pid := range ps {
+						kids = append(kids, boolexpr.Var(int(pid)))
+						if !processed[int(pid)] {
+							next = append(next, int(pid))
+						}
+					}
+					out = smt.And(out, &smt.FProv{E: boolexpr.Or(kids...)})
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// ParameterizeHaving replaces constant thresholds compared against
+// aggregate columns in HAVING predicates with named parameters, returning
+// the rewritten query and the original parameter values. Parameter names
+// are derived from the constant value so that identical thresholds in two
+// queries unify (as with @numCS in Example 6).
+func ParameterizeHaving(q ra.Node) (ra.Node, map[string]relation.Value) {
+	spec, ok := ra.MatchTopAggregate(q)
+	if !ok || len(spec.Havings) == 0 {
+		return q, nil
+	}
+	aggNames := map[string]bool{}
+	for _, a := range spec.Group.Aggs {
+		aggNames[a.As] = true
+	}
+	orig := map[string]relation.Value{}
+	var rewriteExpr func(e ra.Expr) ra.Expr
+	rewriteExpr = func(e ra.Expr) ra.Expr {
+		switch x := e.(type) {
+		case *ra.Cmp:
+			l, lAgg := x.L.(*ra.AttrRef)
+			rc, rConst := x.R.(*ra.Const)
+			if lAgg && rConst && aggNames[relation.BaseName(l.Name)] && rc.Val.IsNumeric() {
+				name := fmt.Sprintf("p_%s", sanitize(rc.Val.String()))
+				orig[name] = rc.Val
+				return &ra.Cmp{Op: x.Op, L: x.L, R: &ra.Param{Name: name}}
+			}
+			lc, lConst := x.L.(*ra.Const)
+			r, rAgg := x.R.(*ra.AttrRef)
+			if lConst && rAgg && aggNames[relation.BaseName(r.Name)] && lc.Val.IsNumeric() {
+				name := fmt.Sprintf("p_%s", sanitize(lc.Val.String()))
+				orig[name] = lc.Val
+				return &ra.Cmp{Op: x.Op, L: &ra.Param{Name: name}, R: x.R}
+			}
+			return x
+		case *ra.And:
+			kids := make([]ra.Expr, len(x.Kids))
+			for i, k := range x.Kids {
+				kids[i] = rewriteExpr(k)
+			}
+			return &ra.And{Kids: kids}
+		case *ra.Or:
+			kids := make([]ra.Expr, len(x.Kids))
+			for i, k := range x.Kids {
+				kids[i] = rewriteExpr(k)
+			}
+			return &ra.Or{Kids: kids}
+		case *ra.Not:
+			return &ra.Not{Kid: rewriteExpr(x.Kid)}
+		}
+		return e
+	}
+
+	// Rebuild the query with rewritten HAVING layers.
+	var node ra.Node = spec.Group
+	for i := len(spec.Havings) - 1; i >= 0; i-- {
+		node = &ra.Select{Pred: rewriteExpr(spec.Havings[i].Pred), In: node}
+	}
+	if spec.Proj != nil {
+		node = &ra.Project{Cols: spec.Proj.Cols, In: node}
+	}
+	if len(orig) == 0 {
+		return q, nil
+	}
+	return node, orig
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// paramSpecs derives the finite candidate domains of the parameterized
+// thresholds: small values that let tiny groups pass the HAVING filter plus
+// the original threshold (so the "no change" setting is always available).
+func paramSpecs(names []string, orig map[string]relation.Value) []smt.ParamSpec {
+	uniq := map[string]bool{}
+	var specs []smt.ParamSpec
+	for _, n := range names {
+		if uniq[n] {
+			continue
+		}
+		uniq[n] = true
+		cands := []float64{0, 1, 2, 3}
+		if v, ok := orig[n]; ok && v.IsNumeric() {
+			cands = append(cands, v.AsFloat())
+		}
+		specs = append(specs, smt.ParamSpec{Name: n, Candidates: cands})
+	}
+	return specs
+}
+
+func floatValue(f float64) relation.Value {
+	if f == float64(int64(f)) {
+		return relation.Int(int64(f))
+	}
+	return relation.Float(f)
+}
+
+// AggOpt implements the heuristic Algorithm 3 (Agg-Opt): strip the
+// aggregation, find a differing tuple of the pre-aggregation queries
+// Q'1 − Q'2, minimize its witness with the SPJUD machinery, pick HAVING
+// parameters that let the shrunken groups pass, and re-enumerate models
+// until the original aggregate queries disagree on the candidate.
+func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
+	stats := &Stats{Algorithm: "Agg-Opt"}
+	start := time.Now()
+	maxRetries := opts.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 64
+	}
+
+	// Parameterize constant HAVING thresholds so the heuristic may relax
+	// them (Section 5.3.2).
+	q1, o1 := ParameterizeHaving(p.Q1)
+	q2, o2 := ParameterizeHaving(p.Q2)
+	origParams := map[string]relation.Value{}
+	for k, v := range p.Params {
+		origParams[k] = v
+	}
+	for k, v := range o1 {
+		origParams[k] = v
+	}
+	for k, v := range o2 {
+		origParams[k] = v
+	}
+
+	spec1, ok1 := ra.MatchTopAggregate(q1)
+	spec2, ok2 := ra.MatchTopAggregate(q2)
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("core: AggOpt requires both queries of shape π? σ* γ(Q')")
+	}
+	inner1, inner2 := spec1.Inner, spec2.Inner
+
+	t0 := time.Now()
+	r1, err := eval.Eval(inner1, p.DB, origParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	r2, err := eval.Eval(inner2, p.DB, origParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+
+	d12 := r1.SetDiff(r2)
+	d21 := r2.SetDiff(r1)
+	qa, qb := inner1, inner2
+	diff := d12
+	if diff.Len() == 0 {
+		qa, qb = inner2, inner1
+		diff = d21
+	}
+	if diff.Len() == 0 {
+		// The pre-aggregation queries agree; the disagreement comes from
+		// grouping or HAVING alone. Fall back to the provenance-based
+		// aggregate algorithm.
+		ce, st, err := AggBasic(p, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: AggOpt fallback to AggBasic failed: %v", err)
+		}
+		st.Algorithm = "Agg-Opt(fallback)"
+		return ce, st, err
+	}
+	t := diff.Tuples[0]
+
+	t0 = time.Now()
+	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
+	ann, err := eval.EvalProv(pushed, p.DB, origParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	i := ann.Lookup(t)
+	if i < 0 {
+		return nil, nil, fmt.Errorf("core: tuple %v missing after pushdown", t)
+	}
+	prov := ann.Provs[i]
+	stats.ProvEvalTime = time.Since(t0)
+
+	fks := p.ForeignKeys()
+	t0 = time.Now()
+	b, counted, varToID, err := buildCNF(prov, p.DB, fks)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}
+	var result *Counterexample
+	err = forEachWitnessModel(b, counted, varToID, maxRetries, func(ids []int) bool {
+		stats.ModelsTried++
+		closed, ferr := fkClose(ids, p.DB, fks)
+		if ferr != nil {
+			return true
+		}
+		sub, tids := subinstanceFromIDs(p.DB, closed)
+		ce := &Counterexample{DB: sub, IDs: tids, Witness: t, Q1: q1, Q2: q2}
+		// Choose parameter values that let the shrunken groups pass the
+		// HAVING thresholds (the paper's per-aggregate heuristic).
+		ce.Params = chooseParams(q1, q2, sub, origParams)
+		if Verify(verifyProblem, ce) == nil {
+			result = ce
+			return true
+		}
+		return false
+	})
+	stats.SolverTime = time.Since(t0)
+	stats.TotalTime = time.Since(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	if result == nil {
+		return nil, nil, fmt.Errorf("core: AggOpt found no verifying counterexample within %d models", maxRetries)
+	}
+	stats.WitnessSize = result.Size()
+	return result, stats, nil
+}
+
+// forEachWitnessModel yields witness models smallest-first: first the
+// min-ones optimum, then successive distinct models by blocking clauses.
+// yield returns true to stop.
+func forEachWitnessModel(b *boolexpr.CNFBuilder, counted []int, varToID map[int]int, max int, yield func(ids []int) bool) error {
+	s := sat.New()
+	s.EnsureVars(b.NumVars)
+	for _, c := range b.Clauses {
+		if err := s.AddClause(c...); err != nil {
+			return nil // formula inconsistent: no models
+		}
+	}
+	nextModel := func() ([]int, bool) {
+		if s.Solve() != sat.Sat {
+			return nil, false
+		}
+		var ids []int
+		for _, v := range counted {
+			if s.Value(v) {
+				ids = append(ids, varToID[v])
+			}
+		}
+		return ids, true
+	}
+	for n := 0; n < max; n++ {
+		ids, ok := nextModel()
+		if !ok {
+			return nil
+		}
+		if yield(ids) {
+			return nil
+		}
+		// Block this projection on the counted variables.
+		block := make([]int, 0, len(counted))
+		for _, v := range counted {
+			if s.Value(v) {
+				block = append(block, -v)
+			} else {
+				block = append(block, v)
+			}
+		}
+		if err := s.AddClause(block...); err != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// chooseParams picks HAVING parameter values for a candidate subinstance:
+// for each parameterized threshold it takes the smallest aggregate value
+// realized by the candidate's groups, adjusted so the comparison passes
+// (the COUNT/SUM/MIN/MAX/AVG heuristics of Section 5.3.2).
+func chooseParams(q1, q2 ra.Node, sub *relation.Database, orig map[string]relation.Value) map[string]relation.Value {
+	out := map[string]relation.Value{}
+	for k, v := range orig {
+		out[k] = v
+	}
+	for _, q := range []ra.Node{q1, q2} {
+		spec, ok := ra.MatchTopAggregate(q)
+		if !ok {
+			continue
+		}
+		// Aggregate the candidate instance without HAVING.
+		grouped, err := eval.Eval(spec.Group, sub, out)
+		if err != nil || grouped.Len() == 0 {
+			continue
+		}
+		aggPos := map[string]int{}
+		for i, a := range spec.Group.Aggs {
+			aggPos[a.As] = len(spec.Group.GroupCols) + i
+		}
+		for _, sel := range spec.Havings {
+			assignParamsFromPred(sel.Pred, grouped, aggPos, out)
+		}
+	}
+	return out
+}
+
+func assignParamsFromPred(e ra.Expr, grouped *relation.Relation, aggPos map[string]int, out map[string]relation.Value) {
+	switch x := e.(type) {
+	case *ra.And:
+		for _, k := range x.Kids {
+			assignParamsFromPred(k, grouped, aggPos, out)
+		}
+	case *ra.Or:
+		for _, k := range x.Kids {
+			assignParamsFromPred(k, grouped, aggPos, out)
+		}
+	case *ra.Not:
+		assignParamsFromPred(x.Kid, grouped, aggPos, out)
+	case *ra.Cmp:
+		attr, pok := x.L.(*ra.AttrRef)
+		param, qok := x.R.(*ra.Param)
+		op := x.Op
+		if !pok || !qok {
+			param, qok = x.L.(*ra.Param)
+			attr, pok = x.R.(*ra.AttrRef)
+			op = op.Negate() // param op' agg  ≡  agg op param with flipped op... see below
+			if !pok || !qok {
+				return
+			}
+			// For param ⊙ agg we want agg ⊙' param with the mirrored
+			// operator (e.g. p <= agg ≡ agg >= p).
+			switch x.Op {
+			case ra.LT:
+				op = ra.GT
+			case ra.LE:
+				op = ra.GE
+			case ra.GT:
+				op = ra.LT
+			case ra.GE:
+				op = ra.LE
+			default:
+				op = x.Op
+			}
+		}
+		pos, ok := aggPos[relation.BaseName(attr.Name)]
+		if !ok || pos >= grouped.Schema.Arity() {
+			return
+		}
+		// Smallest aggregate value across the candidate's groups.
+		var best relation.Value
+		for _, t := range grouped.Tuples {
+			v := t[pos]
+			if v.IsNull() || !v.IsNumeric() {
+				continue
+			}
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			if c, ok := v.Compare(best); ok && c < 0 {
+				best = v
+			}
+		}
+		if best.IsNull() {
+			return
+		}
+		val := best.AsFloat()
+		switch op {
+		case ra.EQ, ra.GE, ra.LE:
+			out[param.Name] = floatValue(val)
+		case ra.GT:
+			out[param.Name] = floatValue(val - 1)
+		case ra.LT:
+			out[param.Name] = floatValue(val + 1)
+		case ra.NE:
+			out[param.Name] = floatValue(val + 1)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/testdb"
+)
+
+func TestAggBasicExample4(t *testing.T) {
+	// Example 4: the witness-based view needs all of Mary's rows, but a
+	// counterexample needs only 2 tuples (Mary + her ECON registration
+	// makes Q2 return (Mary, 88) while Q1 returns nothing for her).
+	p := Problem{Q1: testdb.AggQ1(), Q2: testdb.AggQ2(), DB: testdb.Example1DB()}
+	ce, stats, err := AggBasic(p, AggOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ce); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if ce.Size() > 2 {
+		t.Errorf("size = %d, want <= 2", ce.Size())
+	}
+	if stats.Algorithm != "Agg-Basic" {
+		t.Errorf("algorithm = %s", stats.Algorithm)
+	}
+}
+
+func TestAggBasicExample5Having(t *testing.T) {
+	// Example 5: with HAVING count >= 3 and fixed thresholds, the
+	// counterexample must keep enough of Mary's rows (paper: all three
+	// courses plus Mary → 4 tuples).
+	p := Problem{Q1: testdb.HavingQ1(), Q2: testdb.HavingQ2(), DB: testdb.Example1DB()}
+	ce, _, err := AggBasic(p, AggOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ce); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if ce.Size() != 4 {
+		t.Errorf("size = %d, want 4 (t1, t4, t5, t6)", ce.Size())
+	}
+}
+
+func TestAggParamExample6(t *testing.T) {
+	// Example 6: parameterizing @numCS lets the counterexample shrink to 2
+	// tuples (t1, t6 with numCS = 1).
+	p := Problem{Q1: testdb.HavingQ1(), Q2: testdb.HavingQ2(), DB: testdb.Example1DB()}
+	ce, stats, err := AggBasic(p, AggOptions{Parameterize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ce); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if ce.Size() > 2 {
+		t.Errorf("parameterized size = %d, want <= 2", ce.Size())
+	}
+	if ce.Params == nil {
+		t.Error("parameterized counterexample must carry its parameter setting")
+	}
+	if stats.Algorithm != "Agg-Param" {
+		t.Errorf("algorithm = %s", stats.Algorithm)
+	}
+	// The paper's Figure 7 shape: parameterization strictly reduces size.
+	ceFixed, _, err := AggBasic(p, AggOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Size() >= ceFixed.Size() {
+		t.Errorf("parameterization did not shrink: %d vs %d", ce.Size(), ceFixed.Size())
+	}
+}
+
+func TestAggParamPreboundParameters(t *testing.T) {
+	// Queries already written with @numCS (Example 6's literal form).
+	p := Problem{Q1: testdb.ParamQ1(), Q2: testdb.ParamQ2(), DB: testdb.Example1DB(),
+		Params: map[string]relation.Value{"numCS": relation.Int(3)}}
+	ce, _, err := AggBasic(p, AggOptions{Parameterize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ce); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if ce.Size() > 2 {
+		t.Errorf("size = %d, want <= 2", ce.Size())
+	}
+	if v, ok := ce.Params["numCS"]; !ok || v.AsFloat() > 2 {
+		t.Errorf("expected relaxed numCS, got %v", ce.Params)
+	}
+}
+
+func TestAggOptExample4(t *testing.T) {
+	// Algorithm 3 on Example 4/7: compare the pre-aggregation queries and
+	// find a 2-tuple counterexample like {t1, t6}.
+	p := Problem{Q1: testdb.AggQ1(), Q2: testdb.AggQ2(), DB: testdb.Example1DB()}
+	ce, stats, err := AggOpt(p, AggOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ce); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if ce.Size() > 2 {
+		t.Errorf("size = %d, want <= 2", ce.Size())
+	}
+	if stats.Algorithm != "Agg-Opt" {
+		t.Errorf("algorithm = %s", stats.Algorithm)
+	}
+}
+
+func TestAggOptExample5WithHaving(t *testing.T) {
+	// With HAVING, AggOpt parameterizes the thresholds (Section 5.3.2) and
+	// still finds a small counterexample.
+	p := Problem{Q1: testdb.HavingQ1(), Q2: testdb.HavingQ2(), DB: testdb.Example1DB()}
+	ce, _, err := AggOpt(p, AggOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ce); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if ce.Size() > 2 {
+		t.Errorf("size = %d, want <= 2 with parameterization", ce.Size())
+	}
+}
+
+func TestAggWithForeignKeys(t *testing.T) {
+	p := Problem{Q1: testdb.AggQ1(), Q2: testdb.AggQ2(), DB: testdb.Example1DB(),
+		Constraints: testdb.Constraints()}
+	for _, run := range []struct {
+		name string
+		f    func() (*Counterexample, *Stats, error)
+	}{
+		{"AggBasic", func() (*Counterexample, *Stats, error) { return AggBasic(p, AggOptions{}) }},
+		{"AggOpt", func() (*Counterexample, *Stats, error) { return AggOpt(p, AggOptions{}) }},
+	} {
+		ce, _, err := run.f()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		if err := Verify(p, ce); err != nil {
+			t.Fatalf("%s: FK-constrained counterexample invalid: %v", run.name, err)
+		}
+	}
+}
+
+func TestParameterizeHaving(t *testing.T) {
+	q := testdb.HavingQ1()
+	pq, orig := ParameterizeHaving(q)
+	if len(orig) != 1 {
+		t.Fatalf("expected 1 parameter, got %v", orig)
+	}
+	for name, v := range orig {
+		if !v.Identical(relation.Int(3)) {
+			t.Errorf("original value of %s = %v, want 3", name, v)
+		}
+	}
+	if pq.String() == q.String() {
+		t.Error("query was not rewritten")
+	}
+	// Idempotent on queries without constant thresholds.
+	q2 := testdb.AggQ1()
+	pq2, orig2 := ParameterizeHaving(q2)
+	if pq2 != q2 || orig2 != nil {
+		t.Error("no-op expected for queries without HAVING constants")
+	}
+}
+
+func TestAggBasicAgreeingQueries(t *testing.T) {
+	p := Problem{Q1: testdb.AggQ1(), Q2: testdb.AggQ1(), DB: testdb.Example1DB()}
+	if _, _, err := AggBasic(p, AggOptions{}); err == nil {
+		t.Error("agreeing aggregate queries should error")
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ra"
+)
+
+// Explain dispatches to the appropriate algorithm for the query classes at
+// hand, mirroring the end-to-end RATest pipeline of Section 6:
+//
+//   - aggregate queries → the Agg-Opt heuristic (Algorithm 3), falling back
+//     to the provenance-based Agg-Basic when the heuristic does not apply;
+//   - SPJUD queries → Optσ (Algorithm 2, the constraint-based solution).
+//
+// It returns the smallest counterexample found along with per-component
+// statistics.
+func Explain(p Problem) (*Counterexample, *Stats, error) {
+	c1, c2 := ra.Classify(p.Q1), ra.Classify(p.Q2)
+	if c1.Aggregate || c2.Aggregate {
+		if !c1.Aggregate || !c2.Aggregate {
+			return nil, nil, fmt.Errorf("core: queries mix aggregate and non-aggregate classes (%s vs %s)", c1, c2)
+		}
+		ce, stats, err := AggOpt(p, AggOptions{})
+		if err == nil {
+			return ce, stats, nil
+		}
+		return AggBasic(p, AggOptions{})
+	}
+	return OptSigma(p)
+}
+
+// AlgorithmFor names the algorithm Explain would use, for diagnostics.
+func AlgorithmFor(p Problem) string {
+	c1, c2 := ra.Classify(p.Q1), ra.Classify(p.Q2)
+	if c1.Aggregate || c2.Aggregate {
+		return "Agg-Opt"
+	}
+	return "OptSigma"
+}

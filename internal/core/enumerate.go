@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/boolexpr"
+	"repro/internal/eval"
+	"repro/internal/minones"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// EnumerateSmallest finds up to max distinct smallest counterexamples for an
+// SPJUD problem. Example 2 of the paper observes that the running example
+// has several smallest counterexamples ({t1,t4,t5} plus three variants over
+// Jesse's courses); this enumerates them all: it first determines the
+// global optimum size k* across every differing tuple, then enumerates all
+// witnesses of size k* with the SAT solver.
+func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
+	if max <= 0 {
+		max = 64
+	}
+	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return nil, err
+	}
+	if !differs {
+		return nil, fmt.Errorf("core: queries agree on D")
+	}
+	fks := p.ForeignKeys()
+
+	type tupleCase struct {
+		t      relation.Tuple
+		cnf    [][]int
+		nVars  int
+		vars   []int
+		varID  map[int]int
+		optima int
+	}
+	var cases []tupleCase
+	best := -1
+	for _, side := range []struct {
+		qa, qb ra.Node
+		diff   *relation.Relation
+	}{{p.Q1, p.Q2, d12}, {p.Q2, p.Q1, d21}} {
+		for _, t := range side.diff.Tuples {
+			prov, err := provOfPushedTuple(side.qa, side.qb, t, p)
+			if err != nil {
+				return nil, err
+			}
+			if prov == nil {
+				continue
+			}
+			b, counted, varToID, err := buildCNF(prov, p.DB, fks)
+			if err != nil {
+				return nil, err
+			}
+			r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+			if r.Status == minones.Infeasible {
+				continue
+			}
+			if best < 0 || r.Cost < best {
+				best = r.Cost
+			}
+			cases = append(cases, tupleCase{
+				t: t, cnf: b.Clauses, nVars: b.NumVars, vars: counted, varID: varToID, optima: r.Cost,
+			})
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("core: no witnesses found")
+	}
+
+	seen := map[string]bool{}
+	var out []*Counterexample
+	for _, c := range cases {
+		if c.optima != best || len(out) >= max {
+			continue
+		}
+		models := minones.EnumerateAtCost(c.nVars, c.cnf, c.vars, best, max, minones.Options{})
+		for _, m := range models {
+			ids := modelToIDs(m, c.vars, c.varID)
+			sort.Ints(ids)
+			key := idsKey(ids)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sub, tids := subinstanceFromIDs(p.DB, ids)
+			ce := &Counterexample{DB: sub, IDs: tids, Witness: c.t}
+			if Verify(p, ce) != nil {
+				continue
+			}
+			out = append(out, ce)
+			if len(out) >= max {
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: enumeration found no verifying counterexamples")
+	}
+	return out, nil
+}
+
+func provOfPushedTuple(qa, qb ra.Node, t relation.Tuple, p Problem) (*boolexpr.Expr, error) {
+	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
+	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	if err != nil {
+		return nil, err
+	}
+	i := ann.Lookup(t)
+	if i < 0 {
+		return nil, nil
+	}
+	return ann.Provs[i], nil
+}
+
+func idsKey(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/testdb"
+)
+
+// TestEnumerateSmallestExample2 validates the paper's Example 2 exactly:
+// the running example has precisely four smallest counterexamples —
+// S'={t1}, R'={t4,t5} for Mary, and S”={t3} with any two of Jesse's three
+// CS courses {t9,t10,t11}.
+func TestEnumerateSmallestExample2(t *testing.T) {
+	p := example1Problem()
+	ces, err := EnumerateSmallest(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ces) != 4 {
+		for _, ce := range ces {
+			t.Logf("counterexample: %v", ce.IDs)
+		}
+		t.Fatalf("found %d smallest counterexamples, want 4 (Example 2)", len(ces))
+	}
+	want := map[string]bool{
+		"1,4,5":   false,
+		"3,9,10":  false,
+		"3,9,11":  false,
+		"3,10,11": false,
+	}
+	for _, ce := range ces {
+		if ce.Size() != 3 {
+			t.Errorf("counterexample size %d, want 3", ce.Size())
+		}
+		key := idsKey(toInts(ce.IDs))
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected counterexample %s", key)
+		} else {
+			want[key] = true
+		}
+		if err := Verify(p, ce); err != nil {
+			t.Errorf("%s: %v", key, err)
+		}
+	}
+	for k, found := range want {
+		if !found {
+			t.Errorf("missing smallest counterexample {%s}", k)
+		}
+	}
+}
+
+func toInts(ids []relation.TupleID) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func TestEnumerateSmallestRespectsMax(t *testing.T) {
+	p := example1Problem()
+	ces, err := EnumerateSmallest(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ces) > 2 {
+		t.Errorf("max=2 but got %d", len(ces))
+	}
+}
+
+func TestEnumerateSmallestAgreeError(t *testing.T) {
+	p := example1Problem()
+	p.Q2 = p.Q1
+	if _, err := EnumerateSmallest(p, 8); err == nil {
+		t.Error("agreeing queries should error")
+	}
+}
+
+func TestEnumerateSmallestWithFK(t *testing.T) {
+	p := example1Problem()
+	p.Constraints = testdb.Constraints()
+	ces, err := EnumerateSmallest(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range ces {
+		if err := Verify(p, ce); err != nil {
+			t.Errorf("FK-constrained enumeration produced invalid counterexample: %v", err)
+		}
+	}
+}

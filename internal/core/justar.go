@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/boolexpr"
+	"repro/internal/eval"
+	"repro/internal/ra"
+)
+
+// unionLeaves splits a query at its top-level unions (descending through
+// renames), returning the union-free subqueries whose union the query
+// denotes.
+func unionLeaves(q ra.Node) []ra.Node {
+	switch x := q.(type) {
+	case *ra.Union:
+		return append(unionLeaves(x.L), unionLeaves(x.R)...)
+	case *ra.Rename:
+		inner := unionLeaves(x.In)
+		if len(inner) == 1 {
+			return []ra.Node{q}
+		}
+		out := make([]ra.Node, len(inner))
+		for i, n := range inner {
+			out[i] = &ra.Rename{As: x.As, In: n}
+		}
+		return out
+	default:
+		return []ra.Node{q}
+	}
+}
+
+// JUStarSWP implements the Theorem 5 algorithm for JU* queries (all unions
+// above all joins): a differing tuple t must be produced by one of the
+// union's join-only subqueries, so the smallest witness is the minimum over
+// those subqueries of the smallest SJ-style witness (Theorem 1). This
+// avoids constructing a DNF for the whole query.
+func JUStarSWP(p Problem) (*Counterexample, *Stats, error) {
+	if !ra.IsJUStar(p.Q1) || !ra.IsJUStar(p.Q2) {
+		return nil, nil, fmt.Errorf("core: JUStarSWP requires JU* queries")
+	}
+	c1, c2 := ra.Classify(p.Q1), ra.Classify(p.Q2)
+	if !c1.Monotone() || !c2.Monotone() {
+		return nil, nil, fmt.Errorf("core: JUStarSWP requires monotone queries")
+	}
+	stats := &Stats{Algorithm: "JUStar"}
+	start := time.Now()
+
+	t0 := time.Now()
+	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+	if !differs {
+		return nil, nil, fmt.Errorf("core: queries agree on D")
+	}
+	qa := p.Q1
+	diff := d12
+	if diff.Len() == 0 {
+		qa = p.Q2
+		diff = d21
+	}
+	t := diff.Tuples[0]
+
+	// Try every union leaf containing t and keep the smallest witness.
+	t0 = time.Now()
+	var bestIDs []int
+	for _, leaf := range unionLeaves(qa) {
+		r, err := eval.Eval(leaf, p.DB, p.Params)
+		if err != nil || r.Schema.Arity() != len(t) || !r.Contains(t) {
+			continue
+		}
+		pushed := PushDownTupleSelection(leaf, t, p.DB)
+		ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		i := ann.Lookup(t)
+		if i < 0 {
+			continue
+		}
+		dnf, err := boolexpr.MonotoneDNF(ann.Provs[i], 1<<16)
+		if err != nil {
+			return nil, nil, err
+		}
+		if m := dnf.Smallest(); m != nil && (bestIDs == nil || len(m) < len(bestIDs)) {
+			bestIDs = []int(m)
+		}
+	}
+	stats.ProvEvalTime = time.Since(t0)
+	if bestIDs == nil {
+		return nil, nil, fmt.Errorf("core: no union leaf produces the differing tuple")
+	}
+	ids, err := fkClose(bestIDs, p.DB, p.ForeignKeys())
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, tids := subinstanceFromIDs(p.DB, ids)
+	ce := &Counterexample{DB: sub, IDs: tids, Witness: t}
+	stats.WitnessSize = ce.Size()
+	stats.Optimal = true
+	stats.TotalTime = time.Since(start)
+	if err := Verify(p, ce); err != nil {
+		return nil, nil, fmt.Errorf("core: JUStarSWP produced an invalid counterexample: %v", err)
+	}
+	return ce, stats, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/raparser"
+	"repro/internal/testdb"
+)
+
+func TestJUStarSWP(t *testing.T) {
+	db := testdb.Example1DB()
+	q1 := raparser.MustParse(
+		"project[name](select[dept = 'CS'](Registration)) union project[name](select[dept = 'ECON'](Registration))")
+	q2 := raparser.MustParse("project[name](select[dept = 'PHYS'](Registration))")
+	p := Problem{Q1: q1, Q2: q2, DB: db}
+	ce, stats, err := JUStarSWP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Size() != 1 {
+		t.Errorf("size = %d, want 1 (one registration suffices)", ce.Size())
+	}
+	if !stats.Optimal {
+		t.Error("JU* algorithm is exact")
+	}
+	// Agreement with the general algorithms.
+	ce2, _, err := OptSigma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Size() != ce2.Size() {
+		t.Errorf("JU* (%d) disagrees with OptSigma (%d)", ce.Size(), ce2.Size())
+	}
+	ce3, _, err := MonotoneSWP(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Size() != ce3.Size() {
+		t.Errorf("JU* (%d) disagrees with MonotoneDNF (%d)", ce.Size(), ce3.Size())
+	}
+}
+
+func TestJUStarSWPRejects(t *testing.T) {
+	db := testdb.Example1DB()
+	// Union below join: not JU*.
+	q := &ra.Join{
+		L: &ra.Union{
+			L: raparser.MustParse("project[name](Student)"),
+			R: raparser.MustParse("project[name](Registration)")},
+		R: raparser.MustParse("project[name](Student)"),
+	}
+	p := Problem{Q1: q, Q2: raparser.MustParse("project[name](select[major = 'NONE'](Student))"), DB: db}
+	if _, _, err := JUStarSWP(p); err == nil {
+		t.Error("non-JU* query should be rejected")
+	}
+	// Non-monotone: rejected.
+	p2 := Problem{Q1: testdb.Q1(), Q2: testdb.Q2(), DB: db}
+	if _, _, err := JUStarSWP(p2); err == nil {
+		t.Error("non-monotone query should be rejected")
+	}
+}
+
+func TestUnionLeaves(t *testing.T) {
+	q := raparser.MustParse("(A union B) union (C union D)")
+	leaves := unionLeaves(q)
+	if len(leaves) != 4 {
+		t.Fatalf("leaves = %d, want 4", len(leaves))
+	}
+	names := []string{"A", "B", "C", "D"}
+	for i, l := range leaves {
+		if r, ok := l.(*ra.Rel); !ok || r.Name != names[i] {
+			t.Errorf("leaf %d = %v", i, l)
+		}
+	}
+	// Rename distributes over union leaves.
+	q2 := raparser.MustParse("rename[x](A union B)")
+	leaves2 := unionLeaves(q2)
+	if len(leaves2) != 2 {
+		t.Fatalf("rename leaves = %d", len(leaves2))
+	}
+	if _, ok := leaves2[0].(*ra.Rename); !ok {
+		t.Error("rename should wrap each leaf")
+	}
+}

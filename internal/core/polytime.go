@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/boolexpr"
+	"repro/internal/eval"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// fkClose extends a set of tuple ids with foreign-key parents, transitively,
+// choosing the first parent when several share a key (Section 4.3 closure
+// for the combinatorial algorithms; the solver-based algorithms encode the
+// choice instead).
+func fkClose(ids []int, db *relation.Database, fks []relation.ForeignKey) ([]int, error) {
+	if len(fks) == 0 {
+		return ids, nil
+	}
+	parentMaps := make([]map[relation.TupleID][]relation.TupleID, len(fks))
+	for i, fk := range fks {
+		m, err := fk.ParentsOf(db)
+		if err != nil {
+			return nil, err
+		}
+		parentMaps[i] = m
+	}
+	in := map[int]bool{}
+	queue := append([]int(nil), ids...)
+	var out []int
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if in[id] {
+			continue
+		}
+		in[id] = true
+		out = append(out, id)
+		for _, m := range parentMaps {
+			if ps, ok := m[relation.TupleID(id)]; ok && len(ps) > 0 {
+				queue = append(queue, int(ps[0]))
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// MonotoneSWP solves SWP for monotone (SPJU) queries in polynomial data
+// complexity via the DNF algorithm of Theorem 6: compute the
+// how-provenance of a differing tuple t with respect to the side that
+// produces it, convert to DNF with absorption, and take the smallest
+// minterm. Theorems 1 (SJ), 2 (SPU) and 5 (JU*) are special cases: for
+// those classes the DNF is linear in the provenance size.
+//
+// Monotonicity of the other query guarantees t stays absent from it on
+// every subinstance, so the minterm alone is a witness.
+func MonotoneSWP(p Problem, maxTerms int) (*Counterexample, *Stats, error) {
+	if maxTerms <= 0 {
+		maxTerms = 1 << 16
+	}
+	c1, c2 := ra.Classify(p.Q1), ra.Classify(p.Q2)
+	if !c1.Monotone() || !c2.Monotone() {
+		return nil, nil, fmt.Errorf("core: MonotoneSWP requires monotone queries (got %s, %s)", c1, c2)
+	}
+	stats := &Stats{Algorithm: "MonotoneDNF"}
+	start := time.Now()
+
+	t0 := time.Now()
+	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+	if !differs {
+		return nil, nil, fmt.Errorf("core: queries agree on D")
+	}
+	qa := p.Q1
+	diff := d12
+	if diff.Len() == 0 {
+		qa = p.Q2
+		diff = d21
+	}
+	t := diff.Tuples[0]
+
+	t0 = time.Now()
+	pushed := PushDownTupleSelection(qa, t, p.DB)
+	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	i := ann.Lookup(t)
+	if i < 0 {
+		return nil, nil, fmt.Errorf("core: tuple %v missing after pushdown", t)
+	}
+	prov := ann.Provs[i]
+	stats.ProvEvalTime = time.Since(t0)
+
+	t0 = time.Now()
+	dnf, err := boolexpr.MonotoneDNF(prov, maxTerms)
+	if err != nil {
+		return nil, nil, err
+	}
+	smallest := dnf.Smallest()
+	if smallest == nil {
+		return nil, nil, fmt.Errorf("core: empty DNF (tuple has no witness)")
+	}
+	ids, err := fkClose([]int(smallest), p.DB, p.ForeignKeys())
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.SolverTime = time.Since(t0)
+
+	sub, tids := subinstanceFromIDs(p.DB, ids)
+	ce := &Counterexample{DB: sub, IDs: tids, Witness: t}
+	stats.WitnessSize = ce.Size()
+	stats.Optimal = true
+	stats.TotalTime = time.Since(start)
+	if err := Verify(p, ce); err != nil {
+		return nil, nil, fmt.Errorf("core: MonotoneSWP produced an invalid counterexample: %v", err)
+	}
+	return ce, stats, nil
+}
+
+// SPJUDStarSWP implements the Theorem 7 enumeration for SPJUD* queries
+// (differences only above SPJU terms): enumerate, for each SPJU term q_i
+// with t ∈ q_i(D), its minimal witnesses (plus the empty choice), take
+// unions, and keep the smallest union on which the queries disagree.
+// maxCombos bounds the enumeration; exceeding it returns an error (the
+// procedure is polynomial in data complexity but exponential in the number
+// of difference operators).
+func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
+	if maxCombos <= 0 {
+		maxCombos = 1 << 14
+	}
+	if !ra.IsSPJUDStar(p.Q1) || !ra.IsSPJUDStar(p.Q2) {
+		return nil, nil, fmt.Errorf("core: SPJUDStarSWP requires SPJUD* queries")
+	}
+	stats := &Stats{Algorithm: "SPJUDStar"}
+	start := time.Now()
+
+	t0 := time.Now()
+	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+	if !differs {
+		return nil, nil, fmt.Errorf("core: queries agree on D")
+	}
+	qa, qb := p.Q1, p.Q2
+	diff := d12
+	if diff.Len() == 0 {
+		qa, qb = p.Q2, p.Q1
+		diff = d21
+	}
+	t := diff.Tuples[0]
+	whole := &ra.Diff{L: qa, R: qb}
+	terms := ra.SPJUTerms(whole)
+
+	// For every SPJU term containing t, collect its minimal witnesses.
+	t0 = time.Now()
+	var witnessSets [][][]int
+	for _, q := range terms {
+		r, err := eval.Eval(q, p.DB, p.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Union-compatibility: compare positionally via key.
+		if r.Schema.Arity() != len(t) || !r.Contains(t) {
+			continue // monotone term never contains t on subinstances
+		}
+		pushed := PushDownTupleSelection(q, t, p.DB)
+		ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		i := ann.Lookup(t)
+		if i < 0 {
+			continue
+		}
+		dnf, err := boolexpr.MonotoneDNF(ann.Provs[i], maxCombos)
+		if err != nil {
+			return nil, nil, err
+		}
+		set := make([][]int, 0, len(dnf)+1)
+		set = append(set, nil) // the empty choice: drop this term's witness
+		for _, m := range dnf {
+			set = append(set, []int(m))
+		}
+		witnessSets = append(witnessSets, set)
+	}
+	stats.ProvEvalTime = time.Since(t0)
+
+	combos := 1
+	for _, s := range witnessSets {
+		combos *= len(s)
+		if combos > maxCombos {
+			return nil, nil, fmt.Errorf("core: SPJUD* enumeration exceeds %d combinations", maxCombos)
+		}
+	}
+
+	t0 = time.Now()
+	var best *Counterexample
+	pick := make([]int, len(witnessSets))
+	for {
+		// Build the union of the current picks.
+		idSet := map[int]bool{}
+		for i, s := range witnessSets {
+			for _, id := range s[pick[i]] {
+				idSet[id] = true
+			}
+		}
+		if len(idSet) > 0 {
+			ids := make([]int, 0, len(idSet))
+			for id := range idSet {
+				ids = append(ids, id)
+			}
+			ids, err = fkClose(ids, p.DB, p.ForeignKeys())
+			if err != nil {
+				return nil, nil, err
+			}
+			if best == nil || len(ids) < best.Size() {
+				sub, tids := subinstanceFromIDs(p.DB, ids)
+				cand := &Counterexample{DB: sub, IDs: tids, Witness: t}
+				if Verify(p, cand) == nil {
+					best = cand
+				}
+			}
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(pick); i++ {
+			pick[i]++
+			if pick[i] < len(witnessSets[i]) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i == len(pick) {
+			break
+		}
+	}
+	stats.SolverTime = time.Since(t0)
+	stats.TotalTime = time.Since(start)
+	if best == nil {
+		return nil, nil, fmt.Errorf("core: SPJUD* enumeration found no witness")
+	}
+	stats.WitnessSize = best.Size()
+	stats.Optimal = true
+	return best, stats, nil
+}

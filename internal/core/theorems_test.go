@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/raparser"
+	"repro/internal/relation"
+)
+
+// graph is an undirected graph with max degree 3 for the vertex-cover
+// reductions of Theorems 3 and 8 (Appendix A).
+type graph struct {
+	n     int
+	edges [][2]int // 1-based vertex ids
+}
+
+// figure11Graph is the example graph of Figure 11: 6 vertices, 7 edges,
+// minimum vertex cover size 3.
+func figure11Graph() graph {
+	return graph{n: 6, edges: [][2]int{
+		{1, 2}, {2, 3}, {3, 5}, {4, 5}, {5, 6}, {1, 4}, {2, 4},
+	}}
+}
+
+// minVertexCover brute-forces the minimum vertex cover size.
+func minVertexCover(g graph) int {
+	best := g.n
+	for mask := 0; mask < 1<<g.n; mask++ {
+		ok := true
+		for _, e := range g.edges {
+			if mask&(1<<(e[0]-1)) == 0 && mask&(1<<(e[1]-1)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		cnt := 0
+		for v := 0; v < g.n; v++ {
+			if mask&(1<<v) != 0 {
+				cnt++
+			}
+		}
+		if cnt < best {
+			best = cnt
+		}
+	}
+	return best
+}
+
+// vertexEdges returns the up-to-3 edge labels adjacent to vertex v, padded
+// with "*".
+func vertexEdges(g graph, v int) [3]string {
+	out := [3]string{"*", "*", "*"}
+	i := 0
+	for ei, e := range g.edges {
+		if e[0] == v || e[1] == v {
+			if i < 3 {
+				out[i] = fmt.Sprintf("e%d", ei+1)
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// theorem3Instance builds the PJ reduction of Theorem 3: the smallest
+// witness for (z) w.r.t. Q1 − Q2 has size minVC + m.
+func theorem3Instance(g graph) Problem {
+	db := relation.NewDatabase()
+	db.CreateRelation("R", relation.NewSchema(
+		relation.Attr("A", relation.KindString),
+		relation.Attr("Z", relation.KindString),
+		relation.Attr("E1", relation.KindString),
+		relation.Attr("E2", relation.KindString),
+		relation.Attr("E3", relation.KindString)))
+	for v := 1; v <= g.n; v++ {
+		e := vertexEdges(g, v)
+		db.Insert("R", relation.NewTuple(
+			relation.String(fmt.Sprintf("v%d", v)), relation.String("z"),
+			relation.String(e[0]), relation.String(e[1]), relation.String(e[2])))
+	}
+	for ei := range g.edges {
+		name := fmt.Sprintf("S%d", ei+1)
+		db.CreateRelation(name, relation.NewSchema(
+			relation.Attr("E", relation.KindString),
+			relation.Attr("W", relation.KindString)))
+		db.Insert(name, relation.NewTuple(
+			relation.String(fmt.Sprintf("e%d", ei+1)), relation.String("z")))
+	}
+	// Q1 = ⨝_i π_Z(R ⋈[Ej = E] S_i); all q_i share the single attribute Z,
+	// so the top joins are natural joins on Z.
+	var terms []string
+	for ei := range g.edges {
+		terms = append(terms, fmt.Sprintf(
+			"project[Z](R join[E1 = S%d.E or E2 = S%d.E or E3 = S%d.E] rename[S%d](S%d))",
+			ei+1, ei+1, ei+1, ei+1, ei+1))
+	}
+	q1 := raparser.MustParse(strings.Join(terms, " join "))
+	// Q2 is empty and monotone: Z values differing from W = never.
+	q2 := raparser.MustParse("project[Z](R join[Z <> S1.W] rename[S1](S1))")
+	return Problem{Q1: q1, Q2: q2, DB: db}
+}
+
+func TestTheorem3ReductionOptimal(t *testing.T) {
+	g := figure11Graph()
+	p := theorem3Instance(g)
+	ce, stats, err := OptSigma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := minVertexCover(g) + len(g.edges)
+	if ce.Size() != want {
+		t.Errorf("witness size = %d, want minVC+m = %d", ce.Size(), want)
+	}
+	if !stats.Optimal {
+		t.Error("optimizer should prove optimality on this instance")
+	}
+	// The witness's R-tuples must form a vertex cover.
+	rKept := ce.DB.Relation("R")
+	cover := map[int]bool{}
+	for _, tup := range rKept.Tuples {
+		var v int
+		fmt.Sscanf(tup[0].AsString(), "v%d", &v)
+		cover[v] = true
+	}
+	for _, e := range g.edges {
+		if !cover[e[0]] && !cover[e[1]] {
+			t.Errorf("edge %v not covered by witness", e)
+		}
+	}
+}
+
+func TestTheorem3SmallGraphs(t *testing.T) {
+	graphs := []graph{
+		{n: 2, edges: [][2]int{{1, 2}}},
+		{n: 3, edges: [][2]int{{1, 2}, {2, 3}}},
+		{n: 4, edges: [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 1}}},
+		{n: 4, edges: [][2]int{{1, 2}, {1, 3}, {1, 4}}},
+	}
+	for i, g := range graphs {
+		p := theorem3Instance(g)
+		ce, _, err := OptSigma(p)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		want := minVertexCover(g) + len(g.edges)
+		if ce.Size() != want {
+			t.Errorf("graph %d: size = %d, want %d", i, ce.Size(), want)
+		}
+	}
+}
+
+// theorem4Instance builds the JU reduction of Theorem 4: Q1 joins, over Z,
+// one union R_j ∪ R_l per edge; the smallest witness is a minimum vertex
+// cover.
+func theorem4Instance(g graph) Problem {
+	db := relation.NewDatabase()
+	for v := 1; v <= g.n; v++ {
+		name := fmt.Sprintf("R%d", v)
+		db.CreateRelation(name, relation.NewSchema(relation.Attr("Z", relation.KindString)))
+		db.Insert(name, relation.NewTuple(relation.String("z")))
+	}
+	// R0 is empty: Q2 = R0 is monotone and never contains (z).
+	db.CreateRelation("R0", relation.NewSchema(relation.Attr("Z", relation.KindString)))
+	var terms []string
+	for _, e := range g.edges {
+		terms = append(terms, fmt.Sprintf("(R%d union R%d)", e[0], e[1]))
+	}
+	q1 := raparser.MustParse(strings.Join(terms, " join "))
+	q2 := raparser.MustParse("R0")
+	return Problem{Q1: q1, Q2: q2, DB: db}
+}
+
+func TestTheorem4ReductionOptimal(t *testing.T) {
+	g := figure11Graph()
+	p := theorem4Instance(g)
+	ce, _, err := OptSigma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := minVertexCover(g); ce.Size() != want {
+		t.Errorf("witness size = %d, want minVC = %d", ce.Size(), want)
+	}
+}
+
+func TestTheorem4IsNotJUStar(t *testing.T) {
+	// The reduction places unions below joins, outside the tractable JU*
+	// class of Theorem 5 — this is exactly what makes it hard.
+	g := figure11Graph()
+	p := theorem4Instance(g)
+	if ra.IsJUStar(p.Q1) {
+		t.Error("Theorem 4 instance should not be JU*")
+	}
+}
+
+// theorem8Instance builds the SPJUD reduction of Theorem 8 (hard even in
+// data complexity): witness size = minVC + m.
+func theorem8Instance(g graph) Problem {
+	db := relation.NewDatabase()
+	db.CreateRelation("R", relation.NewSchema(
+		relation.Attr("A", relation.KindString),
+		relation.Attr("Z", relation.KindString),
+		relation.Attr("E1", relation.KindString),
+		relation.Attr("E2", relation.KindString),
+		relation.Attr("E3", relation.KindString)))
+	for v := 1; v <= g.n; v++ {
+		e := vertexEdges(g, v)
+		db.Insert("R", relation.NewTuple(
+			relation.String(fmt.Sprintf("v%d", v)), relation.String("z"),
+			relation.String(e[0]), relation.String(e[1]), relation.String(e[2])))
+	}
+	db.CreateRelation("S", relation.NewSchema(
+		relation.Attr("B", relation.KindString),
+		relation.Attr("C", relation.KindString),
+		relation.Attr("Z", relation.KindString)))
+	m := len(g.edges)
+	for ei := range g.edges {
+		next := (ei+1)%m + 1
+		db.Insert("S", relation.NewTuple(
+			relation.String(fmt.Sprintf("e%d", ei+1)),
+			relation.String(fmt.Sprintf("e%d", next)),
+			relation.String("z")))
+	}
+	q1 := raparser.MustParse("project[Z](S)")
+	// q3 = π_{s.C, s.Z}(S ⋈ R on C matching an adjacent edge).
+	q3 := "project[s.C, s.Z](rename[s](S) join[s.C = r.E1 or s.C = r.E2 or s.C = r.E3] rename[r](R))"
+	q2 := raparser.MustParse(fmt.Sprintf("project[Z](project[B, Z](S) diff %s)", q3))
+	return Problem{Q1: q1, Q2: q2, DB: db}
+}
+
+func TestTheorem8ReductionOptimal(t *testing.T) {
+	g := figure11Graph()
+	p := theorem8Instance(g)
+	ce, _, err := OptSigma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := minVertexCover(g) + len(g.edges)
+	if ce.Size() != want {
+		t.Errorf("witness size = %d, want minVC+m = %d", ce.Size(), want)
+	}
+	// All S tuples must be kept (the cyclic-chain argument of the proof).
+	if ce.DB.Relation("S").Len() != len(g.edges) {
+		t.Errorf("kept %d S tuples, want %d", ce.DB.Relation("S").Len(), len(g.edges))
+	}
+}
+
+func TestTheorem8SmallGraphs(t *testing.T) {
+	graphs := []graph{
+		{n: 2, edges: [][2]int{{1, 2}}},
+		{n: 3, edges: [][2]int{{1, 2}, {2, 3}}},
+		{n: 4, edges: [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 1}}},
+	}
+	for i, g := range graphs {
+		p := theorem8Instance(g)
+		ce, _, err := OptSigma(p)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		want := minVertexCover(g) + len(g.edges)
+		if ce.Size() != want {
+			t.Errorf("graph %d: size = %d, want %d", i, ce.Size(), want)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/boolexpr"
+	"repro/internal/eval"
+	"repro/internal/minones"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// DefaultDelta is the default model budget Δ of Algorithm 1.
+const DefaultDelta = 128
+
+// buildCNF encodes the how-provenance of the chosen tuple plus the
+// foreign-key implications of Section 4.3 into CNF. It returns the builder,
+// the SAT variables corresponding to base tuples (the counted variables of
+// the min-ones objective), and the mapping back to tuple identifiers.
+func buildCNF(prov *boolexpr.Expr, db *relation.Database, fks []relation.ForeignKey) (*boolexpr.CNFBuilder, []int, map[int]int, error) {
+	b := boolexpr.NewCNFBuilder()
+	b.Assert(prov)
+
+	// Foreign keys: a kept child tuple requires (one of) its parents,
+	// transitively. Adding implications can allocate new parent variables,
+	// so iterate to a fixpoint.
+	if len(fks) > 0 {
+		parentMaps := make([]map[relation.TupleID][]relation.TupleID, len(fks))
+		for i, fk := range fks {
+			m, err := fk.ParentsOf(db)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			parentMaps[i] = m
+		}
+		processed := map[int]bool{}
+		for {
+			var pending []int
+			for _, sv := range b.BaseVars() {
+				id, _ := b.ExprVar(sv)
+				if !processed[id] {
+					pending = append(pending, id)
+				}
+			}
+			if len(pending) == 0 {
+				break
+			}
+			for _, id := range pending {
+				processed[id] = true
+				for _, m := range parentMaps {
+					if parents, ok := m[relation.TupleID(id)]; ok {
+						ps := make([]int, len(parents))
+						for i, p := range parents {
+							ps[i] = int(p)
+						}
+						b.AssertImplies(id, ps)
+					}
+				}
+			}
+		}
+	}
+
+	counted := b.BaseVars()
+	varToID := make(map[int]int, len(counted))
+	for _, sv := range counted {
+		id, _ := b.ExprVar(sv)
+		varToID[sv] = id
+	}
+	return b, counted, varToID, nil
+}
+
+func modelToIDs(m minones.Model, counted []int, varToID map[int]int) []int {
+	var ids []int
+	for _, sv := range counted {
+		if m[sv] {
+			ids = append(ids, varToID[sv])
+		}
+	}
+	return ids
+}
+
+// provOfDiffTuples evaluates Q_a − Q_b with provenance annotation and
+// returns, for each tuple of the plain difference, its how-provenance.
+func provOfDiffTuples(qa, qb ra.Node, diff *relation.Relation, db *relation.Database, params map[string]relation.Value) ([]relation.Tuple, []*boolexpr.Expr, error) {
+	if diff.Len() == 0 {
+		return nil, nil, nil
+	}
+	ann, err := eval.EvalProv(&ra.Diff{L: qa, R: qb}, db, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tuples []relation.Tuple
+	var provs []*boolexpr.Expr
+	for _, t := range diff.Tuples {
+		i := ann.Lookup(t)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("core: difference tuple %v missing from annotated result", t)
+		}
+		tuples = append(tuples, t)
+		provs = append(provs, ann.Provs[i])
+	}
+	return tuples, provs, nil
+}
+
+// Basic implements Algorithm 1 (the SAT-solver-based approach to SCP): for
+// every tuple in the symmetric difference of the query results, enumerate up
+// to delta models of its how-provenance with a SAT solver, and return the
+// globally smallest witness found.
+func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
+	if delta <= 0 {
+		delta = DefaultDelta
+	}
+	stats := &Stats{Algorithm: "Basic"}
+	start := time.Now()
+
+	t0 := time.Now()
+	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+	if !differs {
+		return nil, nil, fmt.Errorf("core: queries agree on D; no counterexample exists within D")
+	}
+
+	t0 = time.Now()
+	tuples, provs, err := provOfDiffTuples(p.Q1, p.Q2, d12, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples2, provs2, err := provOfDiffTuples(p.Q2, p.Q1, d21, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples = append(tuples, tuples2...)
+	provs = append(provs, provs2...)
+	stats.ProvEvalTime = time.Since(t0)
+
+	fks := p.ForeignKeys()
+	var best *Counterexample
+	var bestTuple relation.Tuple
+	t0 = time.Now()
+	for i, prov := range provs {
+		b, counted, varToID, err := buildCNF(prov, p.DB, fks)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := minones.Enumerate(b.NumVars, b.Clauses, counted, delta, minones.Options{})
+		stats.ModelsTried += r.ModelsTried
+		if r.Status == minones.Infeasible {
+			continue
+		}
+		ids := modelToIDs(r.Model, counted, varToID)
+		if best == nil || len(ids) < best.Size() {
+			sub, tids := subinstanceFromIDs(p.DB, ids)
+			best = &Counterexample{DB: sub, IDs: tids, Witness: tuples[i]}
+			bestTuple = tuples[i]
+		}
+	}
+	stats.SolverTime = time.Since(t0)
+	stats.TotalTime = time.Since(start)
+	if best == nil {
+		return nil, nil, fmt.Errorf("core: no satisfiable witness found (unexpected for a valid instance)")
+	}
+	best.Witness = bestTuple
+	stats.WitnessSize = best.Size()
+	if err := Verify(p, best); err != nil {
+		return nil, nil, fmt.Errorf("core: Basic produced an invalid counterexample: %v", err)
+	}
+	return best, stats, nil
+}
+
+// OptSigma implements Algorithm 2 (the Optσ algorithm for SWP): pick one
+// tuple t from Q1(D)\Q2(D) (or the reverse), push the selection on t's
+// values down the tree of Q1 − Q2, compute the provenance of t only, and
+// minimize the number of true variables with the optimizing solver.
+func OptSigma(p Problem) (*Counterexample, *Stats, error) {
+	stats := &Stats{Algorithm: "OptSigma"}
+	start := time.Now()
+
+	t0 := time.Now()
+	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+	if !differs {
+		return nil, nil, fmt.Errorf("core: queries agree on D; no counterexample exists within D")
+	}
+
+	qa, qb := p.Q1, p.Q2
+	diff := d12
+	if diff.Len() == 0 {
+		qa, qb = p.Q2, p.Q1
+		diff = d21
+	}
+	t := diff.Tuples[0]
+
+	t0 = time.Now()
+	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
+	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	i := ann.Lookup(t)
+	if i < 0 {
+		return nil, nil, fmt.Errorf("core: tuple %v missing after selection pushdown", t)
+	}
+	prov := ann.Provs[i]
+	stats.ProvEvalTime = time.Since(t0)
+
+	t0 = time.Now()
+	b, counted, varToID, err := buildCNF(prov, p.DB, p.ForeignKeys())
+	if err != nil {
+		return nil, nil, err
+	}
+	r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+	stats.SolverTime = time.Since(t0)
+	stats.ModelsTried = r.ModelsTried
+	stats.Optimal = r.Status == minones.Optimal
+	if r.Status == minones.Infeasible {
+		return nil, nil, fmt.Errorf("core: witness formula unsatisfiable (unexpected)")
+	}
+	ids := modelToIDs(r.Model, counted, varToID)
+	sub, tids := subinstanceFromIDs(p.DB, ids)
+	ce := &Counterexample{DB: sub, IDs: tids, Witness: t}
+	stats.WitnessSize = ce.Size()
+	stats.TotalTime = time.Since(start)
+	if err := Verify(p, ce); err != nil {
+		return nil, nil, fmt.Errorf("core: OptSigma produced an invalid counterexample: %v", err)
+	}
+	return ce, stats, nil
+}
+
+// OptSigmaAll solves SCP exactly with the optimizing solver: it minimizes
+// the witness of every tuple in the symmetric difference (each with
+// selection pushdown) and returns the global optimum. This is the
+// "solver-opt-all" series of Figure 4 — more expensive than OptSigma but,
+// unlike it, guaranteed to reach the smallest counterexample overall.
+func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
+	stats := &Stats{Algorithm: "OptSigmaAll"}
+	start := time.Now()
+
+	t0 := time.Now()
+	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RawEvalTime = time.Since(t0)
+	if !differs {
+		return nil, nil, fmt.Errorf("core: queries agree on D")
+	}
+	fks := p.ForeignKeys()
+	var best *Counterexample
+	type side struct {
+		qa, qb ra.Node
+		diff   *relation.Relation
+	}
+	for _, s := range []side{{p.Q1, p.Q2, d12}, {p.Q2, p.Q1, d21}} {
+		for _, t := range s.diff.Tuples {
+			t0 = time.Now()
+			pushed := PushDownTupleSelection(&ra.Diff{L: s.qa, R: s.qb}, t, p.DB)
+			ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+			if err != nil {
+				return nil, nil, err
+			}
+			i := ann.Lookup(t)
+			stats.ProvEvalTime += time.Since(t0)
+			if i < 0 {
+				continue
+			}
+			t0 = time.Now()
+			b, counted, varToID, err := buildCNF(ann.Provs[i], p.DB, fks)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+			stats.SolverTime += time.Since(t0)
+			stats.ModelsTried += r.ModelsTried
+			if r.Status == minones.Infeasible {
+				continue
+			}
+			ids := modelToIDs(r.Model, counted, varToID)
+			if best == nil || len(ids) < best.Size() {
+				sub, tids := subinstanceFromIDs(p.DB, ids)
+				best = &Counterexample{DB: sub, IDs: tids, Witness: t}
+			}
+		}
+	}
+	stats.TotalTime = time.Since(start)
+	if best == nil {
+		return nil, nil, fmt.Errorf("core: no satisfiable witness found")
+	}
+	stats.WitnessSize = best.Size()
+	stats.Optimal = true
+	if err := Verify(p, best); err != nil {
+		return nil, nil, fmt.Errorf("core: OptSigmaAll produced an invalid counterexample: %v", err)
+	}
+	return best, stats, nil
+}
+
+// SolveWitnessStrategy exposes the Figure 5 experiment's strategies on a
+// single witness formula: strategy "opt" uses the optimizing solver,
+// "naive-M" enumerates up to M models. It returns the witness size and the
+// models tried.
+func SolveWitnessStrategy(p Problem, strategy string, m int) (int, int, error) {
+	_, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	if err != nil {
+		return 0, 0, err
+	}
+	qa, qb := p.Q1, p.Q2
+	diff := d12
+	if diff.Len() == 0 {
+		qa, qb = p.Q2, p.Q1
+		diff = d21
+	}
+	if diff.Len() == 0 {
+		return 0, 0, fmt.Errorf("core: queries agree on D")
+	}
+	t := diff.Tuples[0]
+	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
+	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	if err != nil {
+		return 0, 0, err
+	}
+	i := ann.Lookup(t)
+	if i < 0 {
+		return 0, 0, fmt.Errorf("core: tuple missing after pushdown")
+	}
+	b, counted, _, err := buildCNF(ann.Provs[i], p.DB, p.ForeignKeys())
+	if err != nil {
+		return 0, 0, err
+	}
+	var r minones.Result
+	if strategy == "opt" {
+		r = minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+	} else {
+		r = minones.Enumerate(b.NumVars, b.Clauses, counted, m, minones.Options{})
+	}
+	if r.Status == minones.Infeasible {
+		return 0, 0, fmt.Errorf("core: witness formula unsatisfiable")
+	}
+	return r.Cost, r.ModelsTried, nil
+}

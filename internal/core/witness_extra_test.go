@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testdb"
+)
+
+func TestOptSigmaAllExample1(t *testing.T) {
+	p := example1Problem()
+	ce, stats, err := OptSigmaAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Size() != 3 {
+		t.Errorf("size = %d, want 3", ce.Size())
+	}
+	if !stats.Optimal {
+		t.Error("OptSigmaAll is exact")
+	}
+	if stats.ModelsTried == 0 {
+		t.Error("no solver calls recorded")
+	}
+}
+
+// OptSigmaAll solves SCP exactly: it must match the brute force optimum on
+// random small instances, and always lower-bound OptSigma.
+func TestOptSigmaAllMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tried := 0
+	for trial := 0; tried < 20 && trial < 400; trial++ {
+		db := randomSmallDB(rng)
+		q1, q2 := randomQueryPair(rng)
+		p := Problem{Q1: q1, Q2: q2, DB: db}
+		differs, _, _, err := Disagrees(q1, q2, db, nil)
+		if err != nil || !differs {
+			continue
+		}
+		tried++
+		want := bruteSmallestCounterexample(p)
+		ceAll, _, err := OptSigmaAll(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ceAll.Size() != want {
+			t.Fatalf("trial %d: OptSigmaAll=%d brute=%d", trial, ceAll.Size(), want)
+		}
+		ceOne, _, err := OptSigma(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ceOne.Size() < ceAll.Size() {
+			t.Fatalf("trial %d: single-tuple SWP beat global SCP", trial)
+		}
+	}
+	if tried < 10 {
+		t.Fatalf("only %d pairs", tried)
+	}
+}
+
+func TestOptSigmaAllWithFKs(t *testing.T) {
+	p := example1Problem()
+	p.Constraints = testdb.Constraints()
+	ce, _, err := OptSigmaAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ce); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}

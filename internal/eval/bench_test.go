@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/raparser"
+	"repro/internal/relation"
+	"repro/internal/testdb"
+)
+
+func benchDB(n int) *relation.Database {
+	db := relation.NewDatabase()
+	db.CreateRelation("L", relation.NewSchema(
+		relation.Attr("k", relation.KindInt), relation.Attr("a", relation.KindInt)))
+	db.CreateRelation("R", relation.NewSchema(
+		relation.Attr("k", relation.KindInt), relation.Attr("b", relation.KindInt)))
+	for i := 0; i < n; i++ {
+		db.Insert("L", relation.NewTuple(relation.Int(int64(i%97)), relation.Int(int64(i))))
+		db.Insert("R", relation.NewTuple(relation.Int(int64(i%97)), relation.Int(int64(i))))
+	}
+	return db
+}
+
+func BenchmarkNaturalHashJoin(b *testing.B) {
+	db := benchDB(2000)
+	q := raparser.MustParse("L join R")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(q, db, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThetaEquiJoin(b *testing.B) {
+	db := benchDB(2000)
+	q := raparser.MustParse("rename[x](L) join[x.k = y.k and x.a < y.b] rename[y](R)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(q, db, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProvenanceEvaluation(b *testing.B) {
+	db := testdb.Example1DB()
+	q := &ra.Diff{L: testdb.Q2(), R: testdb.Q1()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalProv(q, db, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggProvenance(b *testing.B) {
+	db := testdb.Example1DB()
+	q := testdb.HavingQ2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalAggProv(q, db, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	db := benchDB(5000)
+	q := raparser.MustParse("groupby[k; count(*) -> c, sum(a) -> s, avg(a) -> m](L)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(q, db, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package eval
+
+import (
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// Optimize rewrites a query for efficient evaluation without changing its
+// set-semantics result (or its provenance annotations): selection conjuncts
+// are pushed through projections, renames and selects, and into the
+// matching side(s) of joins; conjuncts spanning a join become join
+// conditions, which the evaluator executes as hash equi-joins.
+//
+// This plays the role of the SQL optimizer in the paper's implementation
+// (Section 6 relies on SQL Server to push the Optσ selection down).
+func Optimize(n ra.Node, cat ra.Catalog) ra.Node {
+	switch x := n.(type) {
+	case *ra.Rel:
+		return x
+	case *ra.Select:
+		in := Optimize(x.In, cat)
+		return pushSelect(conjuncts(x.Pred), in, cat)
+	case *ra.Project:
+		return &ra.Project{Cols: x.Cols, In: Optimize(x.In, cat)}
+	case *ra.Rename:
+		return &ra.Rename{As: x.As, In: Optimize(x.In, cat)}
+	case *ra.Join:
+		j := &ra.Join{L: Optimize(x.L, cat), R: Optimize(x.R, cat), Cond: x.Cond}
+		if j.Cond == nil {
+			return j
+		}
+		// Distribute one-sided conjuncts of the join condition.
+		return distributeJoinCond(j, cat)
+	case *ra.Union:
+		return &ra.Union{L: Optimize(x.L, cat), R: Optimize(x.R, cat)}
+	case *ra.Diff:
+		return &ra.Diff{L: Optimize(x.L, cat), R: Optimize(x.R, cat)}
+	case *ra.GroupBy:
+		return &ra.GroupBy{GroupCols: x.GroupCols, Aggs: x.Aggs, In: Optimize(x.In, cat)}
+	}
+	return n
+}
+
+// conjuncts flattens a predicate into its top-level conjuncts.
+func conjuncts(e ra.Expr) []ra.Expr {
+	if a, ok := e.(*ra.And); ok {
+		var out []ra.Expr
+		for _, k := range a.Kids {
+			out = append(out, conjuncts(k)...)
+		}
+		return out
+	}
+	return []ra.Expr{e}
+}
+
+func andOf(es []ra.Expr) ra.Expr {
+	switch len(es) {
+	case 0:
+		return nil
+	case 1:
+		return es[0]
+	}
+	return &ra.And{Kids: es}
+}
+
+// exprResolvable reports whether every attribute reference in e resolves
+// unambiguously in the schema.
+func exprResolvable(e ra.Expr, s relation.Schema) bool {
+	ok := true
+	var walk func(ra.Expr)
+	walk = func(x ra.Expr) {
+		if !ok {
+			return
+		}
+		switch y := x.(type) {
+		case *ra.AttrRef:
+			if _, err := s.Resolve(y.Name); err != nil {
+				ok = false
+			}
+		case *ra.Cmp:
+			walk(y.L)
+			walk(y.R)
+		case *ra.And:
+			for _, k := range y.Kids {
+				walk(k)
+			}
+		case *ra.Or:
+			for _, k := range y.Kids {
+				walk(k)
+			}
+		case *ra.Not:
+			walk(y.Kid)
+		case *ra.Arith:
+			walk(y.L)
+			walk(y.R)
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// pushSelect pushes selection conjuncts into the operator tree as far as
+// they go; conjuncts that cannot be pushed stay in a Select above `in`.
+func pushSelect(preds []ra.Expr, in ra.Node, cat ra.Catalog) ra.Node {
+	if len(preds) == 0 {
+		return in
+	}
+	switch x := in.(type) {
+	case *ra.Select:
+		// Merge and retry below.
+		return pushSelect(append(preds, conjuncts(x.Pred)...), x.In, cat)
+	case *ra.Project:
+		// Projection column names are references into the child schema, so
+		// the predicates (which type-check against the projection output)
+		// also type-check against the child.
+		childSchema, err := ra.OutSchema(x.In, cat)
+		if err == nil {
+			var pushable, blocked []ra.Expr
+			for _, p := range preds {
+				if exprResolvable(p, childSchema) {
+					pushable = append(pushable, p)
+				} else {
+					blocked = append(blocked, p)
+				}
+			}
+			if len(pushable) > 0 {
+				out := ra.Node(&ra.Project{Cols: x.Cols, In: pushSelect(pushable, x.In, cat)})
+				if len(blocked) > 0 {
+					out = &ra.Select{Pred: andOf(blocked), In: out}
+				}
+				return out
+			}
+		}
+	case *ra.Rename:
+		childSchema, err := ra.OutSchema(x.In, cat)
+		if err == nil {
+			var pushable, blocked []ra.Expr
+			for _, p := range preds {
+				if exprResolvable(p, childSchema) {
+					pushable = append(pushable, p)
+				} else {
+					blocked = append(blocked, p)
+				}
+			}
+			if len(pushable) > 0 {
+				out := ra.Node(&ra.Rename{As: x.As, In: pushSelect(pushable, x.In, cat)})
+				if len(blocked) > 0 {
+					out = &ra.Select{Pred: andOf(blocked), In: out}
+				}
+				return out
+			}
+		}
+	case *ra.Join:
+		lSchema, errL := ra.OutSchema(x.L, cat)
+		rSchema, errR := ra.OutSchema(x.R, cat)
+		if errL == nil && errR == nil {
+			var toL, toR, toCond, blocked []ra.Expr
+			for _, p := range preds {
+				inL := exprResolvable(p, lSchema)
+				inR := exprResolvable(p, rSchema)
+				switch {
+				case inL && inR:
+					// Shared (natural-join) attributes: either side works;
+					// push left and keep correctness via the join itself.
+					toL = append(toL, p)
+				case inL:
+					toL = append(toL, p)
+				case inR:
+					toR = append(toR, p)
+				default:
+					// Spans both sides: attach to the join condition when
+					// the join is a theta join; for a natural join the
+					// concatenated schema may rename shared columns, so
+					// keep it above unless resolvable on the concatenated
+					// schema.
+					joinSchema, err := ra.OutSchema(x, cat)
+					if err == nil && exprResolvable(p, joinSchema) {
+						toCond = append(toCond, p)
+					} else {
+						blocked = append(blocked, p)
+					}
+				}
+			}
+			nl := x.L
+			if len(toL) > 0 {
+				nl = pushSelect(toL, x.L, cat)
+			}
+			nr := x.R
+			if len(toR) > 0 {
+				nr = pushSelect(toR, x.R, cat)
+			}
+			cond := x.Cond
+			if len(toCond) > 0 {
+				if x.Cond == nil {
+					// Turning a natural join into a theta join would change
+					// the schema; keep the predicates above instead.
+					blocked = append(blocked, toCond...)
+				} else {
+					cond = andOf(append([]ra.Expr{x.Cond}, toCond...))
+				}
+			}
+			out := ra.Node(&ra.Join{L: nl, R: nr, Cond: cond})
+			if len(blocked) > 0 {
+				out = &ra.Select{Pred: andOf(blocked), In: out}
+			}
+			return out
+		}
+	}
+	return &ra.Select{Pred: andOf(preds), In: in}
+}
+
+// distributeJoinCond pushes one-sided conjuncts of a theta-join condition
+// into the corresponding side.
+func distributeJoinCond(j *ra.Join, cat ra.Catalog) ra.Node {
+	lSchema, errL := ra.OutSchema(j.L, cat)
+	rSchema, errR := ra.OutSchema(j.R, cat)
+	if errL != nil || errR != nil {
+		return j
+	}
+	var toL, toR, keep []ra.Expr
+	for _, p := range conjuncts(j.Cond) {
+		inL := exprResolvable(p, lSchema)
+		inR := exprResolvable(p, rSchema)
+		switch {
+		case inL && !inR:
+			toL = append(toL, p)
+		case inR && !inL:
+			toR = append(toR, p)
+		default:
+			keep = append(keep, p)
+		}
+	}
+	if len(toL) == 0 && len(toR) == 0 {
+		return j
+	}
+	nl, nr := j.L, j.R
+	if len(toL) > 0 {
+		nl = pushSelect(toL, j.L, cat)
+	}
+	if len(toR) > 0 {
+		nr = pushSelect(toR, j.R, cat)
+	}
+	cond := andOf(keep)
+	if cond == nil {
+		// All conjuncts moved: keep a vacuous condition to preserve the
+		// theta-join (concatenated) schema.
+		cond = &ra.Cmp{Op: ra.EQ, L: &ra.Const{Val: relation.Int(1)}, R: &ra.Const{Val: relation.Int(1)}}
+	}
+	return &ra.Join{L: nl, R: nr, Cond: cond}
+}
+
+// equiJoinPlan extracts hash-join key pairs from a theta-join condition:
+// equality conjuncts whose two attribute references resolve on opposite
+// sides. It returns the key column indices and the residual predicate (nil
+// if none).
+func equiJoinPlan(cond ra.Expr, lSchema, rSchema relation.Schema) (lKeys, rKeys []int, residual ra.Expr) {
+	var rest []ra.Expr
+	for _, p := range conjuncts(cond) {
+		if c, ok := p.(*ra.Cmp); ok && c.Op == ra.EQ {
+			la, lok := c.L.(*ra.AttrRef)
+			rb, rok := c.R.(*ra.AttrRef)
+			if lok && rok {
+				li, lerr := lSchema.Resolve(la.Name)
+				ri, rerr := rSchema.Resolve(rb.Name)
+				if lerr == nil && rerr == nil && !resolvesIn(rb.Name, lSchema) && !resolvesIn(la.Name, rSchema) {
+					lKeys = append(lKeys, li)
+					rKeys = append(rKeys, ri)
+					continue
+				}
+				// Try the mirrored orientation.
+				li2, lerr2 := lSchema.Resolve(rb.Name)
+				ri2, rerr2 := rSchema.Resolve(la.Name)
+				if lerr2 == nil && rerr2 == nil && !resolvesIn(la.Name, lSchema) && !resolvesIn(rb.Name, rSchema) {
+					lKeys = append(lKeys, li2)
+					rKeys = append(rKeys, ri2)
+					continue
+				}
+			}
+		}
+		rest = append(rest, p)
+	}
+	return lKeys, rKeys, andOf(rest)
+}
+
+func resolvesIn(name string, s relation.Schema) bool {
+	_, err := s.Resolve(name)
+	return err == nil
+}

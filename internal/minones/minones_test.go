@@ -1,0 +1,229 @@
+package minones
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeSimple(t *testing.T) {
+	// (x1 ∨ x2) ∧ (x2 ∨ x3): minimum ones = 1 (x2).
+	clauses := [][]int{{1, 2}, {2, 3}}
+	r := Minimize(3, clauses, []int{1, 2, 3}, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Cost != 1 {
+		t.Errorf("cost = %d, want 1", r.Cost)
+	}
+	if !r.Model[2] {
+		t.Errorf("expected x2 true, model = %v", r.Model)
+	}
+}
+
+func TestMinimizeZero(t *testing.T) {
+	// (¬x1 ∨ x2): all-false works, minimum = 0.
+	r := Minimize(2, [][]int{{-1, 2}}, []int{1, 2}, Options{})
+	if r.Status != Optimal || r.Cost != 0 {
+		t.Errorf("status=%v cost=%d, want optimal 0", r.Status, r.Cost)
+	}
+}
+
+func TestMinimizeInfeasible(t *testing.T) {
+	r := Minimize(1, [][]int{{1}, {-1}}, []int{1}, Options{})
+	if r.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestMinimizeSingleCountedVar(t *testing.T) {
+	// x1 forced true.
+	r := Minimize(1, [][]int{{1}}, []int{1}, Options{})
+	if r.Status != Optimal || r.Cost != 1 {
+		t.Errorf("forced var: status=%v cost=%d", r.Status, r.Cost)
+	}
+	// x1 free: minimum 0.
+	r = Minimize(2, [][]int{{1, 2}}, []int{1}, Options{})
+	if r.Status != Optimal || r.Cost != 0 {
+		t.Errorf("free var: status=%v cost=%d", r.Status, r.Cost)
+	}
+}
+
+func TestMinimizeProvenanceExample(t *testing.T) {
+	// The paper's Example 3: Prv = t3·(t9t10 + t9t11 + t10t11) needs 3 ones.
+	// Encode DNF with Tseitin-style aux vars manually:
+	// y1 = t9∧t10, y2 = t9∧t11, y3 = t10∧t11, assert t3 ∧ (y1∨y2∨y3).
+	// vars: t3=1 t9=2 t10=3 t11=4 y1=5 y2=6 y3=7
+	clauses := [][]int{
+		{1},
+		{5, 6, 7},
+		{-5, 2}, {-5, 3},
+		{-6, 2}, {-6, 4},
+		{-7, 3}, {-7, 4},
+	}
+	r := Minimize(7, clauses, []int{1, 2, 3, 4}, Options{})
+	if r.Status != Optimal || r.Cost != 3 {
+		t.Errorf("status=%v cost=%d, want optimal 3", r.Status, r.Cost)
+	}
+	if !r.Model[1] {
+		t.Error("t3 must be in the witness")
+	}
+}
+
+func TestMinimizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 3 + rng.Intn(6)
+		nClauses := 1 + rng.Intn(10)
+		clauses := make([][]int, nClauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			cl := make([]int, k)
+			for j := range cl {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			clauses[i] = cl
+		}
+		counted := []int{}
+		for v := 1; v <= nVars; v++ {
+			counted = append(counted, v)
+		}
+		want, feasible := bruteMinOnes(nVars, clauses)
+		r := Minimize(nVars, clauses, counted, Options{})
+		if !feasible {
+			if r.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v", trial, r.Status)
+			}
+			continue
+		}
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		if r.Cost != want {
+			t.Fatalf("trial %d: cost %d, want %d (clauses=%v)", trial, r.Cost, want, clauses)
+		}
+	}
+}
+
+func bruteMinOnes(nVars int, clauses [][]int) (int, bool) {
+	best := -1
+	for mask := 0; mask < 1<<nVars; mask++ {
+		ok := true
+		for _, cl := range clauses {
+			cok := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := mask&(1<<(v-1)) != 0
+				if (l > 0) == val {
+					cok = true
+					break
+				}
+			}
+			if !cok {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ones := 0
+			for v := 0; v < nVars; v++ {
+				if mask&(1<<v) != 0 {
+					ones++
+				}
+			}
+			if best < 0 || ones < best {
+				best = ones
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+func TestEnumerateFindsAllProjections(t *testing.T) {
+	// (x1 ∨ x2): projections on {x1,x2} are 11, 10, 01 → 3 models.
+	r := Enumerate(2, [][]int{{1, 2}}, []int{1, 2}, 100, Options{})
+	if r.Status != Optimal {
+		t.Errorf("status = %v, want optimal (exhausted)", r.Status)
+	}
+	if r.ModelsTried != 3 {
+		t.Errorf("models tried = %d, want 3", r.ModelsTried)
+	}
+	if r.Cost != 1 {
+		t.Errorf("best cost = %d, want 1", r.Cost)
+	}
+}
+
+func TestEnumerateBudget(t *testing.T) {
+	// Enumerating with M=1 keeps the first (arbitrary) model: Feasible.
+	r := Enumerate(3, [][]int{{1, 2, 3}}, []int{1, 2, 3}, 1, Options{})
+	if r.Status != Feasible {
+		t.Errorf("status = %v, want feasible", r.Status)
+	}
+	if r.ModelsTried != 1 {
+		t.Errorf("tried = %d", r.ModelsTried)
+	}
+}
+
+func TestEnumerateInfeasible(t *testing.T) {
+	r := Enumerate(1, [][]int{{1}, {-1}}, []int{1}, 10, Options{})
+	if r.Status != Infeasible {
+		t.Errorf("status = %v", r.Status)
+	}
+}
+
+func TestEnumerateNeverBeatsMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 3 + rng.Intn(5)
+		nClauses := 1 + rng.Intn(8)
+		clauses := make([][]int, nClauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			cl := make([]int, k)
+			for j := range cl {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			clauses[i] = cl
+		}
+		counted := []int{}
+		for v := 1; v <= nVars; v++ {
+			counted = append(counted, v)
+		}
+		opt := Minimize(nVars, clauses, counted, Options{})
+		for _, m := range []int{1, 4, 16} {
+			naive := Enumerate(nVars, clauses, counted, m, Options{})
+			if opt.Status == Infeasible {
+				if naive.Status != Infeasible {
+					t.Fatalf("trial %d: disagreement on feasibility", trial)
+				}
+				continue
+			}
+			if naive.Status == Infeasible {
+				t.Fatalf("trial %d: naive infeasible but opt found model", trial)
+			}
+			if naive.Cost < opt.Cost {
+				t.Fatalf("trial %d: naive-%d beat optimizer (%d < %d)", trial, m, naive.Cost, opt.Cost)
+			}
+		}
+	}
+}
+
+func TestModelCount(t *testing.T) {
+	m := Model{1: true, 2: false, 3: true}
+	if m.Count([]int{1, 2, 3}) != 2 {
+		t.Error("Count")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Feasible.String() != "feasible" {
+		t.Error("status strings")
+	}
+}

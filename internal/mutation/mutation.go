@@ -1,0 +1,205 @@
+// Package mutation generates plausible wrong queries from a correct query
+// by single-point mutations, in the spirit of XData's query mutants
+// (Chandra et al.) and matching the error classes the paper observed in
+// student submissions (Section 7.2): changed or dropped selection
+// conditions, incorrect use of difference, swapped operands, and damaged
+// join conditions. The mutants populate the wrong-query bank used by the
+// course experiments (Table 3, Table 4, Figures 3–5).
+package mutation
+
+import (
+	"fmt"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// Mutant is a wrong-query candidate with a description of the injected
+// error.
+type Mutant struct {
+	Query ra.Node
+	Desc  string
+}
+
+// Mutants enumerates single-point mutants of a query. The result preserves
+// the output schema (mutations never touch projection lists), so every
+// mutant is union-compatible with the original.
+func Mutants(q ra.Node) []Mutant {
+	return mutateNode(q)
+}
+
+// mutateNode returns all single-point mutants of the subtree rooted at n.
+func mutateNode(n ra.Node) []Mutant {
+	var out []Mutant
+	switch x := n.(type) {
+	case *ra.Rel:
+		// no local mutants
+	case *ra.Select:
+		for _, m := range mutateExpr(x.Pred) {
+			out = append(out, Mutant{Query: &ra.Select{Pred: m.expr, In: x.In}, Desc: m.desc})
+		}
+		out = append(out, Mutant{Query: x.In, Desc: "dropped selection"})
+		for _, m := range mutateNode(x.In) {
+			out = append(out, Mutant{Query: &ra.Select{Pred: x.Pred, In: m.Query}, Desc: m.Desc})
+		}
+	case *ra.Project:
+		for _, m := range mutateNode(x.In) {
+			out = append(out, Mutant{Query: &ra.Project{Cols: x.Cols, In: m.Query}, Desc: m.Desc})
+		}
+	case *ra.Rename:
+		for _, m := range mutateNode(x.In) {
+			out = append(out, Mutant{Query: &ra.Rename{As: x.As, In: m.Query}, Desc: m.Desc})
+		}
+	case *ra.Join:
+		if x.Cond != nil {
+			for _, m := range mutateExpr(x.Cond) {
+				out = append(out, Mutant{Query: &ra.Join{L: x.L, R: x.R, Cond: m.expr}, Desc: "join condition: " + m.desc})
+			}
+		}
+		for _, m := range mutateNode(x.L) {
+			out = append(out, Mutant{Query: &ra.Join{L: m.Query, R: x.R, Cond: x.Cond}, Desc: m.Desc})
+		}
+		for _, m := range mutateNode(x.R) {
+			out = append(out, Mutant{Query: &ra.Join{L: x.L, R: m.Query, Cond: x.Cond}, Desc: m.Desc})
+		}
+	case *ra.Union:
+		out = append(out,
+			Mutant{Query: x.L, Desc: "dropped right union branch"},
+			Mutant{Query: x.R, Desc: "dropped left union branch"})
+		for _, m := range mutateNode(x.L) {
+			out = append(out, Mutant{Query: &ra.Union{L: m.Query, R: x.R}, Desc: m.Desc})
+		}
+		for _, m := range mutateNode(x.R) {
+			out = append(out, Mutant{Query: &ra.Union{L: x.L, R: m.Query}, Desc: m.Desc})
+		}
+	case *ra.Diff:
+		out = append(out,
+			Mutant{Query: x.L, Desc: "incorrect use of difference: dropped subtrahend"},
+			Mutant{Query: &ra.Diff{L: x.R, R: x.L}, Desc: "incorrect use of difference: swapped operands"},
+			Mutant{Query: &ra.Union{L: x.L, R: x.R}, Desc: "difference replaced by union"})
+		for _, m := range mutateNode(x.L) {
+			out = append(out, Mutant{Query: &ra.Diff{L: m.Query, R: x.R}, Desc: m.Desc})
+		}
+		for _, m := range mutateNode(x.R) {
+			out = append(out, Mutant{Query: &ra.Diff{L: x.L, R: m.Query}, Desc: m.Desc})
+		}
+	case *ra.GroupBy:
+		for i, a := range x.Aggs {
+			if alt, ok := altAgg(a.Func); ok {
+				aggs := append([]ra.AggSpec(nil), x.Aggs...)
+				aggs[i] = ra.AggSpec{Func: alt, Attr: a.Attr, As: a.As}
+				out = append(out, Mutant{
+					Query: &ra.GroupBy{GroupCols: x.GroupCols, Aggs: aggs, In: x.In},
+					Desc:  fmt.Sprintf("aggregate %s changed to %s", a.Func, alt)})
+			}
+		}
+		for _, m := range mutateNode(x.In) {
+			out = append(out, Mutant{Query: &ra.GroupBy{GroupCols: x.GroupCols, Aggs: x.Aggs, In: m.Query}, Desc: m.Desc})
+		}
+	}
+	return out
+}
+
+func altAgg(f ra.AggFunc) (ra.AggFunc, bool) {
+	switch f {
+	case ra.Avg:
+		return ra.Sum, true
+	case ra.Sum:
+		return ra.Avg, true
+	case ra.Min:
+		return ra.Max, true
+	case ra.Max:
+		return ra.Min, true
+	}
+	return 0, false
+}
+
+type exprMut struct {
+	expr ra.Expr
+	desc string
+}
+
+// mutateExpr returns single-point mutants of a predicate.
+func mutateExpr(e ra.Expr) []exprMut {
+	var out []exprMut
+	switch x := e.(type) {
+	case *ra.Cmp:
+		for _, op := range altOps(x.Op) {
+			out = append(out, exprMut{
+				expr: &ra.Cmp{Op: op, L: x.L, R: x.R},
+				desc: fmt.Sprintf("comparison %s changed to %s", x.Op, op)})
+		}
+		if c, ok := x.R.(*ra.Const); ok {
+			for _, v := range perturb(c.Val) {
+				out = append(out, exprMut{
+					expr: &ra.Cmp{Op: x.Op, L: x.L, R: &ra.Const{Val: v}},
+					desc: fmt.Sprintf("constant %s changed to %s", c.Val, v)})
+			}
+		}
+	case *ra.And:
+		for i := range x.Kids {
+			kids := make([]ra.Expr, 0, len(x.Kids)-1)
+			kids = append(kids, x.Kids[:i]...)
+			kids = append(kids, x.Kids[i+1:]...)
+			var dropped ra.Expr
+			if len(kids) == 1 {
+				dropped = kids[0]
+			} else {
+				dropped = &ra.And{Kids: kids}
+			}
+			out = append(out, exprMut{expr: dropped, desc: fmt.Sprintf("dropped conjunct %q", x.Kids[i])})
+		}
+		for i, k := range x.Kids {
+			for _, m := range mutateExpr(k) {
+				kids := append([]ra.Expr(nil), x.Kids...)
+				kids[i] = m.expr
+				out = append(out, exprMut{expr: &ra.And{Kids: kids}, desc: m.desc})
+			}
+		}
+	case *ra.Or:
+		for i, k := range x.Kids {
+			for _, m := range mutateExpr(k) {
+				kids := append([]ra.Expr(nil), x.Kids...)
+				kids[i] = m.expr
+				out = append(out, exprMut{expr: &ra.Or{Kids: kids}, desc: m.desc})
+			}
+		}
+		out = append(out, exprMut{expr: &ra.And{Kids: x.Kids}, desc: "or weakened to and"})
+	case *ra.Not:
+		out = append(out, exprMut{expr: x.Kid, desc: "dropped negation"})
+		for _, m := range mutateExpr(x.Kid) {
+			out = append(out, exprMut{expr: &ra.Not{Kid: m.expr}, desc: m.desc})
+		}
+	}
+	return out
+}
+
+func altOps(op ra.CmpOp) []ra.CmpOp {
+	switch op {
+	case ra.EQ:
+		return []ra.CmpOp{ra.NE}
+	case ra.NE:
+		return []ra.CmpOp{ra.EQ}
+	case ra.LT:
+		return []ra.CmpOp{ra.LE, ra.GT}
+	case ra.LE:
+		return []ra.CmpOp{ra.LT, ra.GE}
+	case ra.GT:
+		return []ra.CmpOp{ra.GE, ra.LT}
+	case ra.GE:
+		return []ra.CmpOp{ra.GT, ra.LE}
+	}
+	return nil
+}
+
+func perturb(v relation.Value) []relation.Value {
+	switch v.Kind() {
+	case relation.KindInt:
+		i := v.AsInt()
+		return []relation.Value{relation.Int(i + 1), relation.Int(i - 1), relation.Int(i + 10)}
+	case relation.KindFloat:
+		f := v.AsFloat()
+		return []relation.Value{relation.Float(f + 1), relation.Float(f * 1.1)}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package mutation
+
+import (
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/raparser"
+)
+
+func TestMutantsOfSelect(t *testing.T) {
+	q := raparser.MustParse("select[dept = 'CS' and grade >= 90](R)")
+	ms := Mutants(q)
+	if len(ms) == 0 {
+		t.Fatal("no mutants")
+	}
+	descs := map[string]bool{}
+	for _, m := range ms {
+		descs[m.Desc] = true
+		if m.Query == nil {
+			t.Fatal("nil mutant")
+		}
+	}
+	if !descs["dropped selection"] {
+		t.Error("missing dropped-selection mutant")
+	}
+	// Dropping a conjunct and operator swaps must appear.
+	foundDrop, foundOp := false, false
+	for d := range descs {
+		if len(d) > 7 && d[:7] == "dropped" && d != "dropped selection" {
+			foundDrop = true
+		}
+		if len(d) > 10 && d[:10] == "comparison" {
+			foundOp = true
+		}
+	}
+	if !foundDrop || !foundOp {
+		t.Errorf("mutant classes missing: %v", descs)
+	}
+}
+
+func TestMutantsOfDiff(t *testing.T) {
+	q := raparser.MustParse("project[a](R) diff project[a](S)")
+	ms := Mutants(q)
+	var dropped, swapped, union bool
+	for _, m := range ms {
+		switch m.Desc {
+		case "incorrect use of difference: dropped subtrahend":
+			dropped = true
+			if _, ok := m.Query.(*ra.Project); !ok {
+				t.Error("dropped-subtrahend mutant should be the left operand")
+			}
+		case "incorrect use of difference: swapped operands":
+			swapped = true
+		case "difference replaced by union":
+			union = true
+		}
+	}
+	if !dropped || !swapped || !union {
+		t.Error("difference mutants missing")
+	}
+}
+
+func TestMutantsPreserveOriginal(t *testing.T) {
+	q := raparser.MustParse("select[x = 1](R)")
+	orig := q.String()
+	ms := Mutants(q)
+	if q.String() != orig {
+		t.Error("mutation modified the original query")
+	}
+	for _, m := range ms {
+		if m.Query.String() == orig && m.Desc != "" {
+			// A mutant may coincidentally equal the original only if the
+			// mutation is a no-op, which these single-point mutations are
+			// not.
+			t.Errorf("mutant %q equals original", m.Desc)
+		}
+	}
+}
+
+func TestConstantPerturbation(t *testing.T) {
+	q := raparser.MustParse("select[grade >= 90](R)")
+	ms := Mutants(q)
+	found := false
+	for _, m := range ms {
+		if s, ok := m.Query.(*ra.Select); ok {
+			if c, ok := s.Pred.(*ra.Cmp); ok {
+				if k, ok := c.R.(*ra.Const); ok && k.Val.String() == "91" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("missing constant+1 perturbation")
+	}
+}
+
+func TestAggregateMutants(t *testing.T) {
+	q := raparser.MustParse("groupby[g; avg(v) -> a](R)")
+	ms := Mutants(q)
+	found := false
+	for _, m := range ms {
+		if g, ok := m.Query.(*ra.GroupBy); ok && g.Aggs[0].Func == ra.Sum {
+			found = true
+			if g.Aggs[0].As != "a" {
+				t.Error("agg alias must be preserved for union compatibility")
+			}
+		}
+	}
+	if !found {
+		t.Error("missing avg→sum mutant")
+	}
+}
+
+func TestUnionMutants(t *testing.T) {
+	q := raparser.MustParse("project[a](R) union project[a](S)")
+	ms := Mutants(q)
+	if len(ms) < 2 {
+		t.Fatalf("expected branch-drop mutants, got %d", len(ms))
+	}
+}
+
+func TestNestedMutationDepth(t *testing.T) {
+	// Mutants must reach deep into the tree.
+	q := raparser.MustParse("project[a](select[x = 1](R join S))")
+	ms := Mutants(q)
+	foundDeep := false
+	for _, m := range ms {
+		if m.Desc == "dropped selection" {
+			foundDeep = true
+		}
+	}
+	if !foundDeep {
+		t.Error("mutation did not reach nested select")
+	}
+}

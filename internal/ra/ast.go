@@ -1,0 +1,324 @@
+// Package ra defines the relational algebra of the paper — SPJUD operators
+// extended with grouping/aggregation (Section 2) — together with the scalar
+// predicate language, schema inference, and the query classification used by
+// the complexity dichotomy of Section 3 (Table 1).
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Node is a relational algebra operator tree.
+type Node interface {
+	fmt.Stringer
+	// Children returns the operator's inputs, left to right.
+	Children() []Node
+}
+
+// Catalog resolves base relation schemas during schema inference.
+type Catalog interface {
+	RelationSchema(name string) (relation.Schema, bool)
+}
+
+// Rel is a base relation reference.
+type Rel struct{ Name string }
+
+// Children implements Node.
+func (r *Rel) Children() []Node { return nil }
+func (r *Rel) String() string   { return r.Name }
+
+// Select is σ_pred(In).
+type Select struct {
+	Pred Expr
+	In   Node
+}
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.In} }
+func (s *Select) String() string   { return fmt.Sprintf("select[%s](%s)", s.Pred, s.In) }
+
+// Project is π_cols(In) under set semantics (duplicates removed).
+type Project struct {
+	Cols []string
+	In   Node
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.In} }
+func (p *Project) String() string {
+	return fmt.Sprintf("project[%s](%s)", strings.Join(p.Cols, ", "), p.In)
+}
+
+// Join is a theta join L ⋈_cond R; a nil Cond makes it a natural join on
+// attributes with identical names (a cross product when there are none).
+type Join struct {
+	L, R Node
+	Cond Expr
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+func (j *Join) String() string {
+	if j.Cond == nil {
+		return fmt.Sprintf("(%s join %s)", j.L, j.R)
+	}
+	return fmt.Sprintf("(%s join[%s] %s)", j.L, j.Cond, j.R)
+}
+
+// Union is L ∪ R under set semantics.
+type Union struct{ L, R Node }
+
+// Children implements Node.
+func (u *Union) Children() []Node { return []Node{u.L, u.R} }
+func (u *Union) String() string   { return fmt.Sprintf("(%s union %s)", u.L, u.R) }
+
+// Diff is the set difference L − R.
+type Diff struct{ L, R Node }
+
+// Children implements Node.
+func (d *Diff) Children() []Node { return []Node{d.L, d.R} }
+func (d *Diff) String() string   { return fmt.Sprintf("(%s diff %s)", d.L, d.R) }
+
+// Rename is ρ_as(In): every attribute x becomes as.x.
+type Rename struct {
+	As string
+	In Node
+}
+
+// Children implements Node.
+func (r *Rename) Children() []Node { return []Node{r.In} }
+func (r *Rename) String() string   { return fmt.Sprintf("rename[%s](%s)", r.As, r.In) }
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions. Count with an empty Attr counts rows of the group.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String returns the SQL spelling of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	}
+	return "?"
+}
+
+// ParseAggFunc parses an aggregate function name.
+func ParseAggFunc(s string) (AggFunc, bool) {
+	switch strings.ToLower(s) {
+	case "count":
+		return Count, true
+	case "sum":
+		return Sum, true
+	case "avg":
+		return Avg, true
+	case "min":
+		return Min, true
+	case "max":
+		return Max, true
+	}
+	return 0, false
+}
+
+// AggSpec is one aggregate column: Func(Attr) AS As. Attr may be empty for
+// Count (count rows).
+type AggSpec struct {
+	Func AggFunc
+	Attr string
+	As   string
+}
+
+func (a AggSpec) String() string {
+	arg := a.Attr
+	if arg == "" {
+		arg = "*"
+	}
+	return fmt.Sprintf("%s(%s)->%s", a.Func, arg, a.As)
+}
+
+// GroupBy is γ_{GroupCols; Aggs}(In). With empty GroupCols it produces a
+// single group over the whole input (if nonempty).
+type GroupBy struct {
+	GroupCols []string
+	Aggs      []AggSpec
+	In        Node
+}
+
+// Children implements Node.
+func (g *GroupBy) Children() []Node { return []Node{g.In} }
+func (g *GroupBy) String() string {
+	parts := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("groupby[%s; %s](%s)", strings.Join(g.GroupCols, ", "), strings.Join(parts, ", "), g.In)
+}
+
+// OutSchema infers the output schema of a query against a catalog.
+func OutSchema(n Node, cat Catalog) (relation.Schema, error) {
+	switch q := n.(type) {
+	case *Rel:
+		s, ok := cat.RelationSchema(q.Name)
+		if !ok {
+			return relation.Schema{}, fmt.Errorf("ra: unknown relation %q", q.Name)
+		}
+		return s, nil
+	case *Select:
+		return OutSchema(q.In, cat)
+	case *Project:
+		in, err := OutSchema(q.In, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		idxs := make([]int, len(q.Cols))
+		for i, c := range q.Cols {
+			j, err := in.Resolve(c)
+			if err != nil {
+				return relation.Schema{}, err
+			}
+			idxs[i] = j
+		}
+		out := in.Project(idxs)
+		// Projection exposes the written column names.
+		for i := range out.Attrs {
+			out.Attrs[i].Name = q.Cols[i]
+		}
+		return out, nil
+	case *Join:
+		l, err := OutSchema(q.L, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		r, err := OutSchema(q.R, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		if q.Cond != nil {
+			return l.Concat(r), nil
+		}
+		// Natural join: keep left schema plus right attrs not shared.
+		_, rOnly := NaturalJoinCols(l, r)
+		attrs := make([]relation.Attribute, 0, len(l.Attrs)+len(rOnly))
+		attrs = append(attrs, l.Attrs...)
+		for _, j := range rOnly {
+			attrs = append(attrs, r.Attrs[j])
+		}
+		return relation.Schema{Attrs: attrs}, nil
+	case *Union:
+		l, err := OutSchema(q.L, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		r, err := OutSchema(q.R, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		if !l.UnionCompatible(r) {
+			return relation.Schema{}, fmt.Errorf("ra: union of incompatible schemas %s and %s", l, r)
+		}
+		return l, nil
+	case *Diff:
+		l, err := OutSchema(q.L, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		r, err := OutSchema(q.R, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		if !l.UnionCompatible(r) {
+			return relation.Schema{}, fmt.Errorf("ra: difference of incompatible schemas %s and %s", l, r)
+		}
+		return l, nil
+	case *Rename:
+		in, err := OutSchema(q.In, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		return in.Qualify(q.As), nil
+	case *GroupBy:
+		in, err := OutSchema(q.In, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		attrs := make([]relation.Attribute, 0, len(q.GroupCols)+len(q.Aggs))
+		for _, c := range q.GroupCols {
+			j, err := in.Resolve(c)
+			if err != nil {
+				return relation.Schema{}, err
+			}
+			attrs = append(attrs, relation.Attribute{Name: c, Type: in.Attrs[j].Type})
+		}
+		for _, a := range q.Aggs {
+			typ := relation.KindFloat
+			switch a.Func {
+			case Count:
+				typ = relation.KindInt
+			case Sum, Min, Max:
+				if a.Attr != "" {
+					j, err := in.Resolve(a.Attr)
+					if err != nil {
+						return relation.Schema{}, err
+					}
+					typ = in.Attrs[j].Type
+				}
+			}
+			attrs = append(attrs, relation.Attribute{Name: a.As, Type: typ})
+		}
+		return relation.Schema{Attrs: attrs}, nil
+	}
+	return relation.Schema{}, fmt.Errorf("ra: unknown node type %T", n)
+}
+
+// NaturalJoinCols returns the index pairs of shared attribute names
+// (left index, right index) and the right-side indices that are not shared.
+func NaturalJoinCols(l, r relation.Schema) (shared [][2]int, rOnly []int) {
+	for j, ra := range r.Attrs {
+		if i := l.IndexExact(ra.Name); i >= 0 {
+			shared = append(shared, [2]int{i, j})
+		} else {
+			rOnly = append(rOnly, j)
+		}
+	}
+	return shared, rOnly
+}
+
+// Walk visits every node of the tree in pre-order.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// BaseRelations returns the distinct base relation names referenced by a
+// query, in first-use order.
+func BaseRelations(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(n, func(x Node) {
+		if r, ok := x.(*Rel); ok && !seen[r.Name] {
+			seen[r.Name] = true
+			out = append(out, r.Name)
+		}
+	})
+	return out
+}

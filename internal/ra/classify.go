@@ -1,0 +1,214 @@
+package ra
+
+import "strings"
+
+// Class describes which operator classes a query uses, matching the
+// SPJUDA taxonomy of Sections 2–3.
+type Class struct {
+	Select    bool
+	Project   bool
+	Join      bool
+	Union     bool
+	Diff      bool
+	Aggregate bool
+}
+
+// Classify computes the operator classes used by a query. Rename is
+// transparent (pure attribute relabeling).
+func Classify(n Node) Class {
+	var c Class
+	Walk(n, func(x Node) {
+		switch x.(type) {
+		case *Select:
+			c.Select = true
+		case *Project:
+			c.Project = true
+		case *Join:
+			c.Join = true
+		case *Union:
+			c.Union = true
+		case *Diff:
+			c.Diff = true
+		case *GroupBy:
+			c.Aggregate = true
+		}
+	})
+	return c
+}
+
+// String renders the class in the paper's abbreviation style (e.g. "SPJ",
+// "SPJUD", "SPJUDA").
+func (c Class) String() string {
+	var b strings.Builder
+	if c.Select {
+		b.WriteByte('S')
+	}
+	if c.Project {
+		b.WriteByte('P')
+	}
+	if c.Join {
+		b.WriteByte('J')
+	}
+	if c.Union {
+		b.WriteByte('U')
+	}
+	if c.Diff {
+		b.WriteByte('D')
+	}
+	if c.Aggregate {
+		b.WriteByte('A')
+	}
+	if b.Len() == 0 {
+		return "R"
+	}
+	return b.String()
+}
+
+// Monotone reports whether the query is monotone (no difference, no
+// aggregation): D' ⊆ D implies Q(D') ⊆ Q(D).
+func (c Class) Monotone() bool { return !c.Diff && !c.Aggregate }
+
+// IsJUStar reports whether the query is in the JU* class of Theorem 5: all
+// unions appear after (above) all joins, i.e. no Union occurs in the
+// subtree of any Join.
+func IsJUStar(n Node) bool {
+	ok := true
+	Walk(n, func(x Node) {
+		if j, isJoin := x.(*Join); isJoin {
+			Walk(j, func(y Node) {
+				if y != j {
+					if _, isU := y.(*Union); isU {
+						ok = false
+					}
+				}
+			})
+		}
+	})
+	return ok
+}
+
+// IsSPJUDStar reports whether the query is in the SPJUD* class of Theorem 7:
+// the grammar Q → q+ | Q − Q where q+ is an SPJU query. Equivalently, no
+// Diff node occurs below a non-Diff operator (Rename above Diff is allowed
+// since it is transparent relabeling).
+func IsSPJUDStar(n Node) bool {
+	ok := true
+	var walk func(x Node, diffAllowed bool)
+	walk = func(x Node, diffAllowed bool) {
+		switch q := x.(type) {
+		case *Diff:
+			if !diffAllowed {
+				ok = false
+			}
+			walk(q.L, diffAllowed)
+			walk(q.R, diffAllowed)
+		case *Rename:
+			walk(q.In, diffAllowed)
+		default:
+			for _, c := range x.Children() {
+				walk(c, false)
+			}
+		}
+	}
+	walk(n, true)
+	return ok
+}
+
+// SPJUTerms decomposes an SPJUD* query into its SPJU leaves and the nested
+// difference structure: it returns the list of q+ terms in the order they
+// appear in the nested difference expression. For a plain SPJU query it
+// returns the query itself.
+func SPJUTerms(n Node) []Node {
+	switch q := n.(type) {
+	case *Diff:
+		return append(SPJUTerms(q.L), SPJUTerms(q.R)...)
+	case *Rename:
+		terms := SPJUTerms(q.In)
+		if len(terms) == 1 && terms[0] == q.In {
+			return []Node{n}
+		}
+		return terms
+	default:
+		return []Node{n}
+	}
+}
+
+// Metrics quantifies query complexity for the Figure 3 experiment.
+type Metrics struct {
+	Operators int // total operator count (excluding base relation leaves)
+	Diffs     int // number of difference operators
+	Height    int // height of the operator tree
+	Joins     int
+	Relations int // base relation references (with multiplicity)
+}
+
+// ComputeMetrics derives the complexity metrics of a query.
+func ComputeMetrics(n Node) Metrics {
+	var m Metrics
+	var height func(Node) int
+	height = func(x Node) int {
+		switch x.(type) {
+		case *Rel:
+			m.Relations++
+			return 0
+		case *Diff:
+			m.Diffs++
+			m.Operators++
+		case *Join:
+			m.Joins++
+			m.Operators++
+		default:
+			m.Operators++
+		}
+		h := 0
+		for _, c := range x.Children() {
+			if ch := height(c); ch > h {
+				h = ch
+			}
+		}
+		return h + 1
+	}
+	m.Height = height(n)
+	return m
+}
+
+// TopAggregate matches queries of the shape the aggregate algorithms of
+// Section 5 support: optional Project over optional HAVING-Select over a
+// GroupBy whose input is aggregate-free. It returns the decomposition or
+// ok=false.
+type TopAggregate struct {
+	Proj    *Project // may be nil
+	Havings []*Select
+	Group   *GroupBy
+	Inner   Node // the pre-aggregation query Q'
+}
+
+// MatchTopAggregate decomposes a query of the form π? σ* γ (Q') where Q' has
+// no aggregation. Select layers between the projection and the group-by are
+// HAVING predicates.
+func MatchTopAggregate(n Node) (TopAggregate, bool) {
+	var out TopAggregate
+	cur := n
+	if p, ok := cur.(*Project); ok {
+		out.Proj = p
+		cur = p.In
+	}
+	for {
+		s, ok := cur.(*Select)
+		if !ok {
+			break
+		}
+		out.Havings = append(out.Havings, s)
+		cur = s.In
+	}
+	g, ok := cur.(*GroupBy)
+	if !ok {
+		return TopAggregate{}, false
+	}
+	if Classify(g.In).Aggregate {
+		return TopAggregate{}, false
+	}
+	out.Group = g
+	out.Inner = g.In
+	return out, true
+}

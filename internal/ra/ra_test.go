@@ -1,0 +1,350 @@
+package ra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+type mapCatalog map[string]relation.Schema
+
+func (m mapCatalog) RelationSchema(name string) (relation.Schema, bool) {
+	s, ok := m[name]
+	return s, ok
+}
+
+func exampleCatalog() mapCatalog {
+	return mapCatalog{
+		"Student": relation.NewSchema(
+			relation.Attr("name", relation.KindString),
+			relation.Attr("major", relation.KindString)),
+		"Registration": relation.NewSchema(
+			relation.Attr("name", relation.KindString),
+			relation.Attr("course", relation.KindString),
+			relation.Attr("dept", relation.KindString),
+			relation.Attr("grade", relation.KindInt)),
+	}
+}
+
+func TestOutSchemaBasics(t *testing.T) {
+	cat := exampleCatalog()
+	q := &Project{Cols: []string{"name", "major"},
+		In: &Select{Pred: EqConst("dept", relation.String("CS")),
+			In: &Join{L: &Rel{Name: "Student"}, R: &Rel{Name: "Registration"}}}}
+	s, err := OutSchema(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 2 || s.Attrs[0].Name != "name" || s.Attrs[1].Name != "major" {
+		t.Errorf("schema = %v", s)
+	}
+}
+
+func TestOutSchemaNaturalJoin(t *testing.T) {
+	cat := exampleCatalog()
+	q := &Join{L: &Rel{Name: "Student"}, R: &Rel{Name: "Registration"}}
+	s, err := OutSchema(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// name, major + course, dept, grade (shared name merged).
+	if s.Arity() != 5 {
+		t.Errorf("natural join arity = %d, want 5: %v", s.Arity(), s)
+	}
+}
+
+func TestOutSchemaRename(t *testing.T) {
+	cat := exampleCatalog()
+	q := &Rename{As: "s", In: &Rel{Name: "Student"}}
+	s, err := OutSchema(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Attrs[0].Name != "s.name" {
+		t.Errorf("rename schema = %v", s)
+	}
+	// Renamed relations share no attribute names: natural join = cross.
+	q2 := &Join{L: q, R: &Rename{As: "r", In: &Rel{Name: "Student"}}}
+	s2, err := OutSchema(q2, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Arity() != 4 {
+		t.Errorf("cross arity = %d", s2.Arity())
+	}
+}
+
+func TestOutSchemaUnionErrors(t *testing.T) {
+	cat := exampleCatalog()
+	q := &Union{L: &Rel{Name: "Student"}, R: &Rel{Name: "Registration"}}
+	if _, err := OutSchema(q, cat); err == nil {
+		t.Error("union of incompatible schemas should error")
+	}
+	if _, err := OutSchema(&Rel{Name: "Nope"}, cat); err == nil {
+		t.Error("unknown relation should error")
+	}
+}
+
+func TestOutSchemaGroupBy(t *testing.T) {
+	cat := exampleCatalog()
+	q := &GroupBy{GroupCols: []string{"name"},
+		Aggs: []AggSpec{{Func: Avg, Attr: "grade", As: "avg_grade"}, {Func: Count, As: "cnt"}},
+		In:   &Rel{Name: "Registration"}}
+	s, err := OutSchema(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 3 {
+		t.Fatalf("schema = %v", s)
+	}
+	if s.Attrs[1].Name != "avg_grade" || s.Attrs[1].Type != relation.KindFloat {
+		t.Errorf("avg col = %v", s.Attrs[1])
+	}
+	if s.Attrs[2].Type != relation.KindInt {
+		t.Errorf("count col = %v", s.Attrs[2])
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		q    Node
+		want string
+	}{
+		{&Rel{Name: "R"}, "R"},
+		{&Select{Pred: EqConst("a", relation.Int(1)), In: &Rel{Name: "R"}}, "S"},
+		{&Project{Cols: []string{"a"}, In: &Join{L: &Rel{Name: "R"}, R: &Rel{Name: "S"}}}, "PJ"},
+		{&Diff{L: &Rel{Name: "R"}, R: &Rel{Name: "S"}}, "D"},
+		{&GroupBy{GroupCols: nil, Aggs: []AggSpec{{Func: Count, As: "c"}}, In: &Rel{Name: "R"}}, "A"},
+	}
+	for _, c := range cases {
+		if got := Classify(c.q).String(); got != c.want {
+			t.Errorf("Classify(%s) = %s, want %s", c.q, got, c.want)
+		}
+	}
+	if !Classify(&Rel{Name: "R"}).Monotone() {
+		t.Error("base relation is monotone")
+	}
+	if Classify(&Diff{L: &Rel{Name: "R"}, R: &Rel{Name: "S"}}).Monotone() {
+		t.Error("difference is not monotone")
+	}
+}
+
+func TestIsJUStar(t *testing.T) {
+	r, s := &Rel{Name: "R"}, &Rel{Name: "S"}
+	// Union above join: JU*.
+	if !IsJUStar(&Union{L: &Join{L: r, R: s}, R: r}) {
+		t.Error("union above join should be JU*")
+	}
+	// Union below join: not JU*.
+	if IsJUStar(&Join{L: &Union{L: r, R: s}, R: r}) {
+		t.Error("union below join should not be JU*")
+	}
+}
+
+func TestIsSPJUDStar(t *testing.T) {
+	r, s := &Rel{Name: "R"}, &Rel{Name: "S"}
+	// Nested top-level differences: SPJUD*.
+	q := &Diff{L: &Diff{L: r, R: s}, R: &Project{Cols: []string{"a"}, In: r}}
+	if !IsSPJUDStar(q) {
+		t.Error("nested top differences should be SPJUD*")
+	}
+	// Difference below a projection: not SPJUD*.
+	q2 := &Project{Cols: []string{"a"}, In: &Diff{L: r, R: s}}
+	if IsSPJUDStar(q2) {
+		t.Error("difference below projection is not SPJUD*")
+	}
+	// Plain SPJU is trivially SPJUD*.
+	if !IsSPJUDStar(&Join{L: r, R: s}) {
+		t.Error("SPJU is SPJUD*")
+	}
+}
+
+func TestSPJUTerms(t *testing.T) {
+	r, s, u := &Rel{Name: "R"}, &Rel{Name: "S"}, &Rel{Name: "U"}
+	q := &Diff{L: &Diff{L: r, R: s}, R: u}
+	terms := SPJUTerms(q)
+	if len(terms) != 3 {
+		t.Fatalf("terms = %d, want 3", len(terms))
+	}
+	if terms[0] != Node(r) || terms[1] != Node(s) || terms[2] != Node(u) {
+		t.Error("wrong term order")
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	r, s := &Rel{Name: "R"}, &Rel{Name: "S"}
+	q := &Diff{
+		L: &Project{Cols: []string{"a"}, In: &Join{L: r, R: s}},
+		R: &Select{Pred: EqConst("a", relation.Int(1)), In: r},
+	}
+	m := ComputeMetrics(q)
+	if m.Operators != 4 {
+		t.Errorf("Operators = %d, want 4", m.Operators)
+	}
+	if m.Diffs != 1 || m.Joins != 1 || m.Relations != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+	// Leaves have height 0; the deepest chain is Diff→Project→Join→Rel.
+	if m.Height != 3 {
+		t.Errorf("Height = %d, want 3", m.Height)
+	}
+}
+
+func TestMatchTopAggregate(t *testing.T) {
+	g := &GroupBy{GroupCols: []string{"name"},
+		Aggs: []AggSpec{{Func: Count, As: "cnt"}}, In: &Rel{Name: "Registration"}}
+	hav := &Select{Pred: &Cmp{Op: GE, L: &AttrRef{Name: "cnt"}, R: &Const{Val: relation.Int(3)}}, In: g}
+	proj := &Project{Cols: []string{"name"}, In: hav}
+	spec, ok := MatchTopAggregate(proj)
+	if !ok {
+		t.Fatal("should match")
+	}
+	if spec.Proj != proj || len(spec.Havings) != 1 || spec.Group != g {
+		t.Error("wrong decomposition")
+	}
+	// Aggregate inside the inner query: no match.
+	g2 := &GroupBy{GroupCols: []string{"name"}, Aggs: []AggSpec{{Func: Count, As: "c"}}, In: g}
+	if _, ok := MatchTopAggregate(g2); ok {
+		t.Error("nested aggregation should not match")
+	}
+	if _, ok := MatchTopAggregate(&Rel{Name: "R"}); ok {
+		t.Error("non-aggregate should not match")
+	}
+}
+
+func TestCompileExprComparisons(t *testing.T) {
+	schema := relation.NewSchema(relation.Attr("a", relation.KindInt), relation.Attr("b", relation.KindString))
+	tup := relation.NewTuple(relation.Int(5), relation.String("x"))
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{&Cmp{Op: EQ, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(5)}}, true},
+		{&Cmp{Op: NE, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(5)}}, false},
+		{&Cmp{Op: LT, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(6)}}, true},
+		{&Cmp{Op: GE, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Float(5.0)}}, true},
+		{&Cmp{Op: EQ, L: &AttrRef{Name: "b"}, R: &Const{Val: relation.String("x")}}, true},
+		{&And{Kids: []Expr{
+			&Cmp{Op: GT, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(1)}},
+			&Cmp{Op: EQ, L: &AttrRef{Name: "b"}, R: &Const{Val: relation.String("x")}}}}, true},
+		{&Or{Kids: []Expr{
+			&Cmp{Op: GT, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(99)}},
+			&Cmp{Op: EQ, L: &AttrRef{Name: "b"}, R: &Const{Val: relation.String("x")}}}}, true},
+		{&Not{Kid: &Cmp{Op: EQ, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(5)}}}, false},
+		{&Cmp{Op: GT, L: &Arith{Op: '+', L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(1)}},
+			R: &Const{Val: relation.Int(5)}}, true},
+	}
+	for _, c := range cases {
+		f, err := CompileExpr(c.e, schema, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		v, err := f(tup)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if Truthy(v) != c.want {
+			t.Errorf("%s = %v, want %v", c.e, v, c.want)
+		}
+	}
+}
+
+func TestCompileExprNullSemantics(t *testing.T) {
+	schema := relation.NewSchema(relation.Attr("a", relation.KindInt))
+	tup := relation.NewTuple(relation.Null())
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		f, err := CompileExpr(&Cmp{Op: op, L: &AttrRef{Name: "a"}, R: &Const{Val: relation.Int(1)}}, schema, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := f(tup)
+		if Truthy(v) {
+			t.Errorf("NULL %s 1 should not be truthy", op)
+		}
+	}
+}
+
+func TestCompileExprParams(t *testing.T) {
+	schema := relation.NewSchema(relation.Attr("a", relation.KindInt))
+	e := &Cmp{Op: GE, L: &AttrRef{Name: "a"}, R: &Param{Name: "p"}}
+	if _, err := CompileExpr(e, schema, nil); err == nil {
+		t.Error("unbound parameter should error")
+	}
+	f, err := CompileExpr(e, schema, map[string]relation.Value{"p": relation.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := f(relation.NewTuple(relation.Int(5)))
+	if !Truthy(v) {
+		t.Error("5 >= @p(3) should hold")
+	}
+}
+
+func TestCollectParams(t *testing.T) {
+	q := &Select{
+		Pred: &And{Kids: []Expr{
+			&Cmp{Op: GE, L: &AttrRef{Name: "a"}, R: &Param{Name: "x"}},
+			&Cmp{Op: LT, L: &AttrRef{Name: "b"}, R: &Param{Name: "y"}},
+		}},
+		In: &Select{Pred: &Cmp{Op: EQ, L: &AttrRef{Name: "c"}, R: &Param{Name: "x"}}, In: &Rel{Name: "R"}},
+	}
+	ps := CollectParams(q)
+	if len(ps) != 2 || ps[0] != "x" || ps[1] != "y" {
+		t.Errorf("CollectParams = %v", ps)
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	pairs := map[CmpOp]CmpOp{EQ: NE, NE: EQ, LT: GE, LE: GT, GT: LE, GE: LT}
+	for op, want := range pairs {
+		if op.Negate() != want {
+			t.Errorf("%s.Negate() = %s, want %s", op, op.Negate(), want)
+		}
+	}
+}
+
+func TestParseAggFunc(t *testing.T) {
+	for _, s := range []string{"count", "SUM", "Avg", "min", "MAX"} {
+		if _, ok := ParseAggFunc(s); !ok {
+			t.Errorf("ParseAggFunc(%q) failed", s)
+		}
+	}
+	if _, ok := ParseAggFunc("median"); ok {
+		t.Error("median should not parse")
+	}
+}
+
+func TestBaseRelations(t *testing.T) {
+	r, s := &Rel{Name: "R"}, &Rel{Name: "S"}
+	q := &Join{L: r, R: &Join{L: s, R: r}}
+	names := BaseRelations(q)
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Errorf("BaseRelations = %v", names)
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	q := &Diff{
+		L: &Project{Cols: []string{"a"}, In: &Rel{Name: "R"}},
+		R: &Union{L: &Rel{Name: "S"}, R: &Rename{As: "x", In: &Rel{Name: "T"}}},
+	}
+	s := q.String()
+	for _, want := range []string{"project[a](R)", "union", "rename[x](T)", "diff"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

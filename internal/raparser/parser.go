@@ -1,0 +1,527 @@
+package raparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// Parse parses a relational algebra query.
+func Parse(src string) (ra.Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("raparser: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return n, nil
+}
+
+// MustParse parses a query and panics on error; for tests and fixtures.
+func MustParse(src string) ra.Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tokIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, fmt.Errorf("raparser: expected %q at %d, found %q", text, p.peek().pos, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+// parseQuery := diff level (lowest precedence).
+func (p *parser) parseQuery() (ra.Node, error) {
+	left, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokIdent, "diff") || p.at(tokIdent, "except") || p.at(tokIdent, "minus") {
+		p.next()
+		right, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		left = &ra.Diff{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnion() (ra.Node, error) {
+	left, err := p.parseJoin()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokIdent, "union") {
+		p.next()
+		right, err := p.parseJoin()
+		if err != nil {
+			return nil, err
+		}
+		left = &ra.Union{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseJoin() (ra.Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokIdent, "join") || p.at(tokIdent, "cross") {
+		cross := p.at(tokIdent, "cross")
+		p.next()
+		var cond ra.Expr
+		if !cross && p.at(tokSymbol, "[") {
+			p.next()
+			cond, err = p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "]"); err != nil {
+				return nil, err
+			}
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if cross {
+			// Cross product: theta join with constant-true condition.
+			cond = &ra.Cmp{Op: ra.EQ, L: &ra.Const{Val: relation.Int(1)}, R: &ra.Const{Val: relation.Int(1)}}
+		}
+		left = &ra.Join{L: left, R: right, Cond: cond}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (ra.Node, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "(" {
+		p.next()
+		n, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("raparser: expected operator or relation at %d, found %q", t.pos, t.text)
+	}
+	switch strings.ToLower(t.text) {
+	case "select":
+		p.next()
+		if _, err := p.expect(tokSymbol, "["); err != nil {
+			return nil, err
+		}
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseParenQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Select{Pred: pred, In: in}, nil
+	case "project":
+		p.next()
+		if _, err := p.expect(tokSymbol, "["); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseCols()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseParenQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Project{Cols: cols, In: in}, nil
+	case "rename":
+		p.next()
+		if _, err := p.expect(tokSymbol, "["); err != nil {
+			return nil, err
+		}
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseParenQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Rename{As: alias.text, In: in}, nil
+	case "groupby":
+		p.next()
+		if _, err := p.expect(tokSymbol, "["); err != nil {
+			return nil, err
+		}
+		var cols []string
+		if !p.at(tokSymbol, ";") {
+			var err error
+			cols, err = p.parseCols()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokSymbol, ";"); err != nil {
+			return nil, err
+		}
+		aggs, err := p.parseAggs()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseParenQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &ra.GroupBy{GroupCols: cols, Aggs: aggs, In: in}, nil
+	default:
+		// Base relation reference.
+		p.next()
+		return &ra.Rel{Name: t.text}, nil
+	}
+}
+
+func (p *parser) parseParenQuery() (ra.Node, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	n, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseCols() ([]string, error) {
+	var cols []string
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, t.text)
+		if !p.at(tokSymbol, ",") {
+			return cols, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseAggs() ([]ra.AggSpec, error) {
+	var aggs []ra.AggSpec
+	for {
+		fn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		f, ok := ra.ParseAggFunc(fn.text)
+		if !ok {
+			return nil, fmt.Errorf("raparser: unknown aggregate %q at %d", fn.text, fn.pos)
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		attr := ""
+		if p.at(tokSymbol, "*") {
+			p.next()
+		} else {
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			attr = t.text
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		as := f.String()
+		if attr != "" {
+			as = f.String() + "_" + relation.BaseName(attr)
+		}
+		if p.at(tokSymbol, "->") {
+			p.next()
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			as = t.text
+		}
+		aggs = append(aggs, ra.AggSpec{Func: f, Attr: attr, As: as})
+		if !p.at(tokSymbol, ",") {
+			return aggs, nil
+		}
+		p.next()
+	}
+}
+
+// Predicate grammar: or > and > not > comparison > additive > multiplicative.
+func (p *parser) parsePred() (ra.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (ra.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []ra.Expr{left}
+	for p.at(tokIdent, "or") {
+		p.next()
+		k, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &ra.Or{Kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (ra.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	kids := []ra.Expr{left}
+	for p.at(tokIdent, "and") {
+		p.next()
+		k, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &ra.And{Kids: kids}, nil
+}
+
+func (p *parser) parseNot() (ra.Expr, error) {
+	if p.at(tokIdent, "not") {
+		p.next()
+		k, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Not{Kid: k}, nil
+	}
+	if p.at(tokSymbol, "(") {
+		// Could be a parenthesized predicate; try it and backtrack to an
+		// arithmetic interpretation if a comparison operator follows.
+		save := p.i
+		p.next()
+		inner, err := p.parsePred()
+		if err == nil && p.at(tokSymbol, ")") {
+			p.next()
+			if !p.atCmpOp() && !p.atArithOp() {
+				return inner, nil
+			}
+		}
+		p.i = save
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) atCmpOp() bool {
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return false
+	}
+	switch t.text {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) atArithOp() bool {
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return false
+	}
+	switch t.text {
+	case "+", "-", "*", "/":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseCmp() (ra.Expr, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atCmpOp() {
+		return left, nil
+	}
+	opTok := p.next()
+	var op ra.CmpOp
+	switch opTok.text {
+	case "=":
+		op = ra.EQ
+	case "<>", "!=":
+		op = ra.NE
+	case "<":
+		op = ra.LT
+	case "<=":
+		op = ra.LE
+	case ">":
+		op = ra.GT
+	case ">=":
+		op = ra.GE
+	}
+	right, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	return &ra.Cmp{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) parseSum() (ra.Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := p.next().text[0]
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &ra.Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (ra.Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") {
+		op := p.next().text[0]
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &ra.Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (ra.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("raparser: bad number %q at %d", t.text, t.pos)
+			}
+			return &ra.Const{Val: relation.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("raparser: bad number %q at %d", t.text, t.pos)
+		}
+		return &ra.Const{Val: relation.Int(i)}, nil
+	case tokString:
+		p.next()
+		return &ra.Const{Val: relation.String(t.text)}, nil
+	case tokParam:
+		p.next()
+		return &ra.Param{Name: t.text}, nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "null":
+			p.next()
+			return &ra.Const{Val: relation.Null()}, nil
+		case "true":
+			p.next()
+			return &ra.Const{Val: relation.Bool(true)}, nil
+		case "false":
+			p.next()
+			return &ra.Const{Val: relation.Bool(false)}, nil
+		}
+		p.next()
+		return &ra.AttrRef{Name: t.text}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("raparser: unexpected token %q at %d", t.text, t.pos)
+}

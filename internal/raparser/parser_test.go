@@ -1,0 +1,249 @@
+package raparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+func TestParseBaseRelation(t *testing.T) {
+	n, err := Parse("Student")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := n.(*ra.Rel)
+	if !ok || r.Name != "Student" {
+		t.Errorf("got %T %v", n, n)
+	}
+}
+
+func TestParseSelectProject(t *testing.T) {
+	n, err := Parse("project[name, major](select[dept = 'CS'](Student join Registration))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := n.(*ra.Project)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	if len(p.Cols) != 2 || p.Cols[0] != "name" {
+		t.Errorf("cols = %v", p.Cols)
+	}
+	s, ok := p.In.(*ra.Select)
+	if !ok {
+		t.Fatalf("inner = %T", p.In)
+	}
+	j, ok := s.In.(*ra.Join)
+	if !ok || j.Cond != nil {
+		t.Errorf("join = %v", s.In)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// join binds tighter than union, union tighter than diff.
+	n, err := Parse("A union B join C diff D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := n.(*ra.Diff)
+	if !ok {
+		t.Fatalf("top = %T", n)
+	}
+	u, ok := d.L.(*ra.Union)
+	if !ok {
+		t.Fatalf("left of diff = %T", d.L)
+	}
+	if _, ok := u.R.(*ra.Join); !ok {
+		t.Fatalf("right of union = %T", u.R)
+	}
+}
+
+func TestParseThetaJoin(t *testing.T) {
+	n, err := Parse("rename[a](R) join[a.x = b.y] rename[b](S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := n.(*ra.Join)
+	if !ok || j.Cond == nil {
+		t.Fatalf("got %T cond=%v", n, nil)
+	}
+	c, ok := j.Cond.(*ra.Cmp)
+	if !ok || c.Op != ra.EQ {
+		t.Errorf("cond = %v", j.Cond)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	n, err := Parse("groupby[name; avg(grade) -> g, count(*) -> c, sum(grade)](R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := n.(*ra.GroupBy)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	if len(g.GroupCols) != 1 || g.GroupCols[0] != "name" {
+		t.Errorf("group cols = %v", g.GroupCols)
+	}
+	if len(g.Aggs) != 3 {
+		t.Fatalf("aggs = %v", g.Aggs)
+	}
+	if g.Aggs[0].Func != ra.Avg || g.Aggs[0].As != "g" {
+		t.Errorf("agg0 = %v", g.Aggs[0])
+	}
+	if g.Aggs[1].Func != ra.Count || g.Aggs[1].Attr != "" || g.Aggs[1].As != "c" {
+		t.Errorf("agg1 = %v", g.Aggs[1])
+	}
+	if g.Aggs[2].As != "sum_grade" {
+		t.Errorf("default name = %q", g.Aggs[2].As)
+	}
+}
+
+func TestParseGroupByNoGroupCols(t *testing.T) {
+	n, err := Parse("groupby[; count(*) -> c](R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := n.(*ra.GroupBy)
+	if len(g.GroupCols) != 0 {
+		t.Errorf("group cols = %v", g.GroupCols)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	n, err := Parse("select[a = 1 and (b > 2.5 or not c <> 'x') and d >= @p](R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.(*ra.Select)
+	and, ok := s.Pred.(*ra.And)
+	if !ok || len(and.Kids) != 3 {
+		t.Fatalf("pred = %v", s.Pred)
+	}
+	if _, ok := and.Kids[1].(*ra.Or); !ok {
+		t.Errorf("second kid = %T", and.Kids[1])
+	}
+	cmp := and.Kids[2].(*ra.Cmp)
+	if _, ok := cmp.R.(*ra.Param); !ok {
+		t.Errorf("param operand = %T", cmp.R)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	n, err := Parse("select[a + b * 2 > 10](R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := n.(*ra.Select).Pred.(*ra.Cmp)
+	add, ok := cmp.L.(*ra.Arith)
+	if !ok || add.Op != '+' {
+		t.Fatalf("lhs = %v", cmp.L)
+	}
+	mul, ok := add.R.(*ra.Arith)
+	if !ok || mul.Op != '*' {
+		t.Errorf("precedence broken: %v", add.R)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	n, err := Parse("select[a = -5 and b = 'it''s' and c = null and d = true](R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := n.(*ra.Select).Pred.(*ra.And)
+	c0 := and.Kids[0].(*ra.Cmp).R.(*ra.Const)
+	if !c0.Val.Identical(relation.Int(-5)) {
+		t.Errorf("negative literal = %v", c0.Val)
+	}
+	c1 := and.Kids[1].(*ra.Cmp).R.(*ra.Const)
+	if !c1.Val.Identical(relation.String("it's")) {
+		t.Errorf("escaped string = %v", c1.Val)
+	}
+	c2 := and.Kids[2].(*ra.Cmp).R.(*ra.Const)
+	if !c2.Val.IsNull() {
+		t.Errorf("null literal = %v", c2.Val)
+	}
+}
+
+func TestParseQualifiedNames(t *testing.T) {
+	n, err := Parse("select[s.name = r1.name](rename[s](Student) cross rename[r1](Registration))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := n.(*ra.Select).Pred.(*ra.Cmp)
+	l := cmp.L.(*ra.AttrRef)
+	if l.Name != "s.name" {
+		t.Errorf("qualified ref = %q", l.Name)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# the correct query
+	project[name](Student) # trailing comment
+	`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select[",
+		"project[]( R )",
+		"select[a =](R)",
+		"groupby[x; median(a)](R)",
+		"project[a](R) extra",
+		"select[a = 'unterminated](R)",
+		"@",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// String() output of a parsed tree reparses to an equal-shape tree.
+	srcs := []string{
+		"project[name, major](select[dept = 'CS'](Student join Registration))",
+		"(A union B) diff project[x](C)",
+		"groupby[name; count(*) -> c](select[g > 1](R))",
+		"rename[s](Student) join[s.name = r.name] rename[r](Registration)",
+	}
+	for _, src := range srcs {
+		n1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		n2, err := Parse(n1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", n1.String(), err)
+		}
+		if n1.String() != n2.String() {
+			t.Errorf("round trip mismatch:\n%s\n%s", n1, n2)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("select[")
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	n, err := Parse("PROJECT[a](SELECT[x = 1](R UNION S))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "union") {
+		t.Errorf("parse = %s", n)
+	}
+}

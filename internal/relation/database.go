@@ -1,0 +1,154 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of base relations whose tuples carry
+// database-wide unique identifiers. It is the "database instance D" of the
+// paper; counterexamples are subinstances selected by tuple identifier.
+type Database struct {
+	rels   map[string]*Relation
+	order  []string
+	nextID TupleID
+	byID   map[TupleID]tupleRef
+}
+
+type tupleRef struct {
+	rel string
+	idx int
+}
+
+// NewDatabase creates an empty database instance.
+func NewDatabase() *Database {
+	return &Database{
+		rels: make(map[string]*Relation),
+		byID: make(map[TupleID]tupleRef),
+	}
+}
+
+// CreateRelation registers an empty base relation. It panics if the name is
+// already taken.
+func (d *Database) CreateRelation(name string, schema Schema) *Relation {
+	if _, ok := d.rels[name]; ok {
+		panic(fmt.Sprintf("relation: duplicate relation %q", name))
+	}
+	r := NewRelation(name, schema)
+	d.rels[name] = r
+	d.order = append(d.order, name)
+	return r
+}
+
+// Insert appends a tuple to a base relation, assigning and returning a fresh
+// identifier. It panics on arity mismatch or unknown relation.
+func (d *Database) Insert(name string, t Tuple) TupleID {
+	r, ok := d.rels[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: unknown relation %q", name))
+	}
+	if len(t) != r.Schema.Arity() {
+		panic(fmt.Sprintf("relation: arity mismatch inserting into %q: got %d want %d", name, len(t), r.Schema.Arity()))
+	}
+	d.nextID++
+	id := d.nextID
+	d.byID[id] = tupleRef{rel: name, idx: len(r.Tuples)}
+	r.AppendWithID(t, id)
+	return id
+}
+
+// Relation returns the named base relation, or nil.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// Names returns relation names in creation order.
+func (d *Database) Names() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Size returns the total number of tuples across all relations (|D|).
+func (d *Database) Size() int {
+	n := 0
+	for _, name := range d.order {
+		n += d.rels[name].Len()
+	}
+	return n
+}
+
+// Lookup resolves an identifier to its relation name and tuple, or ok=false.
+func (d *Database) Lookup(id TupleID) (relName string, t Tuple, ok bool) {
+	ref, ok := d.byID[id]
+	if !ok {
+		return "", nil, false
+	}
+	return ref.rel, d.rels[ref.rel].Tuples[ref.idx], true
+}
+
+// AllIDs returns every tuple identifier in the database, sorted.
+func (d *Database) AllIDs() []TupleID {
+	out := make([]TupleID, 0, len(d.byID))
+	for id := range d.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subinstance builds the subinstance D' ⊆ D containing exactly the tuples
+// whose identifiers appear in keep. Tuples retain their original
+// identifiers, so provenance variables remain stable across subinstances.
+func (d *Database) Subinstance(keep map[TupleID]bool) *Database {
+	sub := NewDatabase()
+	sub.nextID = d.nextID
+	for _, name := range d.order {
+		r := d.rels[name]
+		nr := sub.CreateRelation(name, r.Schema)
+		for i, t := range r.Tuples {
+			id := r.IDs[i]
+			if keep[id] {
+				sub.byID[id] = tupleRef{rel: name, idx: len(nr.Tuples)}
+				nr.AppendWithID(t, id)
+			}
+		}
+	}
+	return sub
+}
+
+// SubinstanceOf reports whether every tuple of d appears (by identifier) in
+// parent.
+func (d *Database) SubinstanceOf(parent *Database) bool {
+	for id := range d.byID {
+		if _, ok := parent.byID[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the database (tuples are shared; they are immutable by
+// convention).
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	out.nextID = d.nextID
+	for _, name := range d.order {
+		r := d.rels[name]
+		nr := out.CreateRelation(name, r.Schema)
+		nr.Tuples = append(nr.Tuples, r.Tuples...)
+		nr.IDs = append(nr.IDs, r.IDs...)
+		for i, id := range r.IDs {
+			out.byID[id] = tupleRef{rel: name, idx: i}
+		}
+	}
+	return out
+}
+
+// String renders all relations.
+func (d *Database) String() string {
+	var b strings.Builder
+	for _, name := range d.order {
+		b.WriteString(d.rels[name].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named, typed column. Names may be qualified
+// ("Student.name") or plain ("name").
+type Attribute struct {
+	Name string
+	Type Kind
+}
+
+// Schema is an ordered list of attributes.
+type Schema struct {
+	Attrs []Attribute
+}
+
+// NewSchema builds a schema from (name, type) pairs.
+func NewSchema(attrs ...Attribute) Schema { return Schema{Attrs: attrs} }
+
+// Attr is shorthand for constructing an Attribute.
+func Attr(name string, typ Kind) Attribute { return Attribute{Name: name, Type: typ} }
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// Names returns the attribute names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// IndexExact returns the position of the attribute with exactly the given
+// name, or -1.
+func (s Schema) IndexExact(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Resolve finds the attribute referenced by name. It first tries an exact
+// match; failing that, it matches name against the unqualified suffix of
+// qualified attributes (and vice versa). An ambiguous reference is an error.
+func (s Schema) Resolve(name string) (int, error) {
+	if i := s.IndexExact(name); i >= 0 {
+		return i, nil
+	}
+	found := -1
+	for i, a := range s.Attrs {
+		if baseName(a.Name) == name || a.Name == baseName(name) ||
+			(strings.Contains(name, ".") && baseName(a.Name) == baseName(name) && strings.HasSuffix(a.Name, "."+baseName(name)) && qualifier(a.Name) == qualifier(name)) {
+			if found >= 0 {
+				return -1, fmt.Errorf("relation: ambiguous attribute reference %q in schema %s", name, s)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("relation: unknown attribute %q in schema %s", name, s)
+	}
+	return found, nil
+}
+
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func qualifier(name string) string {
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// BaseName returns the unqualified part of an attribute name.
+func BaseName(name string) string { return baseName(name) }
+
+// Qualify returns a copy of the schema with every attribute name prefixed by
+// qual + ".". Existing qualifiers are replaced.
+func (s Schema) Qualify(qual string) Schema {
+	out := Schema{Attrs: make([]Attribute, len(s.Attrs))}
+	for i, a := range s.Attrs {
+		out.Attrs[i] = Attribute{Name: qual + "." + baseName(a.Name), Type: a.Type}
+	}
+	return out
+}
+
+// Unqualify strips qualifiers from all attribute names.
+func (s Schema) Unqualify() Schema {
+	out := Schema{Attrs: make([]Attribute, len(s.Attrs))}
+	for i, a := range s.Attrs {
+		out.Attrs[i] = Attribute{Name: baseName(a.Name), Type: a.Type}
+	}
+	return out
+}
+
+// Concat appends another schema (used by joins / cross products).
+func (s Schema) Concat(o Schema) Schema {
+	out := Schema{Attrs: make([]Attribute, 0, len(s.Attrs)+len(o.Attrs))}
+	out.Attrs = append(out.Attrs, s.Attrs...)
+	out.Attrs = append(out.Attrs, o.Attrs...)
+	return out
+}
+
+// Project returns the sub-schema at the given positions.
+func (s Schema) Project(idxs []int) Schema {
+	out := Schema{Attrs: make([]Attribute, len(idxs))}
+	for i, j := range idxs {
+		out.Attrs[i] = s.Attrs[j]
+	}
+	return out
+}
+
+// UnionCompatible reports whether two schemas have the same arity and
+// pairwise compatible types (null is compatible with anything; int and float
+// are mutually compatible).
+func (s Schema) UnionCompatible(o Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if !typesCompatible(s.Attrs[i].Type, o.Attrs[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+func typesCompatible(a, b Kind) bool {
+	if a == b || a == KindNull || b == KindNull {
+		return true
+	}
+	num := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	return num(a) && num(b)
+}
+
+// String renders the schema as (name:type, ...).
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		b.WriteByte(':')
+		b.WriteString(a.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports structural equality of two schemas.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by activity, with position
+// tracking for decrease-key (activity only ever increases, which moves a
+// variable up).
+type varHeap struct {
+	act  *[]float64
+	heap []int
+	pos  []int // var -> index in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return (*h.act)[h.heap[a]] > (*h.act)[h.heap[b]]
+}
+
+func (h *varHeap) inHeap(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) insert(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.pos[v])
+}
+
+func (h *varHeap) removeMin() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return v, true
+}
+
+// decrease re-sifts v upward after its activity increased (max-heap).
+func (h *varHeap) decrease(v int) {
+	if h.pos[v] >= 0 {
+		h.up(h.pos[v])
+	}
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}

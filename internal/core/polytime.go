@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/boolexpr"
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
@@ -87,7 +87,7 @@ func MonotoneSWP(p Problem, maxTerms int) (*Counterexample, *Stats, error) {
 
 	t0 = time.Now()
 	pushed := PushDownTupleSelection(qa, t, p.DB)
-	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	ann, err := engine.EvalProv(pushed, p.DB, p.Params)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -95,7 +95,7 @@ func MonotoneSWP(p Problem, maxTerms int) (*Counterexample, *Stats, error) {
 	if i < 0 {
 		return nil, nil, fmt.Errorf("core: tuple %v missing after pushdown", t)
 	}
-	prov := ann.Provs[i]
+	prov := ann.Anns[i]
 	stats.ProvEvalTime = time.Since(t0)
 
 	t0 = time.Now()
@@ -163,17 +163,27 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 	// For every SPJU term containing t, collect its minimal witnesses.
 	t0 = time.Now()
 	var witnessSets [][][]int
+	cat := engine.Catalog{DB: p.DB}
 	for _, q := range terms {
-		r, err := eval.Eval(q, p.DB, p.Params)
-		if err != nil {
-			return nil, nil, err
-		}
 		// Union-compatibility: compare positionally via key.
-		if r.Schema.Arity() != len(t) || !r.Contains(t) {
+		schema, err := ra.OutSchema(q, cat)
+		if err != nil || schema.Arity() != len(t) {
 			continue // monotone term never contains t on subinstances
 		}
 		pushed := PushDownTupleSelection(q, t, p.DB)
-		ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+		// Counting-semiring cardinality pre-check: t ∈ q(D) iff the pushed
+		// selection has nonempty support. The count pass costs a fraction
+		// of the provenance pass it skips (no annotation expressions), so
+		// it pays off whenever some terms don't produce t — the common
+		// case, since t originates from specific SPJU terms.
+		n, err := engine.CountDistinct(pushed, p.DB, p.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n == 0 {
+			continue
+		}
+		ann, err := engine.EvalProv(pushed, p.DB, p.Params)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -181,7 +191,7 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 		if i < 0 {
 			continue
 		}
-		dnf, err := boolexpr.MonotoneDNF(ann.Provs[i], maxCombos)
+		dnf, err := boolexpr.MonotoneDNF(ann.Anns[i], maxCombos)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
@@ -100,11 +100,11 @@ func Verify(p Problem, ce *Counterexample) error {
 	if ce.Q1 != nil && ce.Q2 != nil {
 		q1, q2 = ce.Q1, ce.Q2
 	}
-	r1, err := eval.Eval(q1, ce.DB, params)
+	r1, err := engine.Eval(q1, ce.DB, params)
 	if err != nil {
 		return err
 	}
-	r2, err := eval.Eval(q2, ce.DB, params)
+	r2, err := engine.Eval(q2, ce.DB, params)
 	if err != nil {
 		return err
 	}
@@ -117,11 +117,11 @@ func Verify(p Problem, ce *Counterexample) error {
 // Disagrees evaluates both queries on db under params and reports whether
 // their results differ, along with the difference tuples Q1\Q2 and Q2\Q1.
 func Disagrees(q1, q2 ra.Node, db *relation.Database, params map[string]relation.Value) (bool, *relation.Relation, *relation.Relation, error) {
-	r1, err := eval.Eval(q1, db, params)
+	r1, err := engine.Eval(q1, db, params)
 	if err != nil {
 		return false, nil, nil, err
 	}
-	r2, err := eval.Eval(q2, db, params)
+	r2, err := engine.Eval(q2, db, params)
 	if err != nil {
 		return false, nil, nil, err
 	}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
@@ -16,7 +16,7 @@ import (
 func PushDownTupleSelection(q ra.Node, t relation.Tuple, db *relation.Database) ra.Node {
 	out := q
 	for col := len(t) - 1; col >= 0; col-- {
-		out = pushEq(out, col, t[col], eval.Catalog{DB: db})
+		out = pushEq(out, col, t[col], engine.Catalog{DB: db})
 	}
 	return out
 }

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"repro/internal/boolexpr"
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/minones"
 	"repro/internal/ra"
 	"repro/internal/relation"
@@ -86,7 +86,7 @@ func provOfDiffTuples(qa, qb ra.Node, diff *relation.Relation, db *relation.Data
 	if diff.Len() == 0 {
 		return nil, nil, nil
 	}
-	ann, err := eval.EvalProv(&ra.Diff{L: qa, R: qb}, db, params)
+	ann, err := engine.EvalProv(&ra.Diff{L: qa, R: qb}, db, params)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,7 +98,7 @@ func provOfDiffTuples(qa, qb ra.Node, diff *relation.Relation, db *relation.Data
 			return nil, nil, fmt.Errorf("core: difference tuple %v missing from annotated result", t)
 		}
 		tuples = append(tuples, t)
-		provs = append(provs, ann.Provs[i])
+		provs = append(provs, ann.Anns[i])
 	}
 	return tuples, provs, nil
 }
@@ -199,7 +199,7 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 
 	t0 = time.Now()
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
-	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	ann, err := engine.EvalProv(pushed, p.DB, p.Params)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -207,7 +207,7 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 	if i < 0 {
 		return nil, nil, fmt.Errorf("core: tuple %v missing after selection pushdown", t)
 	}
-	prov := ann.Provs[i]
+	prov := ann.Anns[i]
 	stats.ProvEvalTime = time.Since(t0)
 
 	t0 = time.Now()
@@ -261,7 +261,7 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 		for _, t := range s.diff.Tuples {
 			t0 = time.Now()
 			pushed := PushDownTupleSelection(&ra.Diff{L: s.qa, R: s.qb}, t, p.DB)
-			ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+			ann, err := engine.EvalProv(pushed, p.DB, p.Params)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -271,7 +271,7 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 				continue
 			}
 			t0 = time.Now()
-			b, counted, varToID, err := buildCNF(ann.Provs[i], p.DB, fks)
+			b, counted, varToID, err := buildCNF(ann.Anns[i], p.DB, fks)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -320,7 +320,7 @@ func SolveWitnessStrategy(p Problem, strategy string, m int) (int, int, error) {
 	}
 	t := diff.Tuples[0]
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
-	ann, err := eval.EvalProv(pushed, p.DB, p.Params)
+	ann, err := engine.EvalProv(pushed, p.DB, p.Params)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -328,7 +328,7 @@ func SolveWitnessStrategy(p Problem, strategy string, m int) (int, int, error) {
 	if i < 0 {
 		return 0, 0, fmt.Errorf("core: tuple missing after pushdown")
 	}
-	b, counted, _, err := buildCNF(ann.Provs[i], p.DB, p.ForeignKeys())
+	b, counted, _, err := buildCNF(ann.Anns[i], p.DB, p.ForeignKeys())
 	if err != nil {
 		return 0, 0, err
 	}

@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/mutation"
 	"repro/internal/ra"
 	"repro/internal/raparser"
@@ -146,7 +146,7 @@ type WrongQuery struct {
 // are not obviously identical to the correct query. perQuestion bounds the
 // number kept per question.
 func WrongQueryBank(db *relation.Database, perQuestion int) []WrongQuery {
-	cat := eval.Catalog{DB: db}
+	cat := engine.Catalog{DB: db}
 	var bank []WrongQuery
 	for _, q := range Questions() {
 		correctSchema, err := ra.OutSchema(q.Correct, cat)
@@ -171,7 +171,7 @@ func WrongQueryBank(db *relation.Database, perQuestion int) []WrongQuery {
 			// Drop mutants that cannot be evaluated within the row budget
 			// (massive cross products — the paper dropped such student
 			// queries too).
-			if _, err := eval.Eval(m.Query, db, nil); err != nil {
+			if _, err := engine.Eval(m.Query, db, nil); err != nil {
 				continue
 			}
 			bank = append(bank, WrongQuery{Question: q.ID, Desc: m.Desc, Query: m.Query})
@@ -189,7 +189,7 @@ func DiscoveredWrong(db *relation.Database, bank []WrongQuery) ([]WrongQuery, er
 	results := map[string]*relation.Relation{}
 	for _, q := range Questions() {
 		correct[q.ID] = q.Correct
-		r, err := eval.Eval(q.Correct, db, nil)
+		r, err := engine.Eval(q.Correct, db, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +197,7 @@ func DiscoveredWrong(db *relation.Database, bank []WrongQuery) ([]WrongQuery, er
 	}
 	var found []WrongQuery
 	for _, w := range bank {
-		r, err := eval.Eval(w.Query, db, nil)
+		r, err := engine.Eval(w.Query, db, nil)
 		if err != nil {
 			continue // mutant invalid on this instance: not discovered
 		}

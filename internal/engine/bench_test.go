@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/raparser"
+	"repro/internal/relation"
+	"repro/internal/tpch"
+)
+
+// joinDB builds two relations with a shared key column of 97 distinct
+// values: an equi-join-heavy workload where the hash join's advantage over
+// the quadratic nested loop is the whole story.
+func joinDB(n int) *relation.Database {
+	db := relation.NewDatabase()
+	db.CreateRelation("L", relation.NewSchema(
+		relation.Attr("k", relation.KindInt), relation.Attr("a", relation.KindInt)))
+	db.CreateRelation("R", relation.NewSchema(
+		relation.Attr("k", relation.KindInt), relation.Attr("b", relation.KindInt)))
+	for i := 0; i < n; i++ {
+		db.Insert("L", relation.NewTuple(relation.Int(int64(i%97)), relation.Int(int64(i))))
+		db.Insert("R", relation.NewTuple(relation.Int(int64(i%97)), relation.Int(int64(i))))
+	}
+	return db
+}
+
+// BenchmarkEquiJoin compares the hash equi-join against the nested-loop
+// baseline on the same plan (the acceptance benchmark for the engine's
+// physical layer).
+func BenchmarkEquiJoin(b *testing.B) {
+	db := joinDB(2000)
+	q := raparser.MustParse("rename[x](L) join[x.k = y.k] rename[y](R)")
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"hash", Options{}},
+		{"nested-loop", Options{ForceNestedLoop: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOpts[bool](Set, q, db, nil, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEquiJoinProv is the same comparison under the why-provenance
+// semiring, the hot path of witness search.
+func BenchmarkEquiJoinProv(b *testing.B) {
+	db := joinDB(1000)
+	q := raparser.MustParse("rename[x](L) join[x.k = y.k] rename[y](R)")
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"hash", Options{}},
+		{"nested-loop", Options{ForceNestedLoop: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOpts(Why, q, db, nil, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTPCH compares hash vs nested-loop on a customer ⋈ orders
+// equi-join at TPC-H SF 0.01 (the nested loop is quadratic in ~16.5k rows;
+// the three-way join below is hash-only because its nested-loop baseline
+// needs ~10⁹ pair evaluations).
+func BenchmarkTPCH(b *testing.B) {
+	db := tpch.Generate(0.01, 1)
+	two := raparser.MustParse(
+		"rename[c](customer) join[c.c_custkey = o.o_custkey] rename[o](orders)")
+	three := raparser.MustParse(`
+		rename[c](customer)
+		join[c.c_custkey = o.o_custkey] rename[o](orders)
+		join[o.o_orderkey = l.l_orderkey] rename[l](lineitem)`)
+	for _, bc := range []struct {
+		name string
+		q    ra.Node
+		opts Options
+	}{
+		{"customer-orders/hash", two, Options{}},
+		{"customer-orders/nested-loop", two, Options{ForceNestedLoop: true}},
+		{"customer-orders-lineitem/hash", three, Options{}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOpts[bool](Set, bc.q, db, nil, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiff compares the hash-probed difference against the linear
+// probe on a wide difference (the Q1 − Q2 shape of the core loop).
+func BenchmarkDiff(b *testing.B) {
+	db := joinDB(4000)
+	q := raparser.MustParse("project[k, a](L) diff project[k, b](R)")
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"hash", Options{}},
+		{"nested-loop", Options{ForceNestedLoop: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOpts[bool](Set, q, db, nil, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCountDistinct measures the counting-semiring cardinality path
+// against full provenance on the same query (the witness-search pre-check).
+func BenchmarkCountDistinct(b *testing.B) {
+	db := joinDB(2000)
+	q := raparser.MustParse("project[x.k](rename[x](L) join[x.k = y.k] rename[y](R))")
+	b.Run("count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CountDistinct(q, db, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prov", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EvalProv(q, db, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,494 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// This file differentially tests the hash-based engine against an
+// independent reference evaluator that uses only nested loops and linear
+// scans and never optimizes, over random instances (with NULLs) and random
+// SPJUD plans, for all three semirings.
+
+// refRel is the reference evaluator's annotated relation: no index, linear
+// probes only.
+type refRel[T any] struct {
+	schema relation.Schema
+	tuples []relation.Tuple
+	anns   []T
+}
+
+func (r *refRel[T]) add(s Semiring[T], t relation.Tuple, ann T) {
+	for i, u := range r.tuples {
+		if u.Identical(t) {
+			r.anns[i] = s.Plus(r.anns[i], ann)
+			return
+		}
+	}
+	r.tuples = append(r.tuples, t)
+	r.anns = append(r.anns, ann)
+}
+
+func (r *refRel[T]) lookup(t relation.Tuple) int {
+	for i, u := range r.tuples {
+		if u.Identical(t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// refEval evaluates q naively: nested-loop joins, linear duplicate merging,
+// no optimizer rewrites.
+func refEval[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[string]relation.Value) (*refRel[T], error) {
+	switch x := q.(type) {
+	case *ra.Rel:
+		rel := db.Relation(x.Name)
+		if rel == nil {
+			return nil, fmt.Errorf("ref: unknown relation %q", x.Name)
+		}
+		out := &refRel[T]{schema: rel.Schema}
+		for i, t := range rel.Tuples {
+			ann, err := s.Leaf(rel.ID(i))
+			if err != nil {
+				return nil, err
+			}
+			out.add(s, t, ann)
+		}
+		return out, nil
+	case *ra.Select:
+		in, err := refEval(s, x.In, db, params)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := ra.CompileExpr(x.Pred, in.schema, params)
+		if err != nil {
+			return nil, err
+		}
+		out := &refRel[T]{schema: in.schema}
+		for i, t := range in.tuples {
+			v, err := pred(t)
+			if err != nil {
+				return nil, err
+			}
+			if ra.Truthy(v) {
+				out.add(s, t, in.anns[i])
+			}
+		}
+		return out, nil
+	case *ra.Project:
+		in, err := refEval(s, x.In, db, params)
+		if err != nil {
+			return nil, err
+		}
+		idxs, outSchema, err := projectPlan(x, in.schema)
+		if err != nil {
+			return nil, err
+		}
+		out := &refRel[T]{schema: outSchema}
+		for i, t := range in.tuples {
+			out.add(s, t.Project(idxs), in.anns[i])
+		}
+		return out, nil
+	case *ra.Join:
+		l, err := refEval(s, x.L, db, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := refEval(s, x.R, db, params)
+		if err != nil {
+			return nil, err
+		}
+		if x.Cond != nil {
+			outSchema := l.schema.Concat(r.schema)
+			pred, err := ra.CompileExpr(x.Cond, outSchema, params)
+			if err != nil {
+				return nil, err
+			}
+			out := &refRel[T]{schema: outSchema}
+			for li, lt := range l.tuples {
+				for ri, rt := range r.tuples {
+					t := lt.Concat(rt)
+					v, err := pred(t)
+					if err != nil {
+						return nil, err
+					}
+					if ra.Truthy(v) {
+						out.add(s, t, s.Times(l.anns[li], r.anns[ri]))
+					}
+				}
+			}
+			return out, nil
+		}
+		shared, rOnly := ra.NaturalJoinCols(l.schema, r.schema)
+		attrs := append([]relation.Attribute{}, l.schema.Attrs...)
+		for _, j := range rOnly {
+			attrs = append(attrs, r.schema.Attrs[j])
+		}
+		out := &refRel[T]{schema: relation.Schema{Attrs: attrs}}
+		for li, lt := range l.tuples {
+			for ri, rt := range r.tuples {
+				match := true
+				for _, p := range shared {
+					lv, rv := lt[p[0]], rt[p[1]]
+					// NULLs never join.
+					if lv.IsNull() || rv.IsNull() || !lv.Identical(rv) {
+						match = false
+						break
+					}
+				}
+				if match {
+					out.add(s, lt.Concat(rt.Project(rOnly)), s.Times(l.anns[li], r.anns[ri]))
+				}
+			}
+		}
+		return out, nil
+	case *ra.Union:
+		l, err := refEval(s, x.L, db, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := refEval(s, x.R, db, params)
+		if err != nil {
+			return nil, err
+		}
+		out := &refRel[T]{schema: l.schema}
+		for i, t := range l.tuples {
+			out.add(s, t, l.anns[i])
+		}
+		for i, t := range r.tuples {
+			out.add(s, t, r.anns[i])
+		}
+		return out, nil
+	case *ra.Diff:
+		l, err := refEval(s, x.L, db, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := refEval(s, x.R, db, params)
+		if err != nil {
+			return nil, err
+		}
+		out := &refRel[T]{schema: l.schema}
+		for i, t := range l.tuples {
+			rAnn := s.Zero()
+			if j := r.lookup(t); j >= 0 {
+				rAnn = r.anns[j]
+			}
+			ann := s.Minus(l.anns[i], rAnn)
+			if s.IsZero(ann) {
+				continue
+			}
+			out.add(s, t, ann)
+		}
+		return out, nil
+	case *ra.Rename:
+		in, err := refEval(s, x.In, db, params)
+		if err != nil {
+			return nil, err
+		}
+		return &refRel[T]{schema: in.schema.Qualify(x.As), tuples: in.tuples, anns: in.anns}, nil
+	}
+	return nil, fmt.Errorf("ref: unsupported node %T", q)
+}
+
+// randomDB builds three union-compatible relations with small value domains
+// (to force joins and duplicates) and ~15% NULLs.
+func randomDB(rng *rand.Rand) *relation.Database {
+	db := relation.NewDatabase()
+	schema := relation.NewSchema(
+		relation.Attr("a", relation.KindInt),
+		relation.Attr("b", relation.KindInt),
+		relation.Attr("c", relation.KindString))
+	strs := []string{"x", "y", "z"}
+	for _, name := range []string{"R", "S", "T"} {
+		db.CreateRelation(name, schema)
+		n := 3 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			b := relation.Null()
+			if rng.Intn(7) != 0 {
+				b = relation.Int(int64(rng.Intn(3)))
+			}
+			c := relation.Null()
+			if rng.Intn(7) != 0 {
+				c = relation.String(strs[rng.Intn(len(strs))])
+			}
+			db.Insert(name, relation.NewTuple(relation.Int(int64(rng.Intn(4))), b, c))
+		}
+	}
+	return db
+}
+
+// randomCompat generates a random plan whose output schema stays (a, b, c),
+// so union/difference operands are always compatible.
+func randomCompat(rng *rand.Rand, depth int) ra.Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return &ra.Rel{Name: []string{"R", "S", "T"}[rng.Intn(3)]}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &ra.Select{Pred: randomPred(rng, ""), In: randomCompat(rng, depth-1)}
+	case 1:
+		return &ra.Union{L: randomCompat(rng, depth-1), R: randomCompat(rng, depth-1)}
+	case 2:
+		return &ra.Diff{L: randomCompat(rng, depth-1), R: randomCompat(rng, depth-1)}
+	default:
+		// Natural join of identically-named schemas: joins on every column.
+		return &ra.Join{L: randomCompat(rng, depth-1), R: randomCompat(rng, depth-1)}
+	}
+}
+
+// randomPred builds a comparison over the (a, b, c) columns, optionally
+// qualified.
+func randomPred(rng *rand.Rand, qual string) ra.Expr {
+	col := func(name string) *ra.AttrRef {
+		if qual != "" {
+			name = qual + "." + name
+		}
+		return &ra.AttrRef{Name: name}
+	}
+	ops := []ra.CmpOp{ra.EQ, ra.NE, ra.LT, ra.LE, ra.GT, ra.GE}
+	switch rng.Intn(4) {
+	case 0:
+		return &ra.Cmp{Op: ops[rng.Intn(len(ops))], L: col("a"), R: &ra.Const{Val: relation.Int(int64(rng.Intn(4)))}}
+	case 1:
+		return &ra.Cmp{Op: ops[rng.Intn(len(ops))], L: col("b"), R: &ra.Const{Val: relation.Int(int64(rng.Intn(3)))}}
+	case 2:
+		return &ra.Cmp{Op: ra.EQ, L: col("c"), R: &ra.Const{Val: relation.String([]string{"x", "y", "z"}[rng.Intn(3)])}}
+	default:
+		return &ra.Cmp{Op: ops[rng.Intn(len(ops))], L: col("a"), R: col("b")}
+	}
+}
+
+// randomPlan optionally tops a compatible plan with a theta equi-join
+// (exercising the hash equi-join path, including NULL join keys and
+// residual conditions) and/or a projection.
+func randomPlan(rng *rand.Rand) ra.Node {
+	q := randomCompat(rng, 2)
+	switch rng.Intn(3) {
+	case 0:
+		cond := ra.Expr(&ra.Cmp{Op: ra.EQ, L: &ra.AttrRef{Name: "u.a"}, R: &ra.AttrRef{Name: "v.a"}})
+		if rng.Intn(2) == 0 {
+			// Add a second equi-key on a NULLable column.
+			cond = &ra.And{Kids: []ra.Expr{cond,
+				&ra.Cmp{Op: ra.EQ, L: &ra.AttrRef{Name: "u.b"}, R: &ra.AttrRef{Name: "v.b"}}}}
+		}
+		if rng.Intn(2) == 0 {
+			// Residual θ-condition forcing the hybrid hash+filter path.
+			cond = &ra.And{Kids: []ra.Expr{cond,
+				&ra.Cmp{Op: ra.LE, L: &ra.AttrRef{Name: "u.b"}, R: &ra.AttrRef{Name: "v.a"}}}}
+		}
+		q = &ra.Join{
+			L:    &ra.Rename{As: "u", In: q},
+			R:    &ra.Rename{As: "v", In: randomCompat(rng, 1)},
+			Cond: cond,
+		}
+		if rng.Intn(2) == 0 {
+			q = &ra.Project{Cols: []string{"u.a", "v.c"}, In: q}
+		}
+	case 1:
+		q = &ra.Project{Cols: []string{"a", "c"}, In: q}
+	}
+	return q
+}
+
+func keySet(tuples []relation.Tuple) map[string]bool {
+	m := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		m[t.Key()] = true
+	}
+	return m
+}
+
+func sameKeySets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialSetSemiring: hash engine ≡ nested-loop reference under
+// set semantics.
+func TestDifferentialSetSemiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(20190701))
+	for trial := 0; trial < 300; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		want, err := refEval[bool](Set, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: ref: %v\n%s", trial, err, q)
+		}
+		got, err := Eval(q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: engine: %v\n%s", trial, err, q)
+		}
+		if !sameKeySets(keySet(want.tuples), keySet(got.Tuples)) {
+			t.Fatalf("trial %d: set results differ\nquery: %s\nwant %v\ngot %v\n%s",
+				trial, q, want.tuples, got.Tuples, db)
+		}
+	}
+}
+
+// TestDifferentialCountSemiring: derivation counts agree tuple-by-tuple.
+func TestDifferentialCountSemiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(8086))
+	for trial := 0; trial < 300; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		want, err := refEval[int64](Count, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: ref: %v\n%s", trial, err, q)
+		}
+		got, err := Run[int64](Count, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: engine: %v\n%s", trial, err, q)
+		}
+		if got.Len() != len(want.tuples) {
+			t.Fatalf("trial %d: support sizes differ: want %d got %d\nquery: %s",
+				trial, len(want.tuples), got.Len(), q)
+		}
+		for i, tup := range want.tuples {
+			j := got.Lookup(tup)
+			if j < 0 {
+				t.Fatalf("trial %d: engine missing %v\nquery: %s", trial, tup, q)
+			}
+			if got.Anns[j] != want.anns[i] {
+				t.Fatalf("trial %d: count of %v: want %d got %d\nquery: %s",
+					trial, tup, want.anns[i], got.Anns[j], q)
+			}
+		}
+	}
+}
+
+// TestDifferentialWhySemiring: provenance expressions are logically
+// equivalent between engine and reference (checked on random assignments),
+// and agree with ground truth: prov(t) holds on a subinstance iff t is in
+// the query result there.
+func TestDifferentialWhySemiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 150; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		want, err := refEval(Why, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: ref: %v\n%s", trial, err, q)
+		}
+		got, err := EvalProv(q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: engine: %v\n%s", trial, err, q)
+		}
+		if got.Len() != len(want.tuples) {
+			t.Fatalf("trial %d: tuple sets differ: want %d got %d\nquery: %s\nwant %v\ngot %v",
+				trial, len(want.tuples), got.Len(), q, want.tuples, got.Tuples)
+		}
+		allIDs := db.AllIDs()
+		// Random-assignment equivalence between the two provenance exprs.
+		for k := 0; k < 32; k++ {
+			assign := map[int]bool{}
+			for _, id := range allIDs {
+				assign[int(id)] = rng.Intn(2) == 0
+			}
+			fn := func(id int) bool { return assign[id] }
+			for i, tup := range want.tuples {
+				j := got.Lookup(tup)
+				if j < 0 {
+					t.Fatalf("trial %d: engine missing %v\nquery: %s", trial, tup, q)
+				}
+				if want.anns[i].Eval(fn) != got.Anns[j].Eval(fn) {
+					t.Fatalf("trial %d: provenance of %v inequivalent\nref: %s\nengine: %s\nquery: %s",
+						trial, tup, want.anns[i], got.Anns[j], q)
+				}
+			}
+		}
+		// Ground truth on random subinstances, using the reference
+		// set-semantics evaluator as the oracle.
+		for k := 0; k < 6; k++ {
+			keep := map[relation.TupleID]bool{}
+			ids := map[int]bool{}
+			for _, id := range allIDs {
+				if rng.Intn(2) == 0 {
+					keep[id] = true
+					ids[int(id)] = true
+				}
+			}
+			sub := db.Subinstance(keep)
+			res, err := refEval[bool](Set, q, sub, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inRes := keySet(res.tuples)
+			fn := func(id int) bool { return ids[id] }
+			for j, tup := range got.Tuples {
+				if got.Anns[j].Eval(fn) != inRes[tup.Key()] {
+					t.Fatalf("trial %d: provenance of %v wrong on subinstance %v\nprov: %s\nquery: %s",
+						trial, tup, ids, got.Anns[j], q)
+				}
+			}
+		}
+	}
+}
+
+// TestForceNestedLoopAgrees exercises the nested-loop physical fallbacks
+// against the hash operators on the same plans.
+func TestForceNestedLoopAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	for trial := 0; trial < 100; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		hash, err := Run[bool](Set, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		nl, err := RunOpts[bool](Set, q, db, nil, Options{ForceNestedLoop: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !sameKeySets(keySet(hash.Tuples), keySet(nl.Tuples)) {
+			t.Fatalf("trial %d: hash vs nested-loop differ\nquery: %s", trial, q)
+		}
+	}
+}
+
+// TestIntersect covers the physical hash intersection operator.
+func TestIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		db := randomDB(rng)
+		l, err := Run[int64](Count, &ra.Rel{Name: "R"}, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run[int64](Count, &ra.Rel{Name: "S"}, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		both, err := Intersect[int64](Count, l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tup := range l.Tuples {
+			j := r.Lookup(tup)
+			k := both.Lookup(tup)
+			if (j >= 0) != (k >= 0) {
+				t.Fatalf("trial %d: intersection membership wrong for %v", trial, tup)
+			}
+			if j >= 0 && both.Anns[k] != l.Anns[i]*r.Anns[j] {
+				t.Fatalf("trial %d: intersection count wrong for %v", trial, tup)
+			}
+		}
+		for _, tup := range both.Tuples {
+			if l.Lookup(tup) < 0 || r.Lookup(tup) < 0 {
+				t.Fatalf("trial %d: phantom tuple %v", trial, tup)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/boolexpr"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// MaxIntermediateRows bounds the size of any intermediate result. Queries
+// exceeding it fail with ErrRowBudget instead of exhausting memory — the
+// same pragmatic cut the paper applied ("we had to drop two overly
+// complicated student queries that involved massive cross products").
+var MaxIntermediateRows = 1_000_000
+
+// ErrRowBudget is returned when a query's intermediate result exceeds
+// MaxIntermediateRows.
+var ErrRowBudget = fmt.Errorf("engine: intermediate result exceeds %d rows", MaxIntermediateRows)
+
+// Catalog adapts a Database to ra.Catalog.
+type Catalog struct{ DB *relation.Database }
+
+// RelationSchema implements ra.Catalog.
+func (c Catalog) RelationSchema(name string) (relation.Schema, bool) {
+	r := c.DB.Relation(name)
+	if r == nil {
+		return relation.Schema{}, false
+	}
+	return r.Schema, true
+}
+
+// Options tune a single evaluation.
+type Options struct {
+	// NoOptimize skips the logical rewrite pass (selection pushdown,
+	// equi-join extraction). Used by tests that compare plans.
+	NoOptimize bool
+	// ForceNestedLoop disables the hash physical operators: joins run as
+	// nested loops and the difference probes linearly. Only useful as a
+	// benchmark baseline.
+	ForceNestedLoop bool
+}
+
+// Eval evaluates a query under set semantics. params binds the query's
+// @-parameters (may be nil).
+func Eval(q ra.Node, db *relation.Database, params map[string]relation.Value) (*relation.Relation, error) {
+	r, err := Run(Set, q, db, params)
+	if err != nil {
+		return nil, err
+	}
+	return r.Relation(opName(q)), nil
+}
+
+// EvalProv evaluates a SPJUD query with how-provenance annotation. GroupBy
+// nodes are rejected: aggregate queries go through eval.EvalAggProv
+// (Section 5).
+func EvalProv(q ra.Node, db *relation.Database, params map[string]relation.Value) (*ProvRel, error) {
+	return Run[*boolexpr.Expr](Why, q, db, params)
+}
+
+// CountDistinct evaluates a query under the counting semiring and returns
+// the cardinality of its support — the number of distinct result tuples
+// under set semantics — without building provenance or a result relation.
+// The witness-search algorithms use it as a cheap membership/emptiness
+// pre-check on pushed-down queries.
+func CountDistinct(q ra.Node, db *relation.Database, params map[string]relation.Value) (int, error) {
+	r, err := Run[int64](Count, q, db, params)
+	if err != nil {
+		return 0, err
+	}
+	return r.Len(), nil
+}
+
+// Run evaluates a query under an arbitrary annotation semiring, applying
+// the optimizer first.
+func Run[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[string]relation.Value) (*Rel[T], error) {
+	return RunOpts(s, q, db, params, Options{})
+}
+
+// RunOpts is Run with explicit evaluation options.
+func RunOpts[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (*Rel[T], error) {
+	if !opts.NoOptimize {
+		q = Optimize(q, Catalog{DB: db})
+	}
+	e := &exec[T]{s: s, db: db, params: params, opts: opts}
+	return e.node(q)
+}
+
+// exec carries the per-query evaluation state.
+type exec[T any] struct {
+	s      Semiring[T]
+	db     *relation.Database
+	params map[string]relation.Value
+	opts   Options
+}
+
+func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
+	switch x := q.(type) {
+	case *ra.Rel:
+		return e.base(x)
+	case *ra.Select:
+		in, err := e.node(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return e.selectOp(x, in)
+	case *ra.Project:
+		in, err := e.node(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return e.project(x, in)
+	case *ra.Join:
+		l, err := e.node(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.node(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return e.join(l, r, x.Cond)
+	case *ra.Union:
+		l, err := e.node(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.node(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Schema.UnionCompatible(r.Schema) {
+			return nil, fmt.Errorf("engine: union of incompatible schemas %s, %s", l.Schema, r.Schema)
+		}
+		return e.union(l, r), nil
+	case *ra.Diff:
+		l, err := e.node(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.node(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Schema.UnionCompatible(r.Schema) {
+			return nil, fmt.Errorf("engine: difference of incompatible schemas %s, %s", l.Schema, r.Schema)
+		}
+		return e.diff(l, r), nil
+	case *ra.Rename:
+		in, err := e.node(x.In)
+		if err != nil {
+			return nil, err
+		}
+		out := &Rel[T]{Schema: in.Schema.Qualify(x.As)}
+		out.Tuples = in.Tuples
+		out.Anns = in.Anns
+		out.index = in.index
+		return out, nil
+	case *ra.GroupBy:
+		if !e.s.Aggregates() {
+			return nil, fmt.Errorf("engine: %s-semiring evaluation does not support aggregation; use eval.EvalAggProv", e.s.Name())
+		}
+		in, err := e.node(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return e.groupBy(x, in)
+	}
+	return nil, fmt.Errorf("engine: unknown node type %T", q)
+}
+
+// base scans a stored relation, annotating each tuple with its Leaf
+// annotation and ⊕-merging duplicates.
+func (e *exec[T]) base(x *ra.Rel) (*Rel[T], error) {
+	r := e.db.Relation(x.Name)
+	if r == nil {
+		return nil, fmt.Errorf("engine: unknown relation %q", x.Name)
+	}
+	out := NewRel[T](r.Schema)
+	for i, t := range r.Tuples {
+		ann, err := e.s.Leaf(r.ID(i))
+		if err != nil {
+			return nil, fmt.Errorf("%w (relation %q)", err, x.Name)
+		}
+		out.Add(e.s, t, ann)
+	}
+	return out, nil
+}
+
+func (e *exec[T]) selectOp(x *ra.Select, in *Rel[T]) (*Rel[T], error) {
+	pred, err := ra.CompileExpr(x.Pred, in.Schema, e.params)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRel[T](in.Schema)
+	for i, t := range in.Tuples {
+		v, err := pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if ra.Truthy(v) {
+			// Input tuples are distinct, so filtered output stays distinct.
+			out.appendDistinct(t, in.Anns[i])
+		}
+	}
+	return out, nil
+}
+
+func (e *exec[T]) project(x *ra.Project, in *Rel[T]) (*Rel[T], error) {
+	idxs, outSchema, err := projectPlan(x, in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRel[T](outSchema)
+	for i, t := range in.Tuples {
+		out.Add(e.s, t.Project(idxs), in.Anns[i])
+	}
+	return out, nil
+}
+
+func projectPlan(p *ra.Project, in relation.Schema) ([]int, relation.Schema, error) {
+	idxs := make([]int, len(p.Cols))
+	attrs := make([]relation.Attribute, len(p.Cols))
+	for i, c := range p.Cols {
+		j, err := in.Resolve(c)
+		if err != nil {
+			return nil, relation.Schema{}, err
+		}
+		idxs[i] = j
+		attrs[i] = relation.Attribute{Name: c, Type: in.Attrs[j].Type}
+	}
+	return idxs, relation.Schema{Attrs: attrs}, nil
+}
+
+// opName mirrors the display names the legacy evaluator gave its results.
+func opName(q ra.Node) string {
+	switch x := q.(type) {
+	case *ra.Rel:
+		return x.Name
+	case *ra.Select:
+		return "σ"
+	case *ra.Project:
+		return "π"
+	case *ra.Join:
+		return "⋈"
+	case *ra.Union:
+		return "∪"
+	case *ra.Diff:
+		return "−"
+	case *ra.Rename:
+		return x.As
+	case *ra.GroupBy:
+		return "γ"
+	}
+	return "result"
+}

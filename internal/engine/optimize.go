@@ -1,4 +1,4 @@
-package eval
+package engine
 
 import (
 	"repro/internal/ra"
@@ -249,11 +249,11 @@ func distributeJoinCond(j *ra.Join, cat ra.Catalog) ra.Node {
 	return &ra.Join{L: nl, R: nr, Cond: cond}
 }
 
-// equiJoinPlan extracts hash-join key pairs from a theta-join condition:
+// EquiJoinPlan extracts hash-join key pairs from a theta-join condition:
 // equality conjuncts whose two attribute references resolve on opposite
 // sides. It returns the key column indices and the residual predicate (nil
 // if none).
-func equiJoinPlan(cond ra.Expr, lSchema, rSchema relation.Schema) (lKeys, rKeys []int, residual ra.Expr) {
+func EquiJoinPlan(cond ra.Expr, lSchema, rSchema relation.Schema) (lKeys, rKeys []int, residual ra.Expr) {
 	var rest []ra.Expr
 	for _, p := range conjuncts(cond) {
 		if c, ok := p.(*ra.Cmp); ok && c.Op == ra.EQ {

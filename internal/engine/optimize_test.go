@@ -1,6 +1,7 @@
-package eval
+package engine
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/ra"
@@ -11,7 +12,11 @@ import (
 
 // evalUnoptimized evaluates without the Optimize pass, as the ground truth.
 func evalUnoptimized(q ra.Node, db *relation.Database) (*relation.Relation, error) {
-	return evalNode(q, db, nil)
+	r, err := RunOpts(Set, q, db, nil, Options{NoOptimize: true})
+	if err != nil {
+		return nil, err
+	}
+	return r.Relation("res"), nil
 }
 
 func TestOptimizePreservesSemantics(t *testing.T) {
@@ -36,7 +41,7 @@ func TestOptimizePreservesSemantics(t *testing.T) {
 			t.Fatalf("%s: %v", src, err)
 		}
 		opt := Optimize(q, cat)
-		got, err := evalNode(opt, db, nil)
+		got, err := evalUnoptimized(opt, db)
 		if err != nil {
 			t.Fatalf("%s (optimized %s): %v", src, opt, err)
 		}
@@ -84,7 +89,7 @@ func TestOptimizePreservesProvenance(t *testing.T) {
 				inRes[tup.Key()] = true
 			}
 			for i, tup := range ann.Tuples {
-				got := ann.Provs[i].Eval(func(id int) bool { return ids[id] })
+				got := ann.Anns[i].Eval(func(id int) bool { return ids[id] })
 				if got != inRes[tup.Key()] {
 					t.Fatalf("%s: provenance wrong for %v on %v", src, tup, ids)
 				}
@@ -120,7 +125,7 @@ func TestOptimizeSplitsJoinConjuncts(t *testing.T) {
 	}
 	// Both sides should have received their one-sided filters.
 	s := opt.String()
-	if !contains(s, "r.dept = 'CS'") || !contains(s, "s.major = 'CS'") {
+	if !strings.Contains(s, "r.dept = 'CS'") || !strings.Contains(s, "s.major = 'CS'") {
 		t.Errorf("one-sided conjuncts not pushed: %s", s)
 	}
 }
@@ -129,7 +134,7 @@ func TestEquiJoinPlanExtraction(t *testing.T) {
 	l := relation.NewSchema(relation.Attr("a.x", relation.KindInt), relation.Attr("a.y", relation.KindInt))
 	r := relation.NewSchema(relation.Attr("b.x", relation.KindInt), relation.Attr("b.z", relation.KindInt))
 	cond := raparser.MustParse("select[a.x = b.x and a.y < b.z](R)").(*ra.Select).Pred
-	lk, rk, res := equiJoinPlan(cond, l, r)
+	lk, rk, res := EquiJoinPlan(cond, l, r)
 	if len(lk) != 1 || lk[0] != 0 || len(rk) != 1 || rk[0] != 0 {
 		t.Errorf("keys = %v %v", lk, rk)
 	}
@@ -138,7 +143,7 @@ func TestEquiJoinPlanExtraction(t *testing.T) {
 	}
 	// Mirrored orientation.
 	cond2 := raparser.MustParse("select[b.x = a.x](R)").(*ra.Select).Pred
-	lk2, rk2, res2 := equiJoinPlan(cond2, l, r)
+	lk2, rk2, res2 := EquiJoinPlan(cond2, l, r)
 	if len(lk2) != 1 || res2 != nil {
 		t.Errorf("mirrored extraction failed: %v %v %v", lk2, rk2, res2)
 	}
@@ -157,13 +162,4 @@ func TestRowBudget(t *testing.T) {
 	if _, err := EvalProv(q, db, nil); err == nil {
 		t.Error("row budget should trip in provenance mode")
 	}
-}
-
-func contains(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
 }

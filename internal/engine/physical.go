@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// This file is the physical operator layer: hash equi-join (driven by the
+// keys EquiJoinPlan extracts), hash-based union/difference/intersection and
+// duplicate merging, and the nested-loop fallbacks used for residual-only
+// θ-conditions and as a benchmark baseline.
+
+// join dispatches a theta or natural join.
+func (e *exec[T]) join(l, r *Rel[T], cond ra.Expr) (*Rel[T], error) {
+	if cond == nil {
+		return e.naturalJoin(l, r)
+	}
+	outSchema := l.Schema.Concat(r.Schema)
+	lKeys, rKeys := []int(nil), []int(nil)
+	residual := cond
+	if !e.opts.ForceNestedLoop {
+		lKeys, rKeys, residual = EquiJoinPlan(cond, l.Schema, r.Schema)
+	}
+	var pred ra.CompiledExpr
+	if residual != nil {
+		var err error
+		pred, err = ra.CompileExpr(residual, outSchema, e.params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := NewRel[T](outSchema)
+	emit := func(li, ri int) error {
+		t := l.Tuples[li].Concat(r.Tuples[ri])
+		if pred != nil {
+			v, err := pred(t)
+			if err != nil {
+				return err
+			}
+			if !ra.Truthy(v) {
+				return nil
+			}
+		}
+		if out.Len() >= MaxIntermediateRows {
+			return ErrRowBudget
+		}
+		// Distinct pairs of distinct inputs concatenate to distinct tuples.
+		out.appendDistinct(t, e.s.Times(l.Anns[li], r.Anns[ri]))
+		return nil
+	}
+	if len(lKeys) > 0 {
+		return out, hashJoin(l, r, lKeys, rKeys, emit)
+	}
+	for li := range l.Tuples {
+		for ri := range r.Tuples {
+			if err := emit(li, ri); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// hashJoin builds a hash table over the right input's key columns and probes
+// it with the left input's, invoking emit for every key match. Tuples with
+// NULLs in any key column never join (SQL equality semantics).
+func hashJoin[T any](l, r *Rel[T], lKeys, rKeys []int, emit func(li, ri int) error) error {
+	idx := make(map[string][]int, r.Len())
+	for i, rt := range r.Tuples {
+		k := rt.Project(rKeys)
+		if hasNullValue(k) {
+			continue
+		}
+		idx[k.Key()] = append(idx[k.Key()], i)
+	}
+	for li, lt := range l.Tuples {
+		k := lt.Project(lKeys)
+		if hasNullValue(k) {
+			continue
+		}
+		for _, ri := range idx[k.Key()] {
+			if err := emit(li, ri); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
+	shared, rOnly := ra.NaturalJoinCols(l.Schema, r.Schema)
+	attrs := make([]relation.Attribute, 0, len(l.Schema.Attrs)+len(rOnly))
+	attrs = append(attrs, l.Schema.Attrs...)
+	for _, j := range rOnly {
+		attrs = append(attrs, r.Schema.Attrs[j])
+	}
+	out := NewRel[T](relation.Schema{Attrs: attrs})
+	emit := func(li, ri int) error {
+		if out.Len() >= MaxIntermediateRows {
+			return ErrRowBudget
+		}
+		t := l.Tuples[li].Concat(r.Tuples[ri].Project(rOnly))
+		// Distinct: a matching pair agrees on the shared columns, so two
+		// pairs producing the same output tuple would be identical inputs.
+		out.appendDistinct(t, e.s.Times(l.Anns[li], r.Anns[ri]))
+		return nil
+	}
+	if len(shared) == 0 {
+		// Cross product.
+		if l.Len()*r.Len() > MaxIntermediateRows {
+			return nil, ErrRowBudget
+		}
+		for li := range l.Tuples {
+			for ri := range r.Tuples {
+				if err := emit(li, ri); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	lCols := make([]int, len(shared))
+	rCols := make([]int, len(shared))
+	for i, p := range shared {
+		lCols[i], rCols[i] = p[0], p[1]
+	}
+	if e.opts.ForceNestedLoop {
+		for li, lt := range l.Tuples {
+			k := lt.Project(lCols)
+			if hasNullValue(k) {
+				continue
+			}
+			for ri, rt := range r.Tuples {
+				rk := rt.Project(rCols)
+				if hasNullValue(rk) || !k.Identical(rk) {
+					continue
+				}
+				if err := emit(li, ri); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	return out, hashJoin(l, r, lCols, rCols, emit)
+}
+
+// union hash-merges both inputs, ⊕-combining annotations of identical
+// tuples.
+func (e *exec[T]) union(l, r *Rel[T]) *Rel[T] {
+	out := NewRel[T](l.Schema)
+	for i, t := range l.Tuples {
+		out.Add(e.s, t, l.Anns[i])
+	}
+	for i, t := range r.Tuples {
+		out.Add(e.s, t, r.Anns[i])
+	}
+	return out
+}
+
+// diff applies the semiring's Minus across L − R, probing R's hash index
+// for the matching right annotation. Tuples whose combined annotation is
+// (definitely) zero are pruned: under the set and counting semirings that
+// is the classical set difference, while why-provenance keeps every left
+// tuple annotated PrvL ∧ ¬PrvR (Section 6).
+func (e *exec[T]) diff(l, r *Rel[T]) *Rel[T] {
+	out := NewRel[T](l.Schema)
+	for i, t := range l.Tuples {
+		rAnn := e.s.Zero()
+		if e.opts.ForceNestedLoop {
+			for j, rt := range r.Tuples {
+				if rt.Identical(t) {
+					rAnn = r.Anns[j]
+					break
+				}
+			}
+		} else if j := r.Lookup(t); j >= 0 {
+			rAnn = r.Anns[j]
+		}
+		ann := e.s.Minus(l.Anns[i], rAnn)
+		if e.s.IsZero(ann) {
+			continue
+		}
+		// Output is a subset of the distinct left input.
+		out.appendDistinct(t, ann)
+	}
+	return out
+}
+
+// Intersect is the hash intersection L ∩ R: tuples present in both inputs,
+// annotated with the ⊗-product of their annotations. The relational algebra
+// of the paper has no intersection operator (q1 ∩ q2 ≡ q1 − (q1 − q2)), so
+// the evaluator never emits this; it completes the physical set-operator
+// family for engine clients.
+func Intersect[T any](s Semiring[T], l, r *Rel[T]) (*Rel[T], error) {
+	if !l.Schema.UnionCompatible(r.Schema) {
+		return nil, fmt.Errorf("engine: intersection of incompatible schemas %s, %s", l.Schema, r.Schema)
+	}
+	out := NewRel[T](l.Schema)
+	for i, t := range l.Tuples {
+		j := r.Lookup(t)
+		if j < 0 {
+			continue
+		}
+		ann := s.Times(l.Anns[i], r.Anns[j])
+		if s.IsZero(ann) {
+			continue
+		}
+		out.appendDistinct(t, ann)
+	}
+	return out, nil
+}
+
+func hasNullValue(t relation.Tuple) bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}

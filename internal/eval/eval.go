@@ -1,5 +1,6 @@
-// Package eval executes relational algebra queries over database instances
-// under set semantics, in three modes:
+// Package eval is the compatibility facade over the unified execution
+// engine (internal/engine), preserving the API of the original three
+// evaluators:
 //
 //   - Eval: plain evaluation (the "raw query" of the experiments);
 //   - EvalProv: how-provenance-annotated evaluation per Sections 2.3 and 6
@@ -7,414 +8,36 @@
 //     base tuple identifiers);
 //   - EvalAggProv: provenance for aggregate queries per Section 5.2
 //     (symbolic aggregate values with guarded terms).
+//
+// Eval and EvalProv are instantiations of the engine's semiring-generic
+// evaluator (engine.Set and engine.Why); EvalAggProv layers the symbolic
+// aggregate machinery of Section 5 on top of the provenance instantiation.
+// New code should import internal/engine directly.
 package eval
 
 import (
-	"fmt"
-
+	"repro/internal/engine"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
 
-// MaxIntermediateRows bounds the size of any intermediate join result.
-// Queries exceeding it fail with ErrRowBudget instead of exhausting memory —
-// the same pragmatic cut the paper applied ("we had to drop two overly
-// complicated student queries that involved massive cross products").
-var MaxIntermediateRows = 1_000_000
-
 // ErrRowBudget is returned when a query's intermediate result exceeds
-// MaxIntermediateRows.
-var ErrRowBudget = fmt.Errorf("eval: intermediate result exceeds %d rows", MaxIntermediateRows)
+// engine.MaxIntermediateRows.
+var ErrRowBudget = engine.ErrRowBudget
 
 // Catalog adapts a Database to ra.Catalog.
-type Catalog struct{ DB *relation.Database }
-
-// RelationSchema implements ra.Catalog.
-func (c Catalog) RelationSchema(name string) (relation.Schema, bool) {
-	r := c.DB.Relation(name)
-	if r == nil {
-		return relation.Schema{}, false
-	}
-	return r.Schema, true
-}
+type Catalog = engine.Catalog
 
 // Eval evaluates a query over a database under set semantics. params binds
 // the query's @-parameters (may be nil). The query is optimized (selection
 // pushdown, hash equi-joins) before evaluation.
 func Eval(q ra.Node, db *relation.Database, params map[string]relation.Value) (*relation.Relation, error) {
-	return evalNode(Optimize(q, Catalog{DB: db}), db, params)
+	return engine.Eval(q, db, params)
 }
 
-func evalNode(q ra.Node, db *relation.Database, params map[string]relation.Value) (*relation.Relation, error) {
-	switch x := q.(type) {
-	case *ra.Rel:
-		r := db.Relation(x.Name)
-		if r == nil {
-			return nil, fmt.Errorf("eval: unknown relation %q", x.Name)
-		}
-		return r.Dedup(), nil
-	case *ra.Select:
-		in, err := evalNode(x.In, db, params)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := ra.CompileExpr(x.Pred, in.Schema, params)
-		if err != nil {
-			return nil, err
-		}
-		out := relation.NewRelation("σ", in.Schema)
-		for _, t := range in.Tuples {
-			v, err := pred(t)
-			if err != nil {
-				return nil, err
-			}
-			if ra.Truthy(v) {
-				out.Append(t)
-			}
-		}
-		return out, nil
-	case *ra.Project:
-		in, err := evalNode(x.In, db, params)
-		if err != nil {
-			return nil, err
-		}
-		idxs, outSchema, err := projectPlan(x, in.Schema)
-		if err != nil {
-			return nil, err
-		}
-		out := relation.NewRelation("π", outSchema)
-		seen := map[string]bool{}
-		for _, t := range in.Tuples {
-			p := t.Project(idxs)
-			k := p.Key()
-			if !seen[k] {
-				seen[k] = true
-				out.Append(p)
-			}
-		}
-		return out, nil
-	case *ra.Join:
-		l, err := evalNode(x.L, db, params)
-		if err != nil {
-			return nil, err
-		}
-		r, err := evalNode(x.R, db, params)
-		if err != nil {
-			return nil, err
-		}
-		return joinRelations(l, r, x.Cond, params)
-	case *ra.Union:
-		l, err := evalNode(x.L, db, params)
-		if err != nil {
-			return nil, err
-		}
-		r, err := evalNode(x.R, db, params)
-		if err != nil {
-			return nil, err
-		}
-		if !l.Schema.UnionCompatible(r.Schema) {
-			return nil, fmt.Errorf("eval: union of incompatible schemas %s, %s", l.Schema, r.Schema)
-		}
-		out := relation.NewRelation("∪", l.Schema)
-		seen := map[string]bool{}
-		for _, rel := range []*relation.Relation{l, r} {
-			for _, t := range rel.Tuples {
-				k := t.Key()
-				if !seen[k] {
-					seen[k] = true
-					out.Append(t)
-				}
-			}
-		}
-		return out, nil
-	case *ra.Diff:
-		l, err := evalNode(x.L, db, params)
-		if err != nil {
-			return nil, err
-		}
-		r, err := evalNode(x.R, db, params)
-		if err != nil {
-			return nil, err
-		}
-		if !l.Schema.UnionCompatible(r.Schema) {
-			return nil, fmt.Errorf("eval: difference of incompatible schemas %s, %s", l.Schema, r.Schema)
-		}
-		return l.SetDiff(r), nil
-	case *ra.Rename:
-		in, err := evalNode(x.In, db, params)
-		if err != nil {
-			return nil, err
-		}
-		out := relation.NewRelation(x.As, in.Schema.Qualify(x.As))
-		out.Tuples = in.Tuples
-		return out, nil
-	case *ra.GroupBy:
-		in, err := evalNode(x.In, db, params)
-		if err != nil {
-			return nil, err
-		}
-		return groupBy(x, in)
-	}
-	return nil, fmt.Errorf("eval: unknown node type %T", q)
-}
-
-func projectPlan(p *ra.Project, in relation.Schema) ([]int, relation.Schema, error) {
-	idxs := make([]int, len(p.Cols))
-	attrs := make([]relation.Attribute, len(p.Cols))
-	for i, c := range p.Cols {
-		j, err := in.Resolve(c)
-		if err != nil {
-			return nil, relation.Schema{}, err
-		}
-		idxs[i] = j
-		attrs[i] = relation.Attribute{Name: c, Type: in.Attrs[j].Type}
-	}
-	return idxs, relation.Schema{Attrs: attrs}, nil
-}
-
-func joinRelations(l, r *relation.Relation, cond ra.Expr, params map[string]relation.Value) (*relation.Relation, error) {
-	if cond == nil {
-		return naturalJoin(l, r)
-	}
-	outSchema := l.Schema.Concat(r.Schema)
-	lKeys, rKeys, residual := equiJoinPlan(cond, l.Schema, r.Schema)
-	var pred ra.CompiledExpr
-	if residual != nil {
-		var err error
-		pred, err = ra.CompileExpr(residual, outSchema, params)
-		if err != nil {
-			return nil, err
-		}
-	}
-	out := relation.NewRelation("⋈", outSchema)
-	emit := func(lt, rt relation.Tuple) error {
-		t := lt.Concat(rt)
-		if pred != nil {
-			v, err := pred(t)
-			if err != nil {
-				return err
-			}
-			if !ra.Truthy(v) {
-				return nil
-			}
-		}
-		if out.Len() >= MaxIntermediateRows {
-			return ErrRowBudget
-		}
-		out.Append(t)
-		return nil
-	}
-	if len(lKeys) > 0 {
-		// Hash join on the extracted equality keys.
-		idx := make(map[string][]int, r.Len())
-		for i, rt := range r.Tuples {
-			k := rt.Project(rKeys)
-			if hasNullValue(k) {
-				continue
-			}
-			idx[k.Key()] = append(idx[k.Key()], i)
-		}
-		for _, lt := range l.Tuples {
-			k := lt.Project(lKeys)
-			if hasNullValue(k) {
-				continue
-			}
-			for _, ri := range idx[k.Key()] {
-				if err := emit(lt, r.Tuples[ri]); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return out, nil
-	}
-	for _, lt := range l.Tuples {
-		for _, rt := range r.Tuples {
-			if err := emit(lt, rt); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
-}
-
-func hasNullValue(t relation.Tuple) bool {
-	for _, v := range t {
-		if v.IsNull() {
-			return true
-		}
-	}
-	return false
-}
-
-func naturalJoin(l, r *relation.Relation) (*relation.Relation, error) {
-	shared, rOnly := ra.NaturalJoinCols(l.Schema, r.Schema)
-	attrs := make([]relation.Attribute, 0, len(l.Schema.Attrs)+len(rOnly))
-	attrs = append(attrs, l.Schema.Attrs...)
-	for _, j := range rOnly {
-		attrs = append(attrs, r.Schema.Attrs[j])
-	}
-	out := relation.NewRelation("⋈", relation.Schema{Attrs: attrs})
-
-	if len(shared) == 0 {
-		// Cross product.
-		if l.Len()*r.Len() > MaxIntermediateRows {
-			return nil, ErrRowBudget
-		}
-		for _, lt := range l.Tuples {
-			for _, rt := range r.Tuples {
-				out.Append(lt.Concat(rt.Project(rOnly)))
-			}
-		}
-		return out, nil
-	}
-	// Hash join on the shared columns.
-	lCols := make([]int, len(shared))
-	rCols := make([]int, len(shared))
-	for i, p := range shared {
-		lCols[i], rCols[i] = p[0], p[1]
-	}
-	idx := make(map[string][]int, r.Len())
-	for i, rt := range r.Tuples {
-		k := rt.Project(rCols).Key()
-		idx[k] = append(idx[k], i)
-	}
-	for _, lt := range l.Tuples {
-		key := lt.Project(lCols)
-		// NULLs never join.
-		hasNull := false
-		for _, v := range key {
-			if v.IsNull() {
-				hasNull = true
-				break
-			}
-		}
-		if hasNull {
-			continue
-		}
-		for _, ri := range idx[key.Key()] {
-			if out.Len() >= MaxIntermediateRows {
-				return nil, ErrRowBudget
-			}
-			out.Append(lt.Concat(r.Tuples[ri].Project(rOnly)))
-		}
-	}
-	return out, nil
-}
-
-func groupBy(g *ra.GroupBy, in *relation.Relation) (*relation.Relation, error) {
-	gIdx := make([]int, len(g.GroupCols))
-	for i, c := range g.GroupCols {
-		j, err := in.Schema.Resolve(c)
-		if err != nil {
-			return nil, err
-		}
-		gIdx[i] = j
-	}
-	aIdx := make([]int, len(g.Aggs))
-	for i, a := range g.Aggs {
-		if a.Attr == "" {
-			if a.Func != ra.Count {
-				return nil, fmt.Errorf("eval: %s requires an attribute", a.Func)
-			}
-			aIdx[i] = -1
-			continue
-		}
-		j, err := in.Schema.Resolve(a.Attr)
-		if err != nil {
-			return nil, err
-		}
-		aIdx[i] = j
-	}
-	attrs := make([]relation.Attribute, 0, len(gIdx)+len(g.Aggs))
-	for i, j := range gIdx {
-		attrs = append(attrs, relation.Attribute{Name: g.GroupCols[i], Type: in.Schema.Attrs[j].Type})
-	}
-	for i, a := range g.Aggs {
-		typ := relation.KindFloat
-		if a.Func == ra.Count {
-			typ = relation.KindInt
-		} else if aIdx[i] >= 0 && (a.Func == ra.Sum || a.Func == ra.Min || a.Func == ra.Max) {
-			typ = in.Schema.Attrs[aIdx[i]].Type
-		}
-		attrs = append(attrs, relation.Attribute{Name: a.As, Type: typ})
-	}
-	out := relation.NewRelation("γ", relation.Schema{Attrs: attrs})
-
-	groups := map[string][]relation.Tuple{}
-	var order []string
-	keyTuples := map[string]relation.Tuple{}
-	for _, t := range in.Tuples {
-		k := t.Project(gIdx)
-		ks := k.Key()
-		if _, ok := groups[ks]; !ok {
-			order = append(order, ks)
-			keyTuples[ks] = k
-		}
-		groups[ks] = append(groups[ks], t)
-	}
-	for _, ks := range order {
-		members := groups[ks]
-		row := keyTuples[ks].Clone()
-		for i, a := range g.Aggs {
-			v, err := computeAgg(a.Func, aIdx[i], members)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, v)
-		}
-		out.Append(row)
-	}
-	return out, nil
-}
-
-func computeAgg(f ra.AggFunc, col int, members []relation.Tuple) (relation.Value, error) {
-	if f == ra.Count {
-		if col < 0 {
-			return relation.Int(int64(len(members))), nil
-		}
-		n := 0
-		for _, t := range members {
-			if !t[col].IsNull() {
-				n++
-			}
-		}
-		return relation.Int(int64(n)), nil
-	}
-	var vals []relation.Value
-	for _, t := range members {
-		if !t[col].IsNull() {
-			vals = append(vals, t[col])
-		}
-	}
-	if len(vals) == 0 {
-		return relation.Null(), nil
-	}
-	switch f {
-	case ra.Sum, ra.Avg:
-		acc := vals[0]
-		for _, v := range vals[1:] {
-			var err error
-			acc, err = relation.Add(acc, v)
-			if err != nil {
-				return relation.Null(), err
-			}
-		}
-		if f == ra.Sum {
-			return acc, nil
-		}
-		return relation.Div(acc, relation.Int(int64(len(vals))))
-	case ra.Min, ra.Max:
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c, ok := v.Compare(best)
-			if !ok {
-				return relation.Null(), fmt.Errorf("eval: incomparable values in %s", f)
-			}
-			if (f == ra.Min && c < 0) || (f == ra.Max && c > 0) {
-				best = v
-			}
-		}
-		return best, nil
-	}
-	return relation.Null(), fmt.Errorf("eval: unknown aggregate %v", f)
+// Optimize rewrites a query for efficient evaluation without changing its
+// set-semantics result or provenance annotations. It delegates to
+// engine.Optimize.
+func Optimize(n ra.Node, cat ra.Catalog) ra.Node {
+	return engine.Optimize(n, cat)
 }

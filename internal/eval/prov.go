@@ -1,9 +1,8 @@
 package eval
 
 import (
-	"fmt"
-
 	"repro/internal/boolexpr"
+	"repro/internal/engine"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
@@ -12,6 +11,9 @@ import (
 // how-provenance over base tuple identifiers (Section 2.3). Under set
 // semantics, tuples are distinct and the annotation of a merged duplicate is
 // the disjunction of its sources (the string_agg rewrite rule of Section 6).
+//
+// It is a compatibility wrapper over engine.ProvRel; the two share tuple
+// and annotation storage.
 type AnnRel struct {
 	Schema relation.Schema
 	Tuples []relation.Tuple
@@ -23,6 +25,12 @@ type AnnRel struct {
 // NewAnnRel creates an empty annotated relation with the given schema.
 func NewAnnRel(schema relation.Schema) *AnnRel {
 	return &AnnRel{Schema: schema, index: map[string]int{}}
+}
+
+// fromEngine wraps an engine provenance result without copying: the tuple
+// slice, annotation slice and hash index are shared.
+func fromEngine(r *engine.ProvRel) *AnnRel {
+	return &AnnRel{Schema: r.Schema, Tuples: r.Tuples, Provs: r.Anns, index: r.Index()}
 }
 
 // Add inserts a tuple with provenance, merging by disjunction if an
@@ -41,7 +49,8 @@ func (a *AnnRel) Add(t relation.Tuple, prov *boolexpr.Expr) {
 // Len returns the number of distinct tuples.
 func (a *AnnRel) Len() int { return len(a.Tuples) }
 
-// Lookup returns the position of an identical tuple, or -1.
+// Lookup returns the position of an identical tuple, or -1. It is a hash
+// probe, not a scan.
 func (a *AnnRel) Lookup(t relation.Tuple) int {
 	if i, ok := a.index[t.Key()]; ok {
 		return i
@@ -61,232 +70,9 @@ func (a *AnnRel) Relation(name string) *relation.Relation {
 // The query is optimized (selection pushdown, hash equi-joins) first; the
 // rewrites preserve provenance annotations.
 func EvalProv(q ra.Node, db *relation.Database, params map[string]relation.Value) (*AnnRel, error) {
-	return evalProvNode(Optimize(q, Catalog{DB: db}), db, params)
-}
-
-func evalProvNode(q ra.Node, db *relation.Database, params map[string]relation.Value) (*AnnRel, error) {
-	switch x := q.(type) {
-	case *ra.Rel:
-		r := db.Relation(x.Name)
-		if r == nil {
-			return nil, fmt.Errorf("eval: unknown relation %q", x.Name)
-		}
-		out := NewAnnRel(r.Schema)
-		for i, t := range r.Tuples {
-			id := r.ID(i)
-			if id == relation.InvalidTupleID {
-				return nil, fmt.Errorf("eval: relation %q has tuples without identifiers", x.Name)
-			}
-			out.Add(t, boolexpr.Var(int(id)))
-		}
-		return out, nil
-	case *ra.Select:
-		in, err := evalProvNode(x.In, db, params)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := ra.CompileExpr(x.Pred, in.Schema, params)
-		if err != nil {
-			return nil, err
-		}
-		out := NewAnnRel(in.Schema)
-		for i, t := range in.Tuples {
-			v, err := pred(t)
-			if err != nil {
-				return nil, err
-			}
-			if ra.Truthy(v) {
-				out.Add(t, in.Provs[i])
-			}
-		}
-		return out, nil
-	case *ra.Project:
-		in, err := evalProvNode(x.In, db, params)
-		if err != nil {
-			return nil, err
-		}
-		idxs, outSchema, err := projectPlan(x, in.Schema)
-		if err != nil {
-			return nil, err
-		}
-		out := NewAnnRel(outSchema)
-		for i, t := range in.Tuples {
-			out.Add(t.Project(idxs), in.Provs[i])
-		}
-		return out, nil
-	case *ra.Join:
-		l, err := evalProvNode(x.L, db, params)
-		if err != nil {
-			return nil, err
-		}
-		r, err := evalProvNode(x.R, db, params)
-		if err != nil {
-			return nil, err
-		}
-		return joinProv(l, r, x.Cond, params)
-	case *ra.Union:
-		l, err := evalProvNode(x.L, db, params)
-		if err != nil {
-			return nil, err
-		}
-		r, err := evalProvNode(x.R, db, params)
-		if err != nil {
-			return nil, err
-		}
-		if !l.Schema.UnionCompatible(r.Schema) {
-			return nil, fmt.Errorf("eval: union of incompatible schemas %s, %s", l.Schema, r.Schema)
-		}
-		out := NewAnnRel(l.Schema)
-		for i, t := range l.Tuples {
-			out.Add(t, l.Provs[i])
-		}
-		for i, t := range r.Tuples {
-			out.Add(t, r.Provs[i])
-		}
-		return out, nil
-	case *ra.Diff:
-		l, err := evalProvNode(x.L, db, params)
-		if err != nil {
-			return nil, err
-		}
-		r, err := evalProvNode(x.R, db, params)
-		if err != nil {
-			return nil, err
-		}
-		if !l.Schema.UnionCompatible(r.Schema) {
-			return nil, fmt.Errorf("eval: difference of incompatible schemas %s, %s", l.Schema, r.Schema)
-		}
-		// Section 6 difference rule: Prv(t) = PrvL(t) ∧ ¬PrvR(t) if t ∈ R,
-		// else PrvL(t). All tuples of L are retained (their presence in the
-		// difference depends on the chosen subinstance).
-		out := NewAnnRel(l.Schema)
-		for i, t := range l.Tuples {
-			if j := r.Lookup(t); j >= 0 {
-				out.Add(t, boolexpr.And(l.Provs[i], boolexpr.Not(r.Provs[j])))
-			} else {
-				out.Add(t, l.Provs[i])
-			}
-		}
-		return out, nil
-	case *ra.Rename:
-		in, err := evalProvNode(x.In, db, params)
-		if err != nil {
-			return nil, err
-		}
-		out := NewAnnRel(in.Schema.Qualify(x.As))
-		out.Tuples = in.Tuples
-		out.Provs = in.Provs
-		out.index = in.index
-		return out, nil
-	case *ra.GroupBy:
-		return nil, fmt.Errorf("eval: how-provenance does not support aggregation; use EvalAggProv")
+	r, err := engine.EvalProv(q, db, params)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("eval: unknown node type %T", q)
-}
-
-func joinProv(l, r *AnnRel, cond ra.Expr, params map[string]relation.Value) (*AnnRel, error) {
-	if cond != nil {
-		outSchema := l.Schema.Concat(r.Schema)
-		lKeys, rKeys, residual := equiJoinPlan(cond, l.Schema, r.Schema)
-		var pred ra.CompiledExpr
-		if residual != nil {
-			var err error
-			pred, err = ra.CompileExpr(residual, outSchema, params)
-			if err != nil {
-				return nil, err
-			}
-		}
-		out := NewAnnRel(outSchema)
-		emit := func(li, ri int) error {
-			t := l.Tuples[li].Concat(r.Tuples[ri])
-			if pred != nil {
-				v, err := pred(t)
-				if err != nil {
-					return err
-				}
-				if !ra.Truthy(v) {
-					return nil
-				}
-			}
-			if out.Len() >= MaxIntermediateRows {
-				return ErrRowBudget
-			}
-			out.Add(t, boolexpr.And(l.Provs[li], r.Provs[ri]))
-			return nil
-		}
-		if len(lKeys) > 0 {
-			idx := make(map[string][]int, r.Len())
-			for i, rt := range r.Tuples {
-				k := rt.Project(rKeys)
-				if hasNullValue(k) {
-					continue
-				}
-				idx[k.Key()] = append(idx[k.Key()], i)
-			}
-			for i, lt := range l.Tuples {
-				k := lt.Project(lKeys)
-				if hasNullValue(k) {
-					continue
-				}
-				for _, ri := range idx[k.Key()] {
-					if err := emit(i, ri); err != nil {
-						return nil, err
-					}
-				}
-			}
-			return out, nil
-		}
-		for i := range l.Tuples {
-			for j := range r.Tuples {
-				if err := emit(i, j); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return out, nil
-	}
-	shared, rOnly := ra.NaturalJoinCols(l.Schema, r.Schema)
-	attrs := make([]relation.Attribute, 0, len(l.Schema.Attrs)+len(rOnly))
-	attrs = append(attrs, l.Schema.Attrs...)
-	for _, j := range rOnly {
-		attrs = append(attrs, r.Schema.Attrs[j])
-	}
-	out := NewAnnRel(relation.Schema{Attrs: attrs})
-	if len(shared) == 0 {
-		if l.Len()*r.Len() > MaxIntermediateRows {
-			return nil, ErrRowBudget
-		}
-		for i, lt := range l.Tuples {
-			for j, rt := range r.Tuples {
-				out.Add(lt.Concat(rt.Project(rOnly)), boolexpr.And(l.Provs[i], r.Provs[j]))
-			}
-		}
-		return out, nil
-	}
-	lCols := make([]int, len(shared))
-	rCols := make([]int, len(shared))
-	for i, p := range shared {
-		lCols[i], rCols[i] = p[0], p[1]
-	}
-	idx := make(map[string][]int, r.Len())
-	for i, rt := range r.Tuples {
-		idx[rt.Project(rCols).Key()] = append(idx[rt.Project(rCols).Key()], i)
-	}
-	for i, lt := range l.Tuples {
-		key := lt.Project(lCols)
-		hasNull := false
-		for _, v := range key {
-			if v.IsNull() {
-				hasNull = true
-				break
-			}
-		}
-		if hasNull {
-			continue
-		}
-		for _, ri := range idx[key.Key()] {
-			out.Add(lt.Concat(r.Tuples[ri].Project(rOnly)), boolexpr.And(l.Provs[i], r.Provs[ri]))
-		}
-	}
-	return out, nil
+	return fromEngine(r), nil
 }

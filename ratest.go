@@ -17,15 +17,17 @@
 //
 // The heavy lifting lives in the internal packages: internal/core holds the
 // algorithms (Basic, Optσ, the poly-time special cases, and the aggregate
-// algorithms of Section 5), internal/eval the provenance-annotated
-// evaluator, internal/sat + internal/minones + internal/smt the solvers.
+// algorithms of Section 5), internal/engine the semiring-generic execution
+// engine (set semantics, how-provenance and derivation counting over shared
+// hash-based physical operators), internal/sat + internal/minones +
+// internal/smt the solvers.
 package ratest
 
 import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/ra"
 	"repro/internal/raparser"
 	"repro/internal/relation"
@@ -162,7 +164,7 @@ func EnumerateSmallest(q1, q2 Query, db *Database, opts *Options, max int) ([]*C
 
 // Eval evaluates a query over a database (set semantics).
 func Eval(q Query, db *Database, params map[string]Value) (*Relation, error) {
-	return eval.Eval(q, db, params)
+	return engine.Eval(q, db, params)
 }
 
 // Equivalent reports whether the two queries agree on db (i.e., db is not a
@@ -193,8 +195,8 @@ func FormatCounterexample(q1, q2 Query, ce *Counterexample, params map[string]Va
 	if len(ce.Params) > 0 {
 		out += fmt.Sprintf("Parameter setting: %v\n", ce.Params)
 	}
-	r1, err1 := eval.Eval(q1, ce.DB, params)
-	r2, err2 := eval.Eval(q2, ce.DB, params)
+	r1, err1 := engine.Eval(q1, ce.DB, params)
+	r2, err2 := engine.Eval(q2, ce.DB, params)
 	if err1 == nil && err2 == nil {
 		out += fmt.Sprintf("\nReference query result:\n%s\nTest query result:\n%s", r1, r2)
 	}

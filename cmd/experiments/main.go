@@ -28,6 +28,7 @@ import (
 	"repro/internal/course"
 	"repro/internal/eval"
 	"repro/internal/mutation"
+	"repro/internal/pool"
 	"repro/internal/ra"
 	"repro/internal/raparser"
 	"repro/internal/relation"
@@ -41,7 +42,11 @@ func main() {
 	sf := flag.Float64("sf", 0.001, "TPC-H scale factor (paper: 1.0)")
 	perQuestion := flag.Int("mutants", 8, "wrong queries kept per question")
 	sample := flag.Int("sample", 12, "wrong queries sampled per measurement")
+	workers := flag.Int("workers", pool.DefaultWorkers,
+		"worker-pool size for the fan-out loops; use 1 for uncontended per-query timings (parallel runs inflate the per-query latency columns on multi-core machines)")
 	flag.Parse()
+	pool.DefaultWorkers = *workers
+	core.Workers = *workers
 
 	run := func(name string, f func()) {
 		if *exp == "all" || *exp == name {
@@ -163,22 +168,40 @@ func table4(size, perQuestion, sample int) {
 	if len(wl) > sample {
 		wl = wl[:sample]
 	}
-	var basicTime, optTime time.Duration
-	var basicSize, optSize, n int
-	for _, w := range wl {
+	// Each wrong query is explained independently; fan the per-question
+	// loop out over the worker pool and reduce per-index results in order
+	// (so the printed aggregates are deterministic).
+	type t4row struct {
+		ok                 bool
+		basicTime, optTime time.Duration
+		basicSize, optSize int
+	}
+	rows := make([]t4row, len(wl))
+	check(pool.ForEach(pool.DefaultWorkers, len(wl), func(i int) error {
+		w := wl[i]
 		p := core.Problem{Q1: w.q1, Q2: w.q2, DB: db, Constraints: course.Constraints()}
 		ceB, sB, err := core.Basic(p, 128)
 		if err != nil {
-			continue
+			return nil
 		}
 		ceO, sO, err := core.OptSigma(p)
 		if err != nil {
+			return nil
+		}
+		rows[i] = t4row{ok: true, basicTime: sB.TotalTime, optTime: sO.TotalTime,
+			basicSize: ceB.Size(), optSize: ceO.Size()}
+		return nil
+	}))
+	var basicTime, optTime time.Duration
+	var basicSize, optSize, n int
+	for _, r := range rows {
+		if !r.ok {
 			continue
 		}
-		basicTime += sB.TotalTime
-		optTime += sO.TotalTime
-		basicSize += ceB.Size()
-		optSize += ceO.Size()
+		basicTime += r.basicTime
+		optTime += r.optTime
+		basicSize += r.basicSize
+		optSize += r.optSize
 		n++
 	}
 	if n == 0 {
@@ -198,18 +221,27 @@ func fig3(size, perQuestion int) {
 	db := course.GenerateDB(size, 1)
 	wl := buildWorkload(db, perQuestion)
 	type row struct {
+		ok                 bool
 		ops, diffs, height int
 		raw, prov, solver  time.Duration
 	}
-	var rows []row
-	for _, w := range wl {
+	slots := make([]row, len(wl))
+	check(pool.ForEach(pool.DefaultWorkers, len(wl), func(i int) error {
+		w := wl[i]
 		p := core.Problem{Q1: w.q1, Q2: w.q2, DB: db}
 		_, s, err := core.OptSigma(p)
 		if err != nil {
-			continue
+			return nil
 		}
 		m := ra.ComputeMetrics(&ra.Diff{L: w.q1, R: w.q2})
-		rows = append(rows, row{m.Operators, m.Diffs, m.Height, s.RawEvalTime, s.ProvEvalTime, s.SolverTime})
+		slots[i] = row{true, m.Operators, m.Diffs, m.Height, s.RawEvalTime, s.ProvEvalTime, s.SolverTime}
+		return nil
+	}))
+	var rows []row
+	for _, r := range slots {
+		if r.ok {
+			rows = append(rows, r)
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ops < rows[j].ops })
 	fmt.Printf("%-6s %-6s %-7s %-12s %-12s %-12s\n", "#ops", "#diff", "height", "raw", "prov-sp", "solver")

@@ -1,6 +1,9 @@
 package boolexpr
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // CNFBuilder accumulates clauses in the DIMACS-style convention used by the
 // SAT solver: variables are positive integers, a literal is +v or -v, a
@@ -42,12 +45,17 @@ func (b *CNFBuilder) ExprVar(satVar int) (int, bool) {
 }
 
 // BaseVars returns the SAT variables corresponding to expression variables
-// (excluding Tseitin auxiliaries).
+// (excluding Tseitin auxiliaries), in ascending order. The order matters:
+// it fixes the clause order of downstream encodings (foreign-key
+// implications, cardinality bounds), and CDCL search is sensitive to clause
+// order — iterating the map directly made witness search nondeterministic
+// across runs.
 func (b *CNFBuilder) BaseVars() []int {
 	out := make([]int, 0, len(b.varOf))
 	for _, v := range b.varOf {
 		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/ra"
@@ -268,6 +269,44 @@ func TestSolveWitnessStrategy(t *testing.T) {
 		}
 		if tried > m {
 			t.Errorf("naive-%d tried %d models", m, tried)
+		}
+	}
+}
+
+// TestParallelWitnessSearchMatchesSerial: the fan-out loops of Basic and
+// OptSigmaAll reduce per-index results in iteration order, so the chosen
+// counterexample is identical to the serial algorithms'.
+func TestParallelWitnessSearchMatchesSerial(t *testing.T) {
+	saved := Workers
+	t.Cleanup(func() { Workers = saved })
+	p := example1Problem()
+
+	Workers = 1
+	ceBS, _, err := Basic(p, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceAS, _, err := OptSigmaAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Workers = 8
+	for run := 0; run < 3; run++ {
+		ceBP, _, err := Basic(p, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(ceBP.IDs) != fmt.Sprint(ceBS.IDs) || !ceBP.Witness.Identical(ceBS.Witness) {
+			t.Fatalf("Basic parallel ids %v witness %v, serial ids %v witness %v",
+				ceBP.IDs, ceBP.Witness, ceBS.IDs, ceBS.Witness)
+		}
+		ceAP, _, err := OptSigmaAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(ceAP.IDs) != fmt.Sprint(ceAS.IDs) || !ceAP.Witness.Identical(ceAS.Witness) {
+			t.Fatalf("OptSigmaAll parallel ids %v witness %v, serial ids %v witness %v",
+				ceAP.IDs, ceAP.Witness, ceAS.IDs, ceAS.Witness)
 		}
 	}
 }

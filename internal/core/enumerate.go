@@ -58,7 +58,9 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 				return nil, err
 			}
 			r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
-			if r.Status == minones.Infeasible {
+			if r.Status == minones.Infeasible || r.Status == minones.Unknown {
+				// Infeasible: no witness exists. Unknown: no model in
+				// budget — either way there is no model to enumerate from.
 				continue
 			}
 			if best < 0 || r.Cost < best {

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/engine"
@@ -67,7 +68,10 @@ type Counterexample struct {
 func (c *Counterexample) Size() int { return c.DB.Size() }
 
 // Stats records the per-component measurements the paper's experiments
-// report (Figures 3, 4, 6).
+// report (Figures 3, 4, 6). The per-component times (ProvEvalTime,
+// SolverTime) are sums of per-task durations: under parallel execution
+// (Workers > 1) they report aggregate work across the pool and can exceed
+// the wall-clock TotalTime.
 type Stats struct {
 	Algorithm    string
 	RawEvalTime  time.Duration // evaluating Q1, Q2 (and Q1−Q2) plainly
@@ -130,7 +134,9 @@ func Disagrees(q1, q2 ra.Node, db *relation.Database, params map[string]relation
 	return d12.Len() > 0 || d21.Len() > 0, d12, d21, nil
 }
 
-// subinstanceFromIDs builds a counterexample database from tuple ids.
+// subinstanceFromIDs builds a counterexample database from tuple ids. The
+// returned ids are deduplicated and sorted, per the Counterexample.IDs
+// contract (callers feed ids in solver-model order, which is not stable).
 func subinstanceFromIDs(db *relation.Database, ids []int) (*relation.Database, []relation.TupleID) {
 	keep := make(map[relation.TupleID]bool, len(ids))
 	out := make([]relation.TupleID, 0, len(ids))
@@ -141,6 +147,7 @@ func subinstanceFromIDs(db *relation.Database, ids []int) (*relation.Database, [
 			out = append(out, tid)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	sub := db.Subinstance(keep)
 	return sub, out
 }

@@ -7,12 +7,22 @@ import (
 	"repro/internal/boolexpr"
 	"repro/internal/engine"
 	"repro/internal/minones"
+	"repro/internal/pool"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
 
 // DefaultDelta is the default model budget Δ of Algorithm 1.
 const DefaultDelta = 128
+
+// Workers bounds the worker pool of the fan-out loops (Basic's
+// per-provenance SAT loop, OptSigmaAll's per-tuple pushdown+solve loop).
+// Each iteration is independent — it reads the shared database and builds
+// its own CNF and solver — so the loops parallelize without locking; the
+// reduction over per-iteration results runs serially in iteration order,
+// keeping the chosen counterexample identical to the serial algorithms'.
+// Values <= 1 keep the loops serial.
+var Workers = pool.DefaultWorkers
 
 // buildCNF encodes the how-provenance of the chosen tuple plus the
 // foreign-key implications of Section 4.3 into CNF. It returns the builder,
@@ -137,33 +147,71 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	provs = append(provs, provs2...)
 	stats.ProvEvalTime = time.Since(t0)
 
+	// Fan the per-provenance SAT solves out over the worker pool: each
+	// iteration encodes and solves its own formula against the shared
+	// read-only database. Results land in per-index slots and the best-
+	// witness reduction below runs in index order, so the chosen
+	// counterexample matches the serial loop's exactly. SolverTime is
+	// accumulated per task and merged (the same convention as OptSigmaAll):
+	// it reports aggregate solver work across workers and may exceed the
+	// wall-clock TotalTime when the pool is parallel.
 	fks := p.ForeignKeys()
-	var best *Counterexample
-	var bestTuple relation.Tuple
-	t0 = time.Now()
-	for i, prov := range provs {
-		b, counted, varToID, err := buildCNF(prov, p.DB, fks)
+	type solveResult struct {
+		ids         []int
+		found       bool
+		unknown     bool
+		modelsTried int
+		solve       time.Duration
+	}
+	results := make([]solveResult, len(provs))
+	err = pool.ForEach(Workers, len(provs), func(i int) error {
+		t0 := time.Now()
+		b, counted, varToID, err := buildCNF(provs[i], p.DB, fks)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		r := minones.Enumerate(b.NumVars, b.Clauses, counted, delta, minones.Options{})
-		stats.ModelsTried += r.ModelsTried
-		if r.Status == minones.Infeasible {
+		res := &results[i]
+		res.solve = time.Since(t0)
+		res.modelsTried = r.ModelsTried
+		switch r.Status {
+		case minones.Infeasible:
+			// Proven unsatisfiable: this tuple has no witness.
+		case minones.Unknown:
+			// Budget exhausted before any model: not proven unsatisfiable.
+			res.unknown = true
+		default:
+			res.ids = modelToIDs(r.Model, counted, varToID)
+			res.found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var best *Counterexample
+	unknowns := 0
+	for i, res := range results {
+		stats.ModelsTried += res.modelsTried
+		stats.SolverTime += res.solve
+		if res.unknown {
+			unknowns++
+		}
+		if !res.found {
 			continue
 		}
-		ids := modelToIDs(r.Model, counted, varToID)
-		if best == nil || len(ids) < best.Size() {
-			sub, tids := subinstanceFromIDs(p.DB, ids)
+		if best == nil || len(res.ids) < best.Size() {
+			sub, tids := subinstanceFromIDs(p.DB, res.ids)
 			best = &Counterexample{DB: sub, IDs: tids, Witness: tuples[i]}
-			bestTuple = tuples[i]
 		}
 	}
-	stats.SolverTime = time.Since(t0)
 	stats.TotalTime = time.Since(start)
 	if best == nil {
+		if unknowns > 0 {
+			return nil, nil, fmt.Errorf("core: solver budget exhausted on %d witness formulas before any model was found", unknowns)
+		}
 		return nil, nil, fmt.Errorf("core: no satisfiable witness found (unexpected for a valid instance)")
 	}
-	best.Witness = bestTuple
 	stats.WitnessSize = best.Size()
 	if err := Verify(p, best); err != nil {
 		return nil, nil, fmt.Errorf("core: Basic produced an invalid counterexample: %v", err)
@@ -222,6 +270,9 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 	if r.Status == minones.Infeasible {
 		return nil, nil, fmt.Errorf("core: witness formula unsatisfiable (unexpected)")
 	}
+	if r.Status == minones.Unknown {
+		return nil, nil, fmt.Errorf("core: solver budget exhausted before any model of the witness formula was found")
+	}
 	ids := modelToIDs(r.Model, counted, varToID)
 	sub, tids := subinstanceFromIDs(p.DB, ids)
 	ce := &Counterexample{DB: sub, IDs: tids, Witness: t}
@@ -251,41 +302,76 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	if !differs {
 		return nil, nil, fmt.Errorf("core: queries agree on D")
 	}
+	// Flatten the per-side, per-tuple iteration space and fan it out over
+	// the worker pool: every task pushes its tuple's selection down,
+	// evaluates provenance, and runs its own optimizing solver against the
+	// shared read-only database. ProvEvalTime/SolverTime are accumulated
+	// per task and merged, so they report aggregate work across workers and
+	// may exceed the wall-clock TotalTime when the pool is parallel.
 	fks := p.ForeignKeys()
-	var best *Counterexample
-	type side struct {
+	type task struct {
+		qa, qb ra.Node
+		t      relation.Tuple
+	}
+	var tasks []task
+	for _, s := range []struct {
 		qa, qb ra.Node
 		diff   *relation.Relation
-	}
-	for _, s := range []side{{p.Q1, p.Q2, d12}, {p.Q2, p.Q1, d21}} {
+	}{{p.Q1, p.Q2, d12}, {p.Q2, p.Q1, d21}} {
 		for _, t := range s.diff.Tuples {
-			t0 = time.Now()
-			pushed := PushDownTupleSelection(&ra.Diff{L: s.qa, R: s.qb}, t, p.DB)
-			ann, err := engine.EvalProv(pushed, p.DB, p.Params)
-			if err != nil {
-				return nil, nil, err
-			}
-			i := ann.Lookup(t)
-			stats.ProvEvalTime += time.Since(t0)
-			if i < 0 {
-				continue
-			}
-			t0 = time.Now()
-			b, counted, varToID, err := buildCNF(ann.Anns[i], p.DB, fks)
-			if err != nil {
-				return nil, nil, err
-			}
-			r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
-			stats.SolverTime += time.Since(t0)
-			stats.ModelsTried += r.ModelsTried
-			if r.Status == minones.Infeasible {
-				continue
-			}
-			ids := modelToIDs(r.Model, counted, varToID)
-			if best == nil || len(ids) < best.Size() {
-				sub, tids := subinstanceFromIDs(p.DB, ids)
-				best = &Counterexample{DB: sub, IDs: tids, Witness: t}
-			}
+			tasks = append(tasks, task{s.qa, s.qb, t})
+		}
+	}
+	type solveResult struct {
+		ids         []int
+		found       bool
+		modelsTried int
+		prov, solve time.Duration
+	}
+	results := make([]solveResult, len(tasks))
+	err = pool.ForEach(Workers, len(tasks), func(i int) error {
+		tk := tasks[i]
+		res := &results[i]
+		t0 := time.Now()
+		pushed := PushDownTupleSelection(&ra.Diff{L: tk.qa, R: tk.qb}, tk.t, p.DB)
+		ann, err := engine.EvalProv(pushed, p.DB, p.Params)
+		if err != nil {
+			return err
+		}
+		j := ann.Lookup(tk.t)
+		res.prov = time.Since(t0)
+		if j < 0 {
+			return nil
+		}
+		t0 = time.Now()
+		b, counted, varToID, err := buildCNF(ann.Anns[j], p.DB, fks)
+		if err != nil {
+			return err
+		}
+		r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+		res.solve = time.Since(t0)
+		res.modelsTried = r.ModelsTried
+		if r.Status == minones.Infeasible || r.Status == minones.Unknown {
+			return nil
+		}
+		res.ids = modelToIDs(r.Model, counted, varToID)
+		res.found = true
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var best *Counterexample
+	for i, res := range results {
+		stats.ProvEvalTime += res.prov
+		stats.SolverTime += res.solve
+		stats.ModelsTried += res.modelsTried
+		if !res.found {
+			continue
+		}
+		if best == nil || len(res.ids) < best.Size() {
+			sub, tids := subinstanceFromIDs(p.DB, res.ids)
+			best = &Counterexample{DB: sub, IDs: tids, Witness: tasks[i].t}
 		}
 	}
 	stats.TotalTime = time.Since(start)
@@ -340,6 +426,9 @@ func SolveWitnessStrategy(p Problem, strategy string, m int) (int, int, error) {
 	}
 	if r.Status == minones.Infeasible {
 		return 0, 0, fmt.Errorf("core: witness formula unsatisfiable")
+	}
+	if r.Status == minones.Unknown {
+		return 0, 0, fmt.Errorf("core: solver budget exhausted before any model was found")
 	}
 	return r.Cost, r.ModelsTried, nil
 }

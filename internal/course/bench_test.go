@@ -1,0 +1,33 @@
+package course
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+)
+
+// BenchmarkDiscoveredWrong measures the grading sweep — the Table 3 inner
+// loop — serial vs fanned out over the worker pool (the parallel series
+// only wins wall-clock on a multi-core runner).
+func BenchmarkDiscoveredWrong(b *testing.B) {
+	db := GenerateDB(10_000, 1)
+	bank := WrongQueryBank(db, 8)
+	saved := pool.DefaultWorkers
+	b.Cleanup(func() { pool.DefaultWorkers = saved })
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", saved},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			pool.DefaultWorkers = bc.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := DiscoveredWrong(db, bank); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mutation"
+	"repro/internal/pool"
 	"repro/internal/ra"
 	"repro/internal/raparser"
 	"repro/internal/relation"
@@ -184,24 +185,39 @@ func WrongQueryBank(db *relation.Database, perQuestion int) []WrongQuery {
 // DiscoveredWrong counts how many bank queries are discovered (produce a
 // different result from the correct query) on the given instance — the
 // Table 3 measurement — and returns the set of discovered queries.
+//
+// Every per-query evaluation is independent (the engine shares no mutable
+// state across evaluations and the database is read-only), so both the
+// reference evaluations and the bank sweep fan out over the worker pool.
+// Discovery flags land in per-index slots and the result is assembled in
+// bank order, so the output order is deterministic and identical to the
+// serial sweep's.
 func DiscoveredWrong(db *relation.Database, bank []WrongQuery) ([]WrongQuery, error) {
-	correct := map[string]ra.Node{}
-	results := map[string]*relation.Relation{}
-	for _, q := range Questions() {
-		correct[q.ID] = q.Correct
-		r, err := engine.Eval(q.Correct, db, nil)
-		if err != nil {
-			return nil, err
-		}
-		results[q.ID] = r
+	qs := Questions()
+	refs := make([]*relation.Relation, len(qs))
+	if err := pool.ForEach(pool.DefaultWorkers, len(qs), func(i int) error {
+		r, err := engine.Eval(qs[i].Correct, db, nil)
+		refs[i] = r
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	var found []WrongQuery
-	for _, w := range bank {
-		r, err := engine.Eval(w.Query, db, nil)
+	results := map[string]*relation.Relation{}
+	for i, q := range qs {
+		results[q.ID] = refs[i]
+	}
+	discovered := make([]bool, len(bank))
+	_ = pool.ForEach(pool.DefaultWorkers, len(bank), func(i int) error {
+		r, err := engine.Eval(bank[i].Query, db, nil)
 		if err != nil {
-			continue // mutant invalid on this instance: not discovered
+			return nil // mutant invalid on this instance: not discovered
 		}
-		if !r.SetEqual(results[w.Question]) {
+		discovered[i] = !r.SetEqual(results[bank[i].Question])
+		return nil
+	})
+	var found []WrongQuery
+	for i, w := range bank {
+		if discovered[i] {
 			found = append(found, w)
 		}
 	}

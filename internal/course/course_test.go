@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
@@ -131,5 +132,38 @@ func TestExplainWorksOnBankSamples(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no counterexamples checked")
+	}
+}
+
+func TestDiscoveredWrongParallelDeterministic(t *testing.T) {
+	saved := pool.DefaultWorkers
+	t.Cleanup(func() { pool.DefaultWorkers = saved })
+
+	db := GenerateDB(1500, 1)
+	bank := WrongQueryBank(db, 4)
+	if len(bank) == 0 {
+		t.Fatal("empty bank")
+	}
+	pool.DefaultWorkers = 1
+	serial, err := DiscoveredWrong(db, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.DefaultWorkers = 8
+	for run := 0; run < 3; run++ {
+		par, err := DiscoveredWrong(db, bank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("run %d: parallel found %d, serial %d", run, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i].Question != serial[i].Question || par[i].Desc != serial[i].Desc ||
+				par[i].Query.String() != serial[i].Query.String() {
+				t.Fatalf("run %d: output order diverged at %d: %s/%s vs %s/%s",
+					run, i, par[i].Question, par[i].Desc, serial[i].Question, serial[i].Desc)
+			}
+		}
 	}
 }

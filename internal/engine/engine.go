@@ -39,6 +39,13 @@ type Options struct {
 	// nested loops and the difference probes linearly. Only useful as a
 	// benchmark baseline.
 	ForceNestedLoop bool
+	// Parallelism is the number of worker goroutines the physical operators
+	// may fan out to (hash-partitioned equi-join, partitioned base-scan and
+	// union builds). Values <= 1 keep every operator serial, as do inputs
+	// below ParallelRowThreshold; NumWorkers() is the natural setting for
+	// CPU-bound plans. Results are identical to serial evaluation up to
+	// tuple order, which remains deterministic for a fixed Parallelism.
+	Parallelism int
 }
 
 // Eval evaluates a query under set semantics. params binds the query's
@@ -151,11 +158,7 @@ func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
 		if err != nil {
 			return nil, err
 		}
-		out := &Rel[T]{Schema: in.Schema.Qualify(x.As)}
-		out.Tuples = in.Tuples
-		out.Anns = in.Anns
-		out.index = in.index
-		return out, nil
+		return renameRel(in, x.As), nil
 	case *ra.GroupBy:
 		if !e.s.Aggregates() {
 			return nil, fmt.Errorf("engine: %s-semiring evaluation does not support aggregation; use eval.EvalAggProv", e.s.Name())
@@ -169,14 +172,48 @@ func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
 	return nil, fmt.Errorf("engine: unknown node type %T", q)
 }
 
+// renameRel requalifies a relation's schema without copying tuple data:
+// the tuple slice is shared but capacity-clipped (tuples are only ever
+// appended, never overwritten, so an append on the rename reallocates
+// instead of scribbling on the input's backing array). Annotations ARE
+// overwritten in place when Add ⊕-merges a duplicate, so the annotation
+// slice must be copied; and the hash index is not shared — an Add on the
+// renamed relation would otherwise mutate the input's index under a
+// different schema.
+func renameRel[T any](in *Rel[T], as string) *Rel[T] {
+	anns := make([]T, len(in.Anns))
+	copy(anns, in.Anns)
+	return &Rel[T]{
+		Schema: in.Schema.Qualify(as),
+		Tuples: in.Tuples[:len(in.Tuples):len(in.Tuples)],
+		Anns:   anns,
+	}
+}
+
 // base scans a stored relation, annotating each tuple with its Leaf
-// annotation and ⊕-merging duplicates.
+// annotation and ⊕-merging duplicates. Large scans under a parallel
+// Options fan the deduplicating build out across tuple-hash partitions.
 func (e *exec[T]) base(x *ra.Rel) (*Rel[T], error) {
 	r := e.db.Relation(x.Name)
 	if r == nil {
 		return nil, fmt.Errorf("engine: unknown relation %q", x.Name)
 	}
 	out := NewRel[T](r.Schema)
+	if w := e.opts.workerCount(r.Len()); w > 1 {
+		err := parallelBuild(e.s, w, r.Len(),
+			func(i int) relation.Tuple { return r.Tuples[i] },
+			func(i int) (T, error) {
+				ann, err := e.s.Leaf(r.ID(i))
+				if err != nil {
+					return ann, fmt.Errorf("%w (relation %q)", err, x.Name)
+				}
+				return ann, nil
+			}, out)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	for i, t := range r.Tuples {
 		ann, err := e.s.Leaf(r.ID(i))
 		if err != nil {

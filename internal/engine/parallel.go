@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pool"
+	"repro/internal/relation"
+)
+
+// This file is the parallel physical layer: a hash-partitioned parallel
+// equi-join and a partitioned parallel build (deduplicating ⊕-merge) used
+// by base scans and unions. Both rest on the same property: partitioning
+// by the hash of the relevant key (join key, or whole tuple) makes the
+// shards independent — every pair of joinable tuples, and every pair of
+// duplicate tuples, lands in the same shard — so shards can be processed
+// concurrently with no shared mutable state and their outputs concatenated.
+// Shard assignment uses a fixed hash (FNV-1a) and shard outputs are
+// concatenated in shard order, so results are deterministic across runs.
+
+// ParallelRowThreshold is the minimum combined input size (in rows) at
+// which a physical operator fans out; smaller inputs stay serial because
+// partitioning and goroutine overhead dominates. It is a variable so tests
+// can force the parallel path on tiny inputs.
+var ParallelRowThreshold = 4096
+
+// NumWorkers returns the engine's natural parallelism: one worker per
+// available CPU.
+func NumWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// workerCount decides how many workers an operator over rows input rows
+// may use: 1 (serial) unless parallelism was requested and the input is
+// large enough to amortize fan-out overhead.
+func (o Options) workerCount(rows int) int {
+	if o.Parallelism <= 1 || rows < ParallelRowThreshold {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// fnvShard maps a key encoding to a shard in [0, shards) with FNV-1a.
+// maphash would be faster but is randomly seeded per process; a fixed hash
+// keeps shard assignment — and therefore output tuple order — deterministic
+// across runs.
+func fnvShard(key string, shards int) int {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}
+
+// shardByKey computes each tuple's join-key encoding in parallel and groups
+// tuple positions by key shard. Tuples with a NULL in any key column never
+// join (SQL equality semantics) and are dropped here, exactly as the serial
+// hash join skips them.
+func shardByKey[T any](rel *Rel[T], keyCols []int, shards, workers int) (pos [][]int, keys []string) {
+	n := rel.Len()
+	keys = make([]string, n)
+	null := make([]bool, n)
+	parallelRanges(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k := rel.Tuples[i].Project(keyCols)
+			if hasNullValue(k) {
+				null[i] = true
+				continue
+			}
+			keys[i] = k.Key()
+		}
+	})
+	pos = make([][]int, shards)
+	for i := 0; i < n; i++ {
+		if null[i] {
+			continue
+		}
+		s := fnvShard(keys[i], shards)
+		pos[s] = append(pos[s], i)
+	}
+	return pos, keys
+}
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker and
+// processes the chunks concurrently.
+func parallelRanges(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	_ = pool.ForEach(workers, workers, func(w int) error {
+		fn(w*n/workers, (w+1)*n/workers)
+		return nil
+	})
+}
+
+// parallelHashJoin joins l and r on the given key columns across `workers`
+// hash partitions: both inputs are partitioned by join-key hash, each shard
+// builds a hash table over its right partition and probes it with its left
+// partition, and the shard outputs are concatenated in shard order. combine
+// builds the output tuple for a candidate pair, reporting false when the
+// residual θ-condition rejects it. The row budget is enforced globally with
+// an atomic counter. Output tuples are distinct because the inputs are
+// (distinct pairs concatenate to distinct tuples), so the result needs no
+// ⊕-merge.
+func parallelHashJoin[T any](s Semiring[T], l, r *Rel[T], lKeys, rKeys []int, workers int, combine func(li, ri int) (relation.Tuple, bool, error), out *Rel[T]) error {
+	lPos, lKeyStr := shardByKey(l, lKeys, workers, workers)
+	rPos, rKeyStr := shardByKey(r, rKeys, workers, workers)
+
+	locals := make([]*Rel[T], workers)
+	var rows int64
+	err := pool.ForEach(workers, workers, func(w int) error {
+		build := make(map[string][]int, len(rPos[w]))
+		for _, ri := range rPos[w] {
+			k := rKeyStr[ri]
+			build[k] = append(build[k], ri)
+		}
+		local := NewRel[T](out.Schema)
+		for _, li := range lPos[w] {
+			for _, ri := range build[lKeyStr[li]] {
+				t, ok, err := combine(li, ri)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if atomic.AddInt64(&rows, 1) > int64(MaxIntermediateRows) {
+					return ErrRowBudget
+				}
+				local.appendDistinct(t, s.Times(l.Anns[li], r.Anns[ri]))
+			}
+		}
+		locals[w] = local
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	concatShards(locals, out)
+	return nil
+}
+
+// parallelBuild constructs a deduplicated annotated relation from n
+// (tuple, annotation) pairs by partitioning on the hash of the full tuple
+// encoding: all duplicates of a tuple land in the same shard, each shard
+// ⊕-merges its pairs in ascending input order (so merged annotations are
+// identical to the serial build's), and the shard outputs concatenate in
+// shard order. It backs the parallel base-scan and union paths.
+func parallelBuild[T any](s Semiring[T], workers, n int, tupleAt func(i int) relation.Tuple, annAt func(i int) (T, error), out *Rel[T]) error {
+	keys := make([]string, n)
+	parallelRanges(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = tupleAt(i).Key()
+		}
+	})
+	shards := make([][]int, workers)
+	for i := 0; i < n; i++ {
+		s := fnvShard(keys[i], workers)
+		shards[s] = append(shards[s], i)
+	}
+	locals := make([]*Rel[T], workers)
+	err := pool.ForEach(workers, workers, func(w int) error {
+		local := NewRel[T](out.Schema)
+		local.index = make(map[string]int, len(shards[w]))
+		for _, i := range shards[w] {
+			ann, err := annAt(i)
+			if err != nil {
+				return err
+			}
+			k := keys[i]
+			if j, ok := local.index[k]; ok {
+				local.Anns[j] = s.Plus(local.Anns[j], ann)
+				continue
+			}
+			local.index[k] = len(local.Tuples)
+			local.Tuples = append(local.Tuples, tupleAt(i))
+			local.Anns = append(local.Anns, ann)
+		}
+		locals[w] = local
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	concatShards(locals, out)
+	return nil
+}
+
+// concatShards appends the shard-local relations to out in shard order. The
+// merged index is left nil and rebuilt lazily on first probe.
+func concatShards[T any](locals []*Rel[T], out *Rel[T]) {
+	total := 0
+	for _, l := range locals {
+		total += l.Len()
+	}
+	out.Tuples = make([]relation.Tuple, 0, total)
+	out.Anns = make([]T, 0, total)
+	for _, l := range locals {
+		out.Tuples = append(out.Tuples, l.Tuples...)
+		out.Anns = append(out.Anns, l.Anns...)
+	}
+}

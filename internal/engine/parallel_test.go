@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// forceParallel lowers the row threshold so the parallel operators engage
+// on the tiny differential-test inputs, restoring it on cleanup.
+func forceParallel(t testing.TB) Options {
+	t.Helper()
+	saved := ParallelRowThreshold
+	ParallelRowThreshold = 0
+	t.Cleanup(func() { ParallelRowThreshold = saved })
+	return Options{Parallelism: 4}
+}
+
+// TestParallelMatchesSerialSet: partitioned join/build ≡ serial engine
+// under set semantics over random SPJUD plans.
+func TestParallelMatchesSerialSet(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(20260730))
+	for trial := 0; trial < 200; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		serial, err := Run[bool](Set, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: serial: %v\n%s", trial, err, q)
+		}
+		par, err := RunOpts[bool](Set, q, db, nil, popts)
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v\n%s", trial, err, q)
+		}
+		if !sameKeySets(keySet(serial.Tuples), keySet(par.Tuples)) {
+			t.Fatalf("trial %d: parallel vs serial set results differ\nquery: %s\nserial %v\nparallel %v",
+				trial, q, serial.Tuples, par.Tuples)
+		}
+	}
+}
+
+// TestParallelMatchesSerialCount: derivation counts agree tuple-by-tuple
+// between the parallel and serial paths.
+func TestParallelMatchesSerialCount(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(6502))
+	for trial := 0; trial < 200; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		serial, err := Run[int64](Count, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: serial: %v\n%s", trial, err, q)
+		}
+		par, err := RunOpts[int64](Count, q, db, nil, popts)
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v\n%s", trial, err, q)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("trial %d: support sizes differ: serial %d parallel %d\nquery: %s",
+				trial, serial.Len(), par.Len(), q)
+		}
+		for i, tup := range serial.Tuples {
+			j := par.Lookup(tup)
+			if j < 0 {
+				t.Fatalf("trial %d: parallel missing %v\nquery: %s", trial, tup, q)
+			}
+			if par.Anns[j] != serial.Anns[i] {
+				t.Fatalf("trial %d: count of %v: serial %d parallel %d\nquery: %s",
+					trial, tup, serial.Anns[i], par.Anns[j], q)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialWhy: provenance expressions from the parallel
+// engine are logically equivalent to the serial engine's (checked on
+// random assignments).
+func TestParallelMatchesSerialWhy(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(1541))
+	for trial := 0; trial < 100; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		serial, err := Run(Why, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: serial: %v\n%s", trial, err, q)
+		}
+		par, err := RunOpts(Why, q, db, nil, popts)
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v\n%s", trial, err, q)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("trial %d: tuple sets differ: serial %d parallel %d\nquery: %s",
+				trial, serial.Len(), par.Len(), q)
+		}
+		allIDs := db.AllIDs()
+		for k := 0; k < 16; k++ {
+			assign := map[int]bool{}
+			for _, id := range allIDs {
+				assign[int(id)] = rng.Intn(2) == 0
+			}
+			fn := func(id int) bool { return assign[id] }
+			for i, tup := range serial.Tuples {
+				j := par.Lookup(tup)
+				if j < 0 {
+					t.Fatalf("trial %d: parallel missing %v\nquery: %s", trial, tup, q)
+				}
+				if serial.Anns[i].Eval(fn) != par.Anns[j].Eval(fn) {
+					t.Fatalf("trial %d: provenance of %v inequivalent\nserial: %s\nparallel: %s\nquery: %s",
+						trial, tup, serial.Anns[i], par.Anns[j], q)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterministic: for a fixed Parallelism the parallel engine
+// produces the same tuples in the same order on every run (shard
+// assignment uses a fixed hash; shard outputs concatenate in shard order).
+func TestParallelDeterministic(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(90125))
+	for trial := 0; trial < 40; trial++ {
+		db := randomDB(rng)
+		q := randomPlan(rng)
+		a, err := RunOpts[int64](Count, q, db, nil, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunOpts[int64](Count, q, db, nil, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("trial %d: lengths differ across runs: %d vs %d", trial, a.Len(), b.Len())
+		}
+		for i := range a.Tuples {
+			if !a.Tuples[i].Identical(b.Tuples[i]) || a.Anns[i] != b.Anns[i] {
+				t.Fatalf("trial %d: position %d differs across runs: %v vs %v",
+					trial, i, a.Tuples[i], b.Tuples[i])
+			}
+		}
+	}
+}
+
+// TestParallelJoinRowBudget: the atomic global row budget aborts a
+// partitioned join that exceeds MaxIntermediateRows.
+func TestParallelJoinRowBudget(t *testing.T) {
+	popts := forceParallel(t)
+	savedRows := MaxIntermediateRows
+	MaxIntermediateRows = 10
+	t.Cleanup(func() { MaxIntermediateRows = savedRows })
+	db := joinDB(200)
+	q := &ra.Join{
+		L:    &ra.Rename{As: "x", In: &ra.Rel{Name: "L"}},
+		R:    &ra.Rename{As: "y", In: &ra.Rel{Name: "R"}},
+		Cond: ra.Eq("x.k", "y.k"),
+	}
+	_, err := RunOpts[bool](Set, q, db, nil, popts)
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("err = %v, want ErrRowBudget", err)
+	}
+}
+
+// TestCountSemiringSaturates: the counting semiring saturates instead of
+// wrapping (a wrapped-to-zero count would prune a live tuple).
+func TestCountSemiringSaturates(t *testing.T) {
+	if got := Count.Plus(math.MaxInt64, 5); got != math.MaxInt64 {
+		t.Errorf("Plus overflow: got %d", got)
+	}
+	if got := Count.Times(3<<40, 3<<40); got != math.MaxInt64 {
+		t.Errorf("Times overflow: got %d", got)
+	}
+	if got := Count.Times(0, math.MaxInt64); got != 0 {
+		t.Errorf("Times zero: got %d", got)
+	}
+	if got := Count.Plus(2, 3); got != 5 {
+		t.Errorf("Plus small: got %d", got)
+	}
+	if got := Count.Times(6, 7); got != 42 {
+		t.Errorf("Times small: got %d", got)
+	}
+}
+
+// TestCountOverflowKeepsSupport is the end-to-end regression: a 65-way
+// cross product of a tuple with 2 derivations has 2^65 derivations, which
+// wraps int64 to exactly 0 — before saturation the tuple was pruned from
+// the support as "zero count".
+func TestCountOverflowKeepsSupport(t *testing.T) {
+	db := relation.NewDatabase()
+	db.CreateRelation("R", relation.NewSchema(relation.Attr("a", relation.KindString)))
+	db.Insert("R", relation.NewTuple(relation.String("x")))
+	db.Insert("R", relation.NewTuple(relation.String("x")))
+	q := ra.Node(&ra.Rename{As: "r1", In: &ra.Rel{Name: "R"}})
+	for i := 2; i <= 65; i++ {
+		q = &ra.Join{L: q, R: &ra.Rename{As: fmt.Sprintf("r%d", i), In: &ra.Rel{Name: "R"}}}
+	}
+	r, err := Run[int64](Count, q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("support size = %d, want 1 (overflow pruned the tuple?)", r.Len())
+	}
+	if r.Anns[0] != math.MaxInt64 {
+		t.Errorf("count = %d, want saturation at MaxInt64", r.Anns[0])
+	}
+}
+
+// TestRenameCopyOnWrite is the regression for the aliasing bug: the output
+// of Rename shared the input's tuple/annotation slices at full capacity and
+// its hash index, so an Add on the renamed relation could scribble on the
+// input's backing arrays and corrupt its index under a different schema.
+func TestRenameCopyOnWrite(t *testing.T) {
+	in := NewRel[int64](relation.NewSchema(relation.Attr("a", relation.KindInt)))
+	in.Add(Count, relation.NewTuple(relation.Int(1)), 1)
+	in.Add(Count, relation.NewTuple(relation.Int(2)), 1)
+
+	out := renameRel(in, "x")
+	if got := out.Schema.Attrs[0].Name; got != "x.a" {
+		t.Fatalf("renamed schema attr = %q, want x.a", got)
+	}
+	// ⊕-merge first: Add overwrites the annotation slot in place, so this
+	// must not write through to the input's annotation array.
+	out.Add(Count, relation.NewTuple(relation.Int(2)), 5)
+	if i := in.Lookup(relation.NewTuple(relation.Int(2))); in.Anns[i] != 1 {
+		t.Errorf("merge on the renamed relation mutated the input's annotation: %v", in.Anns)
+	}
+	out.Add(Count, relation.NewTuple(relation.Int(3)), 1)
+
+	if in.Len() != 2 {
+		t.Fatalf("input length changed to %d after mutating the rename", in.Len())
+	}
+	if in.Lookup(relation.NewTuple(relation.Int(3))) >= 0 {
+		t.Error("tuple added to the renamed relation leaked into the input's index")
+	}
+	if i := in.Lookup(relation.NewTuple(relation.Int(2))); i != 1 || in.Anns[i] != 1 {
+		t.Errorf("input annotation mutated: pos %d anns %v", i, in.Anns)
+	}
+	if out.Len() != 3 {
+		t.Errorf("renamed relation length = %d, want 3", out.Len())
+	}
+	if j := out.Lookup(relation.NewTuple(relation.Int(2))); j != 1 || out.Anns[j] != 6 {
+		t.Errorf("renamed relation merge wrong: pos %d anns %v", j, out.Anns)
+	}
+}
+
+// TestCrossExceedsBudget checks the overflow-proof cross-product budget
+// test, including sizes whose product overflows int.
+func TestCrossExceedsBudget(t *testing.T) {
+	const big = math.MaxInt / 2
+	cases := []struct {
+		l, r, budget int
+		want         bool
+	}{
+		{0, big, 1_000_000, false},
+		{big, 0, 1_000_000, false},
+		{1000, 1000, 1_000_000, false},
+		{1000, 1001, 1_000_000, true},
+		{big, big, 1_000_000, true}, // l*r would overflow int
+		{big, 2, math.MaxInt, false},
+		{big, 3, math.MaxInt, true}, // product overflows int itself
+		{1, 1_000_000, 1_000_000, false},
+		{2, 1_000_000, 1_000_000, true},
+	}
+	for _, c := range cases {
+		if got := crossExceedsBudget(c.l, c.r, c.budget); got != c.want {
+			t.Errorf("crossExceedsBudget(%d, %d, %d) = %v, want %v", c.l, c.r, c.budget, got, c.want)
+		}
+	}
+}

@@ -32,16 +32,26 @@ func (e *exec[T]) join(l, r *Rel[T], cond ra.Expr) (*Rel[T], error) {
 		}
 	}
 	out := NewRel[T](outSchema)
-	emit := func(li, ri int) error {
+	// combine builds the output tuple for a candidate pair, applying the
+	// residual θ-condition; it is shared by the serial and parallel paths
+	// (the compiled predicate closures are stateless and safe to share).
+	combine := func(li, ri int) (relation.Tuple, bool, error) {
 		t := l.Tuples[li].Concat(r.Tuples[ri])
 		if pred != nil {
 			v, err := pred(t)
 			if err != nil {
-				return err
+				return nil, false, err
 			}
 			if !ra.Truthy(v) {
-				return nil
+				return nil, false, nil
 			}
+		}
+		return t, true, nil
+	}
+	emit := func(li, ri int) error {
+		t, ok, err := combine(li, ri)
+		if err != nil || !ok {
+			return err
 		}
 		if out.Len() >= MaxIntermediateRows {
 			return ErrRowBudget
@@ -51,6 +61,9 @@ func (e *exec[T]) join(l, r *Rel[T], cond ra.Expr) (*Rel[T], error) {
 		return nil
 	}
 	if len(lKeys) > 0 {
+		if w := e.opts.workerCount(l.Len() + r.Len()); w > 1 {
+			return out, parallelHashJoin(e.s, l, r, lKeys, rKeys, w, combine, out)
+		}
 		return out, hashJoin(l, r, lKeys, rKeys, emit)
 	}
 	for li := range l.Tuples {
@@ -97,11 +110,14 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 		attrs = append(attrs, r.Schema.Attrs[j])
 	}
 	out := NewRel[T](relation.Schema{Attrs: attrs})
+	combine := func(li, ri int) (relation.Tuple, bool, error) {
+		return l.Tuples[li].Concat(r.Tuples[ri].Project(rOnly)), true, nil
+	}
 	emit := func(li, ri int) error {
 		if out.Len() >= MaxIntermediateRows {
 			return ErrRowBudget
 		}
-		t := l.Tuples[li].Concat(r.Tuples[ri].Project(rOnly))
+		t, _, _ := combine(li, ri)
 		// Distinct: a matching pair agrees on the shared columns, so two
 		// pairs producing the same output tuple would be identical inputs.
 		out.appendDistinct(t, e.s.Times(l.Anns[li], r.Anns[ri]))
@@ -109,7 +125,7 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 	}
 	if len(shared) == 0 {
 		// Cross product.
-		if l.Len()*r.Len() > MaxIntermediateRows {
+		if crossExceedsBudget(l.Len(), r.Len(), MaxIntermediateRows) {
 			return nil, ErrRowBudget
 		}
 		for li := range l.Tuples {
@@ -144,13 +160,36 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 		}
 		return out, nil
 	}
+	if w := e.opts.workerCount(l.Len() + r.Len()); w > 1 {
+		return out, parallelHashJoin(e.s, l, r, lCols, rCols, w, combine, out)
+	}
 	return out, hashJoin(l, r, lCols, rCols, emit)
 }
 
 // union hash-merges both inputs, ⊕-combining annotations of identical
-// tuples.
+// tuples. Above the parallel threshold the merge is partitioned by tuple
+// hash; identical tuples land in the same shard and merge in left-then-
+// right order, matching the serial result annotation-for-annotation.
 func (e *exec[T]) union(l, r *Rel[T]) *Rel[T] {
 	out := NewRel[T](l.Schema)
+	nl := l.Len()
+	if w := e.opts.workerCount(nl + r.Len()); w > 1 {
+		tupleAt := func(i int) relation.Tuple {
+			if i < nl {
+				return l.Tuples[i]
+			}
+			return r.Tuples[i-nl]
+		}
+		annAt := func(i int) (T, error) {
+			if i < nl {
+				return l.Anns[i], nil
+			}
+			return r.Anns[i-nl], nil
+		}
+		// annAt never fails, so neither does the build.
+		_ = parallelBuild(e.s, w, nl+r.Len(), tupleAt, annAt, out)
+		return out
+	}
 	for i, t := range l.Tuples {
 		out.Add(e.s, t, l.Anns[i])
 	}
@@ -211,6 +250,13 @@ func Intersect[T any](s Semiring[T], l, r *Rel[T]) (*Rel[T], error) {
 		out.appendDistinct(t, ann)
 	}
 	return out, nil
+}
+
+// crossExceedsBudget reports whether l*r > budget without computing the
+// product, which can overflow int for two large inputs (and a wrapped
+// product could slip past the budget check).
+func crossExceedsBudget(l, r, budget int) bool {
+	return l > 0 && r > budget/l
 }
 
 func hasNullValue(t relation.Tuple) bool {

@@ -17,6 +17,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/boolexpr"
 	"repro/internal/relation"
@@ -99,6 +100,11 @@ func (SetSemiring) Name() string { return "set" }
 // The count of an output tuple is its number of derivations from base
 // tuples; the support (tuples with nonzero count) equals the set-semantics
 // result, which makes the counting engine a cardinality-only fast path.
+//
+// Counts saturate at math.MaxInt64 instead of wrapping: deep cross products
+// overflow int64, and a count wrapped to zero would prune a live tuple from
+// the support. Saturation keeps the support exact (a saturated count is
+// still nonzero) at the cost of the count's precise value.
 type CountSemiring struct{}
 
 // Zero implements Semiring.
@@ -107,11 +113,26 @@ func (CountSemiring) Zero() int64 { return 0 }
 // One implements Semiring.
 func (CountSemiring) One() int64 { return 1 }
 
-// Plus implements Semiring.
-func (CountSemiring) Plus(a, b int64) int64 { return a + b }
+// Plus implements Semiring. Counts are nonnegative; the sum saturates at
+// math.MaxInt64.
+func (CountSemiring) Plus(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
 
-// Times implements Semiring.
-func (CountSemiring) Times(a, b int64) int64 { return a * b }
+// Times implements Semiring. Counts are nonnegative; the product saturates
+// at math.MaxInt64.
+func (CountSemiring) Times(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
 
 // Minus implements Semiring: presence on the right annihilates the tuple
 // (set-semantics difference on the support).

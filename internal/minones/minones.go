@@ -24,13 +24,17 @@ type Status int
 
 // Outcomes.
 const (
-	// Infeasible means the formula has no model at all.
+	// Infeasible means the formula provably has no model at all.
 	Infeasible Status = iota
 	// Optimal means the returned model provably minimizes the counted ones.
 	Optimal
 	// Feasible means a model was found but optimality was not proven
 	// within the configured budget.
 	Feasible
+	// Unknown means the conflict budget was exhausted before any model was
+	// found or unsatisfiability was proven. Unlike Infeasible, the formula
+	// may well have models; callers must not report it as unsatisfiable.
+	Unknown
 )
 
 func (s Status) String() string {
@@ -41,6 +45,8 @@ func (s Status) String() string {
 		return "optimal"
 	case Feasible:
 		return "feasible"
+	case Unknown:
+		return "unknown"
 	}
 	return "?"
 }
@@ -93,7 +99,7 @@ func Minimize(numVars int, clauses [][]int, counted []int, opt Options) Result {
 		return Result{Status: Infeasible}
 	}
 	if st == sat.Unknown {
-		return Result{Status: Infeasible}
+		return Result{Status: Unknown}
 	}
 	best := snapshot(s, numVars)
 	bestCost := best.Count(counted)
@@ -178,7 +184,10 @@ func Enumerate(numVars int, clauses [][]int, counted []int, maxModels int, opt O
 		}
 	}
 	if best == nil {
-		return Result{Status: Infeasible}
+		// The loop exited without a model and without an unsatisfiability
+		// proof (conflict budget exhausted, or maxModels <= 0): the formula's
+		// status is genuinely undetermined.
+		return Result{Status: Unknown, ModelsTried: tried}
 	}
 	return Result{Status: Feasible, Model: best, Cost: bestCost, ModelsTried: tried}
 }

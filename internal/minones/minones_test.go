@@ -227,3 +227,69 @@ func TestModelCount(t *testing.T) {
 		t.Error("status strings")
 	}
 }
+
+// pigeonhole builds the PHP(pigeons, holes) clauses: pigeon i in hole j is
+// variable i*holes+j+1. Unsatisfiable when pigeons > holes, and any CDCL
+// refutation requires conflicts, so a tiny conflict budget forces the
+// solver to give up with sat.Unknown.
+func pigeonhole(pigeons, holes int) (numVars int, clauses [][]int) {
+	v := func(i, j int) int { return i*holes + j + 1 }
+	for i := 0; i < pigeons; i++ {
+		var c []int
+		for j := 0; j < holes; j++ {
+			c = append(c, v(i, j))
+		}
+		clauses = append(clauses, c)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				clauses = append(clauses, []int{-v(i, j), -v(k, j)})
+			}
+		}
+	}
+	return pigeons * holes, clauses
+}
+
+// TestBudgetExhaustionIsUnknownNotInfeasible is the regression for the
+// status-conflation bug: a Solve that merely ran out of conflict budget
+// used to be reported as Infeasible, making callers claim "witness formula
+// unsatisfiable" for formulas that were never proven unsat.
+func TestBudgetExhaustionIsUnknownNotInfeasible(t *testing.T) {
+	nv, clauses := pigeonhole(6, 5)
+	counted := make([]int, nv)
+	for i := range counted {
+		counted[i] = i + 1
+	}
+	tiny := Options{MaxConflictsPerCall: 1}
+
+	r := Minimize(nv, clauses, counted, tiny)
+	if r.Status != Unknown {
+		t.Errorf("Minimize under budget: status = %v, want unknown", r.Status)
+	}
+	r = Enumerate(nv, clauses, counted, 8, tiny)
+	if r.Status != Unknown {
+		t.Errorf("Enumerate under budget: status = %v, want unknown", r.Status)
+	}
+
+	// Unbounded, the same formula is provably infeasible.
+	r = Minimize(nv, clauses, counted, Options{})
+	if r.Status != Infeasible {
+		t.Errorf("Minimize unbounded: status = %v, want infeasible", r.Status)
+	}
+	r = Enumerate(nv, clauses, counted, 8, Options{})
+	if r.Status != Infeasible {
+		t.Errorf("Enumerate unbounded: status = %v, want infeasible", r.Status)
+	}
+
+	// A satisfiable instance under the same tiny budget must never be
+	// reported infeasible either (it may be solved, or come back unknown).
+	nv, clauses = pigeonhole(5, 5)
+	counted = counted[:nv]
+	if r := Minimize(nv, clauses, counted, tiny); r.Status == Infeasible {
+		t.Error("Minimize reported a satisfiable formula infeasible under budget")
+	}
+	if r := Enumerate(nv, clauses, counted, 8, tiny); r.Status == Infeasible {
+		t.Error("Enumerate reported a satisfiable formula infeasible under budget")
+	}
+}

@@ -1,0 +1,70 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// fan-out loops: the engine's partitioned physical operators, the core
+// witness-search loops (Basic, OptSigmaAll), course grading, and the
+// experiment driver. Every fan-out is an index space [0, n) whose
+// iterations share no mutable state; callers collect results into
+// per-index slots, so output order — and therefore observable behavior —
+// stays deterministic regardless of scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the parallelism the fan-out loops use unless a caller
+// picks its own: one worker per available CPU. Tests override it to force
+// serial or oversubscribed execution.
+var DefaultWorkers = runtime.GOMAXPROCS(0)
+
+// ForEach runs fn(i) for i in [0, n), spreading the calls over at most
+// workers goroutines (serial when workers <= 1 or n <= 1). Iterations are
+// claimed in index order. Once any call fails, remaining unstarted calls
+// are skipped and ForEach returns the lowest-indexed error among the calls
+// that ran. With a single failing index the reported error is therefore
+// deterministic; when several indices would fail, which of them ran before
+// the stop flag was observed can depend on scheduling.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64 = -1
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

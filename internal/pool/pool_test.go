@@ -1,0 +1,77 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	want := errors.New("boom")
+	// Indices 30 and 60 fail; whichever calls ran, the reported error must
+	// be the lowest-indexed one among them (deterministically 30 once both
+	// have run, and never a fabricated error).
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("%w at %d", want, i)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, want) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	if err := ForEach(8, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := ForEach(8, 1, func(i int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("single-element fan-out never ran")
+	}
+}
+
+func TestForEachStopsAfterFailure(t *testing.T) {
+	// After a failure, unstarted calls are skipped: with one worker the
+	// loop must stop at the first error.
+	var ran int32
+	err := ForEach(1, 100, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d calls, want 4", ran)
+	}
+}

@@ -170,8 +170,13 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	}
 
 	fks := p.ForeignKeys()
-	var best *Counterexample
 	t0 = time.Now()
+	// Solve every candidate group first, then accept/reject the solved
+	// candidates together through the batch layer. Aggregate plans (and
+	// parameterized candidates) make verifyCandidates fall back to
+	// per-candidate Verify — the γ fallback of the batched accept-reject —
+	// so the decisions match the old one-at-a-time loop exactly.
+	var pending []*Counterexample
 	for _, c := range cands {
 		g1 := ap1.GroupByKey(c.key)
 		g2 := ap2.GroupByKey(c.key)
@@ -209,7 +214,13 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 		} else if len(origParams) > 0 {
 			ce.Params = origParams
 		}
-		if Verify(Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}, ce) != nil {
+		pending = append(pending, ce)
+	}
+	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}
+	oks := verifyCandidates(verifyProblem, pending)
+	var best *Counterexample
+	for i, ce := range pending {
+		if !oks[i] {
 			continue
 		}
 		if best == nil || ce.Size() < best.Size() {
@@ -528,6 +539,12 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 
 	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}
 	var result *Counterexample
+	// The model loop stays adaptive — each candidate's acceptance decides
+	// whether the solver enumerates another model, so verifying one at a
+	// time (stopping at the first success) beats any batch width here.
+	// Batching would not help anyway: every candidate carries its own
+	// chosen HAVING parameters and query rewrites, the case the batch
+	// layer's γ fallback hands back to per-candidate Verify.
 	err = forEachWitnessModel(b, counted, varToID, maxRetries, func(ids []int) bool {
 		stats.ModelsTried++
 		closed, ferr := fkClose(ids, p.DB, fks)

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/boolexpr"
 	"repro/internal/engine"
@@ -18,6 +18,14 @@ import (
 // Jesse's courses); this enumerates them all: it first determines the
 // global optimum size k* across every differing tuple, then enumerates all
 // witnesses of size k* with the SAT solver.
+//
+// Candidate acceptance is batched: the SAT models of every witness case are
+// decoded and deduplicated first, then verified together through
+// VerifyBatch — one bitvector-semiring engine pass per ~64 candidates
+// instead of a fresh subinstance evaluation each. Witness cases whose CNF
+// duplicates an earlier case's are skipped outright (identical formulas
+// enumerate identical models, which the id-set dedup would discard anyway),
+// saving both the solver enumeration and the redundant Verify work.
 func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 	if max <= 0 {
 		max = 64
@@ -41,6 +49,7 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 	}
 	var cases []tupleCase
 	best := -1
+	seenCase := map[string]bool{}
 	for _, side := range []struct {
 		qa, qb ra.Node
 		diff   *relation.Relation
@@ -56,6 +65,11 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 			b, counted, varToID, err := buildCNF(prov, p.DB, fks)
 			if err != nil {
 				return nil, err
+			}
+			if key := cnfKey(b.Clauses, counted, varToID); seenCase[key] {
+				continue
+			} else {
+				seenCase[key] = true
 			}
 			r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
 			if r.Status == minones.Infeasible || r.Status == minones.Unknown {
@@ -75,30 +89,48 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 		return nil, fmt.Errorf("core: no witnesses found")
 	}
 
+	// Collect every fresh candidate id-set across the optimal cases, then
+	// verify them in one batch.
+	type candidate struct {
+		ids []int
+		t   relation.Tuple
+	}
 	seen := map[string]bool{}
-	var out []*Counterexample
+	var scratch []byte
+	var pending []candidate
 	for _, c := range cases {
-		if c.optima != best || len(out) >= max {
+		if c.optima != best {
 			continue
 		}
 		models := minones.EnumerateAtCost(c.nVars, c.cnf, c.vars, best, max, minones.Options{})
 		for _, m := range models {
 			ids := modelToIDs(m, c.vars, c.varID)
 			sort.Ints(ids)
-			key := idsKey(ids)
-			if seen[key] {
+			scratch = idsKey(ids, scratch[:0])
+			if seen[string(scratch)] {
 				continue
 			}
-			seen[key] = true
-			sub, tids := subinstanceFromIDs(p.DB, ids)
-			ce := &Counterexample{DB: sub, IDs: tids, Witness: c.t}
-			if Verify(p, ce) != nil {
-				continue
-			}
-			out = append(out, ce)
-			if len(out) >= max {
-				break
-			}
+			seen[string(scratch)] = true
+			pending = append(pending, candidate{ids: ids, t: c.t})
+		}
+	}
+	idSets := make([][]int, len(pending))
+	for i, c := range pending {
+		idSets[i] = c.ids
+	}
+	ces, err := VerifyBatch(p, idSets)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Counterexample
+	for i, ce := range ces {
+		if ce == nil {
+			continue
+		}
+		ce.Witness = pending[i].t
+		out = append(out, ce)
+		if len(out) >= max {
+			break
 		}
 	}
 	if len(out) == 0 {
@@ -120,10 +152,38 @@ func provOfPushedTuple(qa, qb ra.Node, t relation.Tuple, p Problem) (*boolexpr.E
 	return ann.Anns[i], nil
 }
 
-func idsKey(ids []int) string {
-	parts := make([]string, len(ids))
-	for i, id := range ids {
-		parts[i] = fmt.Sprint(id)
+// idsKey appends a compact binary encoding of the (sorted) id set to buf
+// and returns the extended buffer. The previous implementation went through
+// fmt.Sprint and strings.Join — two allocations per id on the enumeration
+// hot path; this one allocates nothing (callers reuse the buffer and only
+// the map's own string interning copies it, and only when the key is new).
+func idsKey(ids []int, buf []byte) []byte {
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
 	}
-	return strings.Join(parts, ",")
+	return buf
+}
+
+// cnfKey fingerprints a grounded witness formula: the clauses, the counted
+// variables, and — crucially — which base tuple each counted variable
+// stands for. Two witness cases with equal keys enumerate models that
+// decode to identical id sets, so the second case's solver work is pure
+// redundancy. Clause/variable numbering is build-order dependent, and
+// structurally isomorphic formulas over different base tuples (same
+// clauses, different varToID grounding) decode to different witnesses, so
+// the grounding must be part of the key.
+func cnfKey(clauses [][]int, counted []int, varToID map[int]int) string {
+	var buf []byte
+	for _, c := range clauses {
+		for _, lit := range c {
+			buf = binary.AppendVarint(buf, int64(lit))
+		}
+		buf = append(buf, 0)
+	}
+	buf = append(buf, 1)
+	for _, v := range counted {
+		buf = binary.AppendVarint(buf, int64(v))
+		buf = binary.AppendVarint(buf, int64(varToID[v]))
+	}
+	return string(buf)
 }

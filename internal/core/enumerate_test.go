@@ -1,8 +1,11 @@
 package core
 
 import (
+	"strconv"
+	"strings"
 	"testing"
 
+	"repro/internal/raparser"
 	"repro/internal/relation"
 	"repro/internal/testdb"
 )
@@ -33,7 +36,7 @@ func TestEnumerateSmallestExample2(t *testing.T) {
 		if ce.Size() != 3 {
 			t.Errorf("counterexample size %d, want 3", ce.Size())
 		}
-		key := idsKey(toInts(ce.IDs))
+		key := readableIDs(ce.IDs)
 		if _, ok := want[key]; !ok {
 			t.Errorf("unexpected counterexample %s", key)
 		} else {
@@ -50,12 +53,38 @@ func TestEnumerateSmallestExample2(t *testing.T) {
 	}
 }
 
-func toInts(ids []relation.TupleID) []int {
-	out := make([]int, len(ids))
+// readableIDs renders an id set as "1,4,5" (idsKey is now a binary
+// encoding, unsuitable for test expectations).
+func readableIDs(ids []relation.TupleID) string {
+	parts := make([]string, len(ids))
 	for i, id := range ids {
-		out[i] = int(id)
+		parts[i] = strconv.Itoa(int(id))
 	}
-	return out
+	return strings.Join(parts, ",")
+}
+
+// TestEnumerateSmallestIsomorphicWitnesses is the regression for the case
+// fingerprint: two differing tuples whose witness formulas are structurally
+// identical CNFs (here, single-variable formulas) over *different* base
+// tuples must both be enumerated — the dedup key has to include the
+// SAT-variable-to-tuple-id grounding, not just the clause structure.
+func TestEnumerateSmallestIsomorphicWitnesses(t *testing.T) {
+	db := relation.NewDatabase()
+	db.CreateRelation("R", relation.NewSchema(relation.Attr("a", relation.KindInt)))
+	db.Insert("R", relation.NewTuple(relation.Int(1)))
+	db.Insert("R", relation.NewTuple(relation.Int(2)))
+	q1 := raparser.MustParse("R")
+	q2 := raparser.MustParse("select[a = 999](R)")
+	ces, err := EnumerateSmallest(Problem{Q1: q1, Q2: q2, DB: db}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ces) != 2 {
+		for _, ce := range ces {
+			t.Logf("counterexample: %v", ce.IDs)
+		}
+		t.Fatalf("found %d smallest counterexamples, want 2 ({1} and {2})", len(ces))
+	}
 }
 
 func TestEnumerateSmallestRespectsMax(t *testing.T) {

@@ -204,16 +204,23 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 	}
 	stats.ProvEvalTime = time.Since(t0)
 
-	combos := 1
+	nCombos := 1
 	for _, s := range witnessSets {
-		combos *= len(s)
-		if combos > maxCombos {
+		nCombos *= len(s)
+		if nCombos > maxCombos {
 			return nil, nil, fmt.Errorf("core: SPJUD* enumeration exceeds %d combinations", maxCombos)
 		}
 	}
 
 	t0 = time.Now()
-	var best *Counterexample
+	// Enumerate every combination's (FK-closed) id union first, then check
+	// them all with the batched accept-reject layer: one bitvector engine
+	// pass per chunk of candidates instead of a fresh subinstance
+	// evaluation per combination. Only candidates that both disagree and
+	// improve on the current best are materialized as databases.
+	var combos [][]int
+	seen := map[string]bool{}
+	var scratch []byte
 	pick := make([]int, len(witnessSets))
 	for {
 		// Build the union of the current picks.
@@ -232,12 +239,12 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			if best == nil || len(ids) < best.Size() {
-				sub, tids := subinstanceFromIDs(p.DB, ids)
-				cand := &Counterexample{DB: sub, IDs: tids, Witness: t}
-				if Verify(p, cand) == nil {
-					best = cand
-				}
+			// Distinct picks often close over the same id union; check each
+			// union once (first occurrence keeps the tie-break order).
+			scratch = idsKey(ids, scratch[:0])
+			if !seen[string(scratch)] {
+				seen[string(scratch)] = true
+				combos = append(combos, ids)
 			}
 		}
 		// Advance the odometer.
@@ -250,6 +257,30 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 			pick[i] = 0
 		}
 		if i == len(pick) {
+			break
+		}
+	}
+	disagree, err := DisagreeBatch(p, combos)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Smallest-first, ties in enumeration order — the same candidate the
+	// incremental best-tracking loop used to settle on (fkClose returns
+	// deduplicated ids, so len(ids) is the subinstance size).
+	order := make([]int, len(combos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(combos[order[a]]) < len(combos[order[b]]) })
+	var best *Counterexample
+	for _, i := range order {
+		if !disagree[i] {
+			continue
+		}
+		sub, tids := subinstanceFromIDs(p.DB, combos[i])
+		cand := &Counterexample{DB: sub, IDs: tids, Witness: t}
+		if Verify(p, cand) == nil {
+			best = cand
 			break
 		}
 	}

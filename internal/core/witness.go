@@ -189,7 +189,11 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var best *Counterexample
+	// Pick the winner by id-set size before materializing any database:
+	// the ids are distinct (one per counted SAT variable), so len(res.ids)
+	// is the subinstance size and only the chosen candidate pays for
+	// construction.
+	bestIdx := -1
 	unknowns := 0
 	for i, res := range results {
 		stats.ModelsTried += res.modelsTried
@@ -200,10 +204,14 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 		if !res.found {
 			continue
 		}
-		if best == nil || len(res.ids) < best.Size() {
-			sub, tids := subinstanceFromIDs(p.DB, res.ids)
-			best = &Counterexample{DB: sub, IDs: tids, Witness: tuples[i]}
+		if bestIdx < 0 || len(res.ids) < len(results[bestIdx].ids) {
+			bestIdx = i
 		}
+	}
+	var best *Counterexample
+	if bestIdx >= 0 {
+		sub, tids := subinstanceFromIDs(p.DB, results[bestIdx].ids)
+		best = &Counterexample{DB: sub, IDs: tids, Witness: tuples[bestIdx]}
 	}
 	stats.TotalTime = time.Since(start)
 	if best == nil {
@@ -361,7 +369,8 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var best *Counterexample
+	// As in Basic: choose by id-set size first, build one database.
+	bestIdx := -1
 	for i, res := range results {
 		stats.ProvEvalTime += res.prov
 		stats.SolverTime += res.solve
@@ -369,15 +378,16 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 		if !res.found {
 			continue
 		}
-		if best == nil || len(res.ids) < best.Size() {
-			sub, tids := subinstanceFromIDs(p.DB, res.ids)
-			best = &Counterexample{DB: sub, IDs: tids, Witness: tasks[i].t}
+		if bestIdx < 0 || len(res.ids) < len(results[bestIdx].ids) {
+			bestIdx = i
 		}
 	}
 	stats.TotalTime = time.Since(start)
-	if best == nil {
+	if bestIdx < 0 {
 		return nil, nil, fmt.Errorf("core: no satisfiable witness found")
 	}
+	sub, tids := subinstanceFromIDs(p.DB, results[bestIdx].ids)
+	best := &Counterexample{DB: sub, IDs: tids, Witness: tasks[bestIdx].t}
 	stats.WitnessSize = best.Size()
 	stats.Optimal = true
 	if err := Verify(p, best); err != nil {

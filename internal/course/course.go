@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mutation"
 	"repro/internal/pool"
@@ -222,4 +223,50 @@ func DiscoveredWrong(db *relation.Database, bank []WrongQuery) ([]WrongQuery, er
 		}
 	}
 	return found, nil
+}
+
+// Explained pairs a discovered wrong query with the smallest
+// counterexamples that demonstrate the mistake — the feedback a grader
+// would attach to the submission.
+type Explained struct {
+	Wrong WrongQuery
+	// CEs are up to maxEach smallest counterexamples; empty when the
+	// enumeration could not produce one within its solver budget.
+	CEs []*core.Counterexample
+}
+
+// ExplainDiscovered runs the grading sweep end to end: discover the bank
+// queries that differ from their reference solution on db, then enumerate
+// up to maxEach smallest counterexamples for each discovered query.
+// Candidate verification inside the enumeration goes through the batched
+// bitvector-semiring layer (one engine pass per ~64 candidate subinstances
+// instead of one evaluation per candidate), and the per-query enumerations
+// fan out over the worker pool with deterministic output order.
+func ExplainDiscovered(db *relation.Database, bank []WrongQuery, maxEach int) ([]Explained, error) {
+	found, err := DiscoveredWrong(db, bank)
+	if err != nil {
+		return nil, err
+	}
+	correct := map[string]ra.Node{}
+	for _, q := range Questions() {
+		correct[q.ID] = q.Correct
+	}
+	out := make([]Explained, len(found))
+	ferr := pool.ForEach(pool.DefaultWorkers, len(found), func(i int) error {
+		w := found[i]
+		out[i] = Explained{Wrong: w}
+		p := core.Problem{Q1: correct[w.Question], Q2: w.Query, DB: db, Constraints: Constraints()}
+		ces, err := core.EnumerateSmallest(p, maxEach)
+		if err != nil {
+			// No enumerable witness (solver budget, agreement regained on a
+			// subinstance, ...): grade without a counterexample.
+			return nil
+		}
+		out[i].CEs = ces
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return out, nil
 }

@@ -135,6 +135,41 @@ func TestExplainWorksOnBankSamples(t *testing.T) {
 	}
 }
 
+func TestExplainDiscoveredSweep(t *testing.T) {
+	db := GenerateDB(400, 2)
+	bank := WrongQueryBank(db, 2)
+	explained, err := ExplainDiscovered(db, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(explained) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	questions := map[string]Question{}
+	for _, q := range Questions() {
+		questions[q.ID] = q
+	}
+	withCE := 0
+	for _, e := range explained {
+		p := core.Problem{Q1: questions[e.Wrong.Question].Correct, Q2: e.Wrong.Query,
+			DB: db, Constraints: Constraints()}
+		for _, ce := range e.CEs {
+			if err := core.Verify(p, ce); err != nil {
+				t.Errorf("%s (%s): invalid counterexample: %v", e.Wrong.Question, e.Wrong.Desc, err)
+			}
+		}
+		if len(e.CEs) > 4 {
+			t.Errorf("%s: %d counterexamples, want <= 4", e.Wrong.Question, len(e.CEs))
+		}
+		if len(e.CEs) > 0 {
+			withCE++
+		}
+	}
+	if withCE == 0 {
+		t.Fatal("no discovered query got a counterexample")
+	}
+}
+
 func TestDiscoveredWrongParallelDeterministic(t *testing.T) {
 	saved := pool.DefaultWorkers
 	t.Cleanup(func() { pool.DefaultWorkers = saved })

@@ -1,0 +1,135 @@
+// Package engine_test benchmarks the batched multi-subinstance evaluation
+// against the per-candidate path it replaces. It lives in the external test
+// package so it can drive the batch layer through core and the enumeration
+// workload through course (both of which import engine).
+package engine_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/course"
+	"repro/internal/relation"
+)
+
+// benchWorkload is the enumeration-shaped candidate-checking workload: a
+// pair of disagreeing SPJUD queries (with difference operators) over a
+// course instance, plus K witness-sized candidate subinstances to
+// accept/reject — what Enumerate and the polytime odometer spend their
+// time on.
+func benchWorkload(k int) (core.Problem, [][]int) {
+	// 5000 tuples sits in the middle of the paper's Table 3 instance sizes
+	// (1k–100k); the per-candidate path pays one full-database subinstance
+	// construction per candidate, the batched path two engine passes total.
+	db := course.GenerateDB(5000, 7)
+	qs := course.Questions()
+	// q4 ("CS but not ECON") vs q6 ("only CS"): same output schema,
+	// different answers, both containing difference operators.
+	p := core.Problem{Q1: qs[3].Correct, Q2: qs[5].Correct, DB: db}
+	all := db.AllIDs()
+	rng := rand.New(rand.NewSource(1))
+	idSets := make([][]int, k)
+	for i := range idSets {
+		for j := 0; j < 6; j++ {
+			idSets[i] = append(idSets[i], int(all[rng.Intn(len(all))]))
+		}
+	}
+	return p, idSets
+}
+
+// perCandidateCheck is the pre-batch path: materialize each candidate as a
+// database and evaluate both queries on it.
+func perCandidateCheck(b *testing.B, p core.Problem, idSets [][]int) []bool {
+	out := make([]bool, len(idSets))
+	for i, ids := range idSets {
+		keep := make(map[relation.TupleID]bool, len(ids))
+		for _, id := range ids {
+			keep[relation.TupleID(id)] = true
+		}
+		sub := p.DB.Subinstance(keep)
+		differs, _, _, err := core.Disagrees(p.Q1, p.Q2, sub, p.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = differs
+	}
+	return out
+}
+
+// BenchmarkBatchCandidateCheck compares batched and per-candidate
+// accept/reject at K ∈ {8, 32, 64} — the acceptance benchmark for the
+// bitvector batch layer (target: ≥5× at K = 64). Timings are exported to
+// BENCH_batch.json via the BENCH_BATCH_JSON env var.
+func BenchmarkBatchCandidateCheck(b *testing.B) {
+	type row struct {
+		K               int     `json:"k"`
+		BatchedNsPerOp  float64 `json:"batched_ns_per_op"`
+		PerCandNsPerOp  float64 `json:"per_candidate_ns_per_op"`
+		SpeedupBatchVs1 float64 `json:"speedup"`
+	}
+	var rows []row
+	for _, k := range []int{8, 32, 64} {
+		p, idSets := benchWorkload(k)
+		// Equivalence guard: the two paths must agree before being timed.
+		want := perCandidateCheck(b, p, idSets)
+		got, err := core.DisagreeBatch(p, idSets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				b.Fatalf("K=%d candidate %d: batched=%v per-candidate=%v", k, i, got[i], want[i])
+			}
+		}
+		r := row{K: k}
+		b.Run(fmt.Sprintf("batched/K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DisagreeBatch(p, idSets); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r.BatchedNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+		b.Run(fmt.Sprintf("per-candidate/K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				perCandidateCheck(b, p, idSets)
+			}
+			r.PerCandNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+		if r.BatchedNsPerOp > 0 {
+			r.SpeedupBatchVs1 = r.PerCandNsPerOp / r.BatchedNsPerOp
+		}
+		rows = append(rows, r)
+	}
+	if path := os.Getenv("BENCH_BATCH_JSON"); path != "" {
+		out := map[string]any{
+			"workload": "course q4-vs-q6 candidate checking, |D|=5000, 6-tuple candidates",
+			"results":  rows,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchEnumerate times the end-to-end EnumerateSmallest on a
+// disagreeing course query pair, whose candidate verification now runs
+// through the batch layer.
+func BenchmarkBatchEnumerate(b *testing.B) {
+	p, _ := benchWorkload(1)
+	p.Constraints = course.Constraints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EnumerateSmallest(p, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// This file implements the bitvector semirings behind batched
+// multi-subinstance evaluation (EvalBatch): annotations are bitmasks with
+// one bit per candidate subinstance, so a single engine pass over the full
+// database evaluates a query over K candidate subinstances at once.
+//
+// Soundness: ⊕ = OR, ⊗ = AND and the Section-6 difference rule l ∧ ¬r act
+// independently on every bit position, and bit k of a base tuple's Leaf
+// annotation is exactly its set-semantics annotation on candidate k (⊤ iff
+// the candidate contains the tuple). Every bit position therefore replays
+// the Boolean SetSemiring evaluation on that candidate subinstance: bit k of
+// an output tuple's annotation is set iff the tuple is in the query result
+// on candidate k. Aggregation is the one operator that is not per-bit sound
+// (γ collapses the support, which differs per candidate), so both semirings
+// report Aggregates() == false and plans containing GroupBy fail with
+// ErrNoAggregates, which batch callers use to fall back to per-candidate
+// evaluation.
+
+// BitSemiring is the bitvector semiring for batches of up to 64 candidate
+// subinstances: annotations are single uint64 words, so every semiring
+// operation is one machine instruction and annotations never allocate.
+// Instances are per-batch (Leaf depends on the candidate sets); build one
+// with NewBitSemiring.
+type BitSemiring struct {
+	k    int
+	ones uint64
+	// Leaf masks are stored flat, indexed by TupleID, when the id space is
+	// dense enough (the common case: identifiers are assigned sequentially
+	// at Insert). Every base scan of a batched evaluation probes Leaf once
+	// per database tuple, so the difference between a slice load and a map
+	// lookup is the difference between the batch pass being bound by the
+	// scan or by hashing. leafMap is the fallback for sparse/huge ids.
+	leafDense []uint64
+	leafMap   map[relation.TupleID]uint64
+}
+
+// denseLeafLimit bounds the flat leaf table: at 64 annotation bits per id,
+// 1<<22 entries is 32 MB — generous for the paper's instance sizes (≤ 1M
+// tuples) while refusing pathological id spaces.
+const denseLeafLimit = 1 << 22
+
+// maxCandidateID returns the largest id across candidates, or -1.
+func maxCandidateID(candidates [][]relation.TupleID) int {
+	max := -1
+	for _, cand := range candidates {
+		for _, id := range cand {
+			if int(id) > max {
+				max = int(id)
+			}
+		}
+	}
+	return max
+}
+
+// NewBitSemiring builds the semiring for the given candidate subinstances,
+// each a set of base-tuple identifiers. It errors when there are more than
+// 64 candidates (use NewWideBitSemiring, or let EvalBatch choose).
+func NewBitSemiring(candidates [][]relation.TupleID) (*BitSemiring, error) {
+	k := len(candidates)
+	if k > 64 {
+		return nil, fmt.Errorf("engine: BitSemiring holds at most 64 candidates, got %d", k)
+	}
+	s := &BitSemiring{k: k}
+	if k == 64 {
+		s.ones = ^uint64(0)
+	} else {
+		s.ones = 1<<uint(k) - 1
+	}
+	if maxID := maxCandidateID(candidates); maxID < denseLeafLimit {
+		s.leafDense = make([]uint64, maxID+1)
+		for i, cand := range candidates {
+			bit := uint64(1) << uint(i)
+			for _, id := range cand {
+				if id >= 0 {
+					s.leafDense[id] |= bit
+				}
+			}
+		}
+		return s, nil
+	}
+	s.leafMap = make(map[relation.TupleID]uint64)
+	for i, cand := range candidates {
+		bit := uint64(1) << uint(i)
+		for _, id := range cand {
+			s.leafMap[id] |= bit
+		}
+	}
+	return s, nil
+}
+
+// K returns the number of candidates in the batch.
+func (s *BitSemiring) K() int { return s.k }
+
+// Zero implements Semiring: absent from every candidate's result.
+func (s *BitSemiring) Zero() uint64 { return 0 }
+
+// One implements Semiring: present for every candidate.
+func (s *BitSemiring) One() uint64 { return s.ones }
+
+// Plus implements Semiring: per-candidate ∨.
+func (s *BitSemiring) Plus(a, b uint64) uint64 { return a | b }
+
+// Times implements Semiring: per-candidate ∧.
+func (s *BitSemiring) Times(a, b uint64) uint64 { return a & b }
+
+// Minus implements Semiring: the per-candidate difference rule l ∧ ¬r.
+func (s *BitSemiring) Minus(l, r uint64) uint64 { return l &^ r }
+
+// IsZero implements Semiring. A zero mask means the tuple appears in no
+// candidate's result, so it is pruned from operator outputs.
+func (s *BitSemiring) IsZero(a uint64) bool { return a == 0 }
+
+// Leaf implements Semiring: the mask of candidates containing the base
+// tuple. Tuples outside every candidate get the zero mask (and are pruned
+// at scan time), exactly as if they were absent from the subinstances.
+func (s *BitSemiring) Leaf(id relation.TupleID) (uint64, error) {
+	if id == relation.InvalidTupleID {
+		return 0, fmt.Errorf("engine: batched evaluation requires base tuple identifiers")
+	}
+	if s.leafDense != nil {
+		if int(id) < len(s.leafDense) && id >= 0 {
+			return s.leafDense[id], nil
+		}
+		return 0, nil
+	}
+	return s.leafMap[id], nil
+}
+
+// Aggregates implements Semiring: γ is not per-bit sound.
+func (s *BitSemiring) Aggregates() bool { return false }
+
+// Name implements Semiring.
+func (s *BitSemiring) Name() string { return "bit" }
+
+// Bits is a little-endian multi-word bitmask: candidate k lives at bit k%64
+// of word k/64. The nil slice is the canonical zero (absent from every
+// candidate); operator results are freshly allocated, never mutated in
+// place, so masks may be shared freely between annotations.
+type Bits []uint64
+
+// Get reports bit k.
+func (b Bits) Get(k int) bool {
+	w := k / 64
+	if w >= len(b) {
+		return false
+	}
+	return b[w]>>(uint(k)%64)&1 != 0
+}
+
+// isZero reports whether every bit is clear.
+func (b Bits) isZero() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WideBitSemiring is the bitvector semiring for batches of more than 64
+// candidate subinstances: annotations are Bits ([]uint64) masks of
+// ⌈K/64⌉ words. Operations allocate one slice per result, so prefer the
+// word-sized BitSemiring (or chunk the batch) when K ≤ 64.
+type WideBitSemiring struct {
+	k     int
+	words int
+	// Like BitSemiring, leaf masks live in a flat id-indexed table when the
+	// id space is dense (leafDense[id*words : (id+1)*words]); Leaf returns
+	// aliasing views into it, which is safe because annotation operations
+	// never mutate their operands.
+	leafDense []uint64
+	leafMap   map[relation.TupleID]Bits
+}
+
+// NewWideBitSemiring builds the wide semiring for the given candidate
+// subinstances.
+func NewWideBitSemiring(candidates [][]relation.TupleID) *WideBitSemiring {
+	k := len(candidates)
+	s := &WideBitSemiring{k: k, words: (k + 63) / 64}
+	if maxID := maxCandidateID(candidates); (maxID+1)*s.words < denseLeafLimit {
+		s.leafDense = make([]uint64, (maxID+1)*s.words)
+		for i, cand := range candidates {
+			for _, id := range cand {
+				if id >= 0 {
+					s.leafDense[int(id)*s.words+i/64] |= 1 << (uint(i) % 64)
+				}
+			}
+		}
+		return s
+	}
+	s.leafMap = make(map[relation.TupleID]Bits)
+	for i, cand := range candidates {
+		for _, id := range cand {
+			m := s.leafMap[id]
+			if m == nil {
+				m = make(Bits, s.words)
+				s.leafMap[id] = m
+			}
+			m[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return s
+}
+
+// K returns the number of candidates in the batch.
+func (s *WideBitSemiring) K() int { return s.k }
+
+// Zero implements Semiring; nil is the canonical zero mask.
+func (s *WideBitSemiring) Zero() Bits { return nil }
+
+// One implements Semiring: all K candidate bits set.
+func (s *WideBitSemiring) One() Bits {
+	m := make(Bits, s.words)
+	for i := range m {
+		m[i] = ^uint64(0)
+	}
+	if r := uint(s.k) % 64; r != 0 {
+		m[s.words-1] = 1<<r - 1
+	}
+	return m
+}
+
+// Plus implements Semiring: wordwise OR.
+func (s *WideBitSemiring) Plus(a, b Bits) Bits {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(Bits, s.words)
+	for i := range out {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+// Times implements Semiring: wordwise AND.
+func (s *WideBitSemiring) Times(a, b Bits) Bits {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := make(Bits, s.words)
+	for i := range out {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+// Minus implements Semiring: wordwise l &^ r.
+func (s *WideBitSemiring) Minus(l, r Bits) Bits {
+	if l == nil || r == nil {
+		return l
+	}
+	out := make(Bits, s.words)
+	for i := range out {
+		out[i] = l[i] &^ r[i]
+	}
+	return out
+}
+
+// IsZero implements Semiring.
+func (s *WideBitSemiring) IsZero(a Bits) bool { return a.isZero() }
+
+// Leaf implements Semiring.
+func (s *WideBitSemiring) Leaf(id relation.TupleID) (Bits, error) {
+	if id == relation.InvalidTupleID {
+		return nil, fmt.Errorf("engine: batched evaluation requires base tuple identifiers")
+	}
+	if s.leafDense != nil {
+		if lo := int(id) * s.words; id >= 0 && lo+s.words <= len(s.leafDense) {
+			return Bits(s.leafDense[lo : lo+s.words]), nil
+		}
+		return nil, nil
+	}
+	return s.leafMap[id], nil
+}
+
+// Aggregates implements Semiring: γ is not per-bit sound.
+func (s *WideBitSemiring) Aggregates() bool { return false }
+
+// Name implements Semiring.
+func (s *WideBitSemiring) Name() string { return "wide-bit" }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/boolexpr"
@@ -17,6 +18,12 @@ var MaxIntermediateRows = 1_000_000
 // ErrRowBudget is returned when a query's intermediate result exceeds
 // MaxIntermediateRows.
 var ErrRowBudget = fmt.Errorf("engine: intermediate result exceeds %d rows", MaxIntermediateRows)
+
+// ErrNoAggregates is wrapped by the error returned when a plan contains
+// GroupBy but the semiring does not support aggregation (Aggregates() is
+// false). Batch callers detect it with errors.Is and fall back to
+// per-candidate evaluation.
+var ErrNoAggregates = errors.New("engine: semiring does not support aggregation")
 
 // Catalog adapts a Database to ra.Catalog.
 type Catalog struct{ DB *relation.Database }
@@ -86,10 +93,10 @@ func Run[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[stri
 
 // RunOpts is Run with explicit evaluation options.
 func RunOpts[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (*Rel[T], error) {
+	e := newExec(s, db, params, opts)
 	if !opts.NoOptimize {
 		q = Optimize(q, Catalog{DB: db})
 	}
-	e := &exec[T]{s: s, db: db, params: params, opts: opts}
 	return e.node(q)
 }
 
@@ -99,6 +106,16 @@ type exec[T any] struct {
 	db     *relation.Database
 	params map[string]relation.Value
 	opts   Options
+	// scans caches base-relation scan results by name: a plan (or a pair of
+	// plans sharing one exec, as in the batch layer) referencing the same
+	// relation twice — self-joins, Q and its copy inside Q1 − Q2 — pays for
+	// the scan, the Leaf annotations and the dedup hashing once. Safe
+	// because operators never mutate their inputs.
+	scans map[string]*Rel[T]
+}
+
+func newExec[T any](s Semiring[T], db *relation.Database, params map[string]relation.Value, opts Options) *exec[T] {
+	return &exec[T]{s: s, db: db, params: params, opts: opts, scans: map[string]*Rel[T]{}}
 }
 
 func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
@@ -161,7 +178,7 @@ func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
 		return renameRel(in, x.As), nil
 	case *ra.GroupBy:
 		if !e.s.Aggregates() {
-			return nil, fmt.Errorf("engine: %s-semiring evaluation does not support aggregation; use eval.EvalAggProv", e.s.Name())
+			return nil, fmt.Errorf("%w (%s semiring); use eval.EvalAggProv", ErrNoAggregates, e.s.Name())
 		}
 		in, err := e.node(x.In)
 		if err != nil {
@@ -191,9 +208,16 @@ func renameRel[T any](in *Rel[T], as string) *Rel[T] {
 }
 
 // base scans a stored relation, annotating each tuple with its Leaf
-// annotation and ⊕-merging duplicates. Large scans under a parallel
-// Options fan the deduplicating build out across tuple-hash partitions.
+// annotation and ⊕-merging duplicates. Tuples whose leaf annotation is
+// definitely zero are pruned at the scan: under the bitvector batch
+// semirings that shrinks the scan from the full database to the union of
+// the candidate subinstances (set, counting and why leaves are never zero,
+// so nothing changes for them). Large scans under a parallel Options fan
+// the deduplicating build out across tuple-hash partitions.
 func (e *exec[T]) base(x *ra.Rel) (*Rel[T], error) {
+	if cached, ok := e.scans[x.Name]; ok {
+		return cached, nil
+	}
 	r := e.db.Relation(x.Name)
 	if r == nil {
 		return nil, fmt.Errorf("engine: unknown relation %q", x.Name)
@@ -212,6 +236,7 @@ func (e *exec[T]) base(x *ra.Rel) (*Rel[T], error) {
 		if err != nil {
 			return nil, err
 		}
+		e.scans[x.Name] = out
 		return out, nil
 	}
 	for i, t := range r.Tuples {
@@ -219,8 +244,12 @@ func (e *exec[T]) base(x *ra.Rel) (*Rel[T], error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w (relation %q)", err, x.Name)
 		}
+		if e.s.IsZero(ann) {
+			continue
+		}
 		out.Add(e.s, t, ann)
 	}
+	e.scans[x.Name] = out
 	return out, nil
 }
 
@@ -229,7 +258,7 @@ func (e *exec[T]) selectOp(x *ra.Select, in *Rel[T]) (*Rel[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	out := NewRel[T](in.Schema)
+	out := NewRelCap[T](in.Schema, in.Len())
 	for i, t := range in.Tuples {
 		v, err := pred(t)
 		if err != nil {

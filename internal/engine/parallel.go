@@ -128,10 +128,16 @@ func parallelHashJoin[T any](s Semiring[T], l, r *Rel[T], lKeys, rKeys []int, wo
 				if !ok {
 					continue
 				}
+				// As in the serial emit: prune definite-zero products after
+				// the θ-predicate, before the budget.
+				ann := s.Times(l.Anns[li], r.Anns[ri])
+				if s.IsZero(ann) {
+					continue
+				}
 				if atomic.AddInt64(&rows, 1) > int64(MaxIntermediateRows) {
 					return ErrRowBudget
 				}
-				local.appendDistinct(t, s.Times(l.Anns[li], r.Anns[ri]))
+				local.appendDistinct(t, ann)
 			}
 		}
 		locals[w] = local
@@ -171,6 +177,11 @@ func parallelBuild[T any](s Semiring[T], workers, n int, tupleAt func(i int) rel
 			if err != nil {
 				return err
 			}
+			if s.IsZero(ann) {
+				// Mirror the serial base scan's zero-leaf pruning (union
+				// inputs are never zero, so only base scans are affected).
+				continue
+			}
 			k := keys[i]
 			if j, ok := local.index[k]; ok {
 				local.Anns[j] = s.Plus(local.Anns[j], ann)
@@ -188,6 +199,66 @@ func parallelBuild[T any](s Semiring[T], workers, n int, tupleAt func(i int) rel
 	}
 	concatShards(locals, out)
 	return nil
+}
+
+// parallelDiff is the hash difference L − R across `workers` partitions:
+// both sides are sharded by the hash of the full tuple encoding (an
+// identical right tuple — the only kind that affects a left tuple — lands
+// in the same shard), each shard indexes its right partition and probes it
+// with its left partition in left order, and shard outputs concatenate in
+// shard order. NULLs are not special here: the difference matches tuples by
+// full-encoding identity, exactly like the serial probe. Deterministic for
+// a fixed Parallelism.
+func parallelDiff[T any](s Semiring[T], l, r *Rel[T], workers int) *Rel[T] {
+	nl, nr := l.Len(), r.Len()
+	lKeys := make([]string, nl)
+	parallelRanges(workers, nl, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lKeys[i] = l.Tuples[i].Key()
+		}
+	})
+	rKeys := make([]string, nr)
+	parallelRanges(workers, nr, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rKeys[i] = r.Tuples[i].Key()
+		}
+	})
+	lPos := make([][]int, workers)
+	for i := 0; i < nl; i++ {
+		w := fnvShard(lKeys[i], workers)
+		lPos[w] = append(lPos[w], i)
+	}
+	rPos := make([][]int, workers)
+	for i := 0; i < nr; i++ {
+		w := fnvShard(rKeys[i], workers)
+		rPos[w] = append(rPos[w], i)
+	}
+	out := NewRel[T](l.Schema)
+	locals := make([]*Rel[T], workers)
+	// Shards share no mutable state and annAt never fails, so neither does
+	// the fan-out.
+	_ = pool.ForEach(workers, workers, func(w int) error {
+		idx := make(map[string]int, len(rPos[w]))
+		for _, ri := range rPos[w] {
+			idx[rKeys[ri]] = ri // right tuples are distinct: no collisions
+		}
+		local := NewRelCap[T](l.Schema, len(lPos[w]))
+		for _, li := range lPos[w] {
+			rAnn := s.Zero()
+			if ri, ok := idx[lKeys[li]]; ok {
+				rAnn = r.Anns[ri]
+			}
+			ann := s.Minus(l.Anns[li], rAnn)
+			if s.IsZero(ann) {
+				continue
+			}
+			local.appendDistinct(l.Tuples[li], ann)
+		}
+		locals[w] = local
+		return nil
+	})
+	concatShards(locals, out)
+	return out
 }
 
 // concatShards appends the shard-local relations to out in shard order. The

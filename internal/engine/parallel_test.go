@@ -148,6 +148,82 @@ func TestParallelDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelDiffMatchesSerial: the hash-partitioned parallel difference
+// (the last operator to gain a parallel path) produces the serial result,
+// annotation for annotation, on plans topped with Diff — including left
+// tuples with NULLs, which the full-tuple-key partitioning must route to
+// the same shard as their identical right counterparts.
+func TestParallelDiffMatchesSerial(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(20260731))
+	for trial := 0; trial < 200; trial++ {
+		db := randomDB(rng)
+		q := &ra.Diff{L: randomCompat(rng, 2), R: randomCompat(rng, 2)}
+		serial, err := Run[int64](Count, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: serial: %v\n%s", trial, err, q)
+		}
+		par, err := RunOpts[int64](Count, q, db, nil, popts)
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v\n%s", trial, err, q)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("trial %d: sizes differ: serial %d parallel %d\nquery: %s",
+				trial, serial.Len(), par.Len(), q)
+		}
+		for i, tup := range serial.Tuples {
+			j := par.Lookup(tup)
+			if j < 0 {
+				t.Fatalf("trial %d: parallel diff missing %v\nquery: %s", trial, tup, q)
+			}
+			if par.Anns[j] != serial.Anns[i] {
+				t.Fatalf("trial %d: annotation of %v: serial %d parallel %d\nquery: %s",
+					trial, tup, serial.Anns[i], par.Anns[j], q)
+			}
+		}
+		// Why-provenance difference keeps every left tuple (IsZero is
+		// conservative); sizes matching is the regression of interest.
+		sWhy, err := Run(Why, q, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pWhy, err := RunOpts(Why, q, db, nil, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sWhy.Len() != pWhy.Len() {
+			t.Fatalf("trial %d: why-diff sizes differ: serial %d parallel %d", trial, sWhy.Len(), pWhy.Len())
+		}
+	}
+}
+
+// TestParallelDiffDeterministic: repeated parallel differences produce
+// identical tuple order (fixed hash, shard-order concatenation).
+func TestParallelDiffDeterministic(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 30; trial++ {
+		db := randomDB(rng)
+		q := &ra.Diff{L: randomCompat(rng, 2), R: randomCompat(rng, 2)}
+		a, err := RunOpts[bool](Set, q, db, nil, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunOpts[bool](Set, q, db, nil, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("trial %d: lengths differ across runs", trial)
+		}
+		for i := range a.Tuples {
+			if !a.Tuples[i].Identical(b.Tuples[i]) {
+				t.Fatalf("trial %d: position %d differs across runs", trial, i)
+			}
+		}
+	}
+}
+
 // TestParallelJoinRowBudget: the atomic global row budget aborts a
 // partitioned join that exceeds MaxIntermediateRows.
 func TestParallelJoinRowBudget(t *testing.T) {

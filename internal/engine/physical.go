@@ -53,11 +53,21 @@ func (e *exec[T]) join(l, r *Rel[T], cond ra.Expr) (*Rel[T], error) {
 		if err != nil || !ok {
 			return err
 		}
+		// Definitely-zero ⊗-products are pruned (bitvector annotations of
+		// disjoint candidate sets AND to zero) and do not count against the
+		// row budget. The product is computed only after the θ-predicate
+		// passes: Times can be expensive (why-provenance allocates an And
+		// node), so rejected pairs — the bulk of a nested-loop θ-join —
+		// must not pay for it.
+		ann := e.s.Times(l.Anns[li], r.Anns[ri])
+		if e.s.IsZero(ann) {
+			return nil
+		}
 		if out.Len() >= MaxIntermediateRows {
 			return ErrRowBudget
 		}
 		// Distinct pairs of distinct inputs concatenate to distinct tuples.
-		out.appendDistinct(t, e.s.Times(l.Anns[li], r.Anns[ri]))
+		out.appendDistinct(t, ann)
 		return nil
 	}
 	if len(lKeys) > 0 {
@@ -114,13 +124,20 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 		return l.Tuples[li].Concat(r.Tuples[ri].Project(rOnly)), true, nil
 	}
 	emit := func(li, ri int) error {
+		// Unlike the θ-join emit there is no predicate to wait for (every
+		// matched pair emits), so the zero-product prune runs first and
+		// saves the output tuple construction for pruned pairs.
+		ann := e.s.Times(l.Anns[li], r.Anns[ri])
+		if e.s.IsZero(ann) {
+			return nil
+		}
 		if out.Len() >= MaxIntermediateRows {
 			return ErrRowBudget
 		}
 		t, _, _ := combine(li, ri)
 		// Distinct: a matching pair agrees on the shared columns, so two
 		// pairs producing the same output tuple would be identical inputs.
-		out.appendDistinct(t, e.s.Times(l.Anns[li], r.Anns[ri]))
+		out.appendDistinct(t, ann)
 		return nil
 	}
 	if len(shared) == 0 {
@@ -199,13 +216,10 @@ func (e *exec[T]) union(l, r *Rel[T]) *Rel[T] {
 	return out
 }
 
-// diff applies the semiring's Minus across L − R, probing R's hash index
-// for the matching right annotation. Tuples whose combined annotation is
-// (definitely) zero are pruned: under the set and counting semirings that
-// is the classical set difference, while why-provenance keeps every left
-// tuple annotated PrvL ∧ ¬PrvR (Section 6).
-func (e *exec[T]) diff(l, r *Rel[T]) *Rel[T] {
-	out := NewRel[T](l.Schema)
+// diffSerial is the serial hash difference body, shared with the
+// nested-loop fallback.
+func (e *exec[T]) diffSerial(l, r *Rel[T]) *Rel[T] {
+	out := NewRelCap[T](l.Schema, l.Len())
 	for i, t := range l.Tuples {
 		rAnn := e.s.Zero()
 		if e.opts.ForceNestedLoop {
@@ -226,6 +240,23 @@ func (e *exec[T]) diff(l, r *Rel[T]) *Rel[T] {
 		out.appendDistinct(t, ann)
 	}
 	return out
+}
+
+// diff applies the semiring's Minus across L − R, probing R's hash index
+// for the matching right annotation. Tuples whose combined annotation is
+// (definitely) zero are pruned: under the set and counting semirings that
+// is the classical set difference, while why-provenance keeps every left
+// tuple annotated PrvL ∧ ¬PrvR (Section 6). Above the parallel threshold
+// both sides are partitioned by full-tuple hash (matching tuples are
+// identical, so they land in the same shard) and the shards are differenced
+// concurrently.
+func (e *exec[T]) diff(l, r *Rel[T]) *Rel[T] {
+	if !e.opts.ForceNestedLoop {
+		if w := e.opts.workerCount(l.Len() + r.Len()); w > 1 {
+			return parallelDiff(e.s, l, r, w)
+		}
+	}
+	return e.diffSerial(l, r)
 }
 
 // Intersect is the hash intersection L ∩ R: tuples present in both inputs,

@@ -29,6 +29,19 @@ func NewRel[T any](schema relation.Schema) *Rel[T] {
 	return &Rel[T]{Schema: schema}
 }
 
+// NewRelCap creates an empty annotated relation with capacity for n tuples.
+// Operators that know an output bound preallocate through this: repeated
+// slice growth copies the annotation array as well as the tuple array, and
+// annotations can be wide (the batch semirings' multi-word masks), so
+// avoiding regrowth matters most exactly when annotations are biggest.
+func NewRelCap[T any](schema relation.Schema, n int) *Rel[T] {
+	return &Rel[T]{
+		Schema: schema,
+		Tuples: make([]relation.Tuple, 0, n),
+		Anns:   make([]T, 0, n),
+	}
+}
+
 // Len returns the number of distinct tuples.
 func (r *Rel[T]) Len() int { return len(r.Tuples) }
 

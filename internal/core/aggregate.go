@@ -217,7 +217,9 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 		pending = append(pending, ce)
 	}
 	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}
-	oks := verifyCandidates(verifyProblem, pending)
+	// The aggregate candidates carry their own parameter settings, which the
+	// per-problem prepared state cannot answer: no shared checker here.
+	oks := verifyCandidates(verifyProblem, nil, pending)
 	var best *Counterexample
 	for i, ce := range pending {
 		if !oks[i] {

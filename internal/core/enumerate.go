@@ -30,13 +30,18 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 	if max <= 0 {
 		max = 64
 	}
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	// One prepared evaluation serves the whole enumeration: its retained
+	// state provides the base diffs here and answers the candidate
+	// disagreement checks below (batched for witness-sized candidates,
+	// delta-incremental for near-full ones).
+	chk, err := newChecker(p)
 	if err != nil {
 		return nil, err
 	}
-	if !differs {
+	if !chk.differs {
 		return nil, fmt.Errorf("core: queries agree on D")
 	}
+	d12, d21 := chk.d12, chk.d21
 	fks := p.ForeignKeys()
 
 	type tupleCase struct {
@@ -118,7 +123,7 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 	for i, c := range pending {
 		idSets[i] = c.ids
 	}
-	ces, err := VerifyBatch(p, idSets)
+	ces, err := verifyBatchWith(p, chk, idSets)
 	if err != nil {
 		return nil, err
 	}

@@ -141,15 +141,18 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 	stats := &Stats{Algorithm: "SPJUDStar"}
 	start := time.Now()
 
+	// The checker's prepared evaluation is shared by the whole odometer
+	// scan: base diffs here, candidate disagreement checks below.
 	t0 := time.Now()
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	chk, err := newChecker(p)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.RawEvalTime = time.Since(t0)
-	if !differs {
+	if !chk.differs {
 		return nil, nil, fmt.Errorf("core: queries agree on D")
 	}
+	d12, d21 := chk.d12, chk.d21
 	qa, qb := p.Q1, p.Q2
 	diff := d12
 	if diff.Len() == 0 {
@@ -260,7 +263,7 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 			break
 		}
 	}
-	disagree, err := DisagreeBatch(p, combos)
+	disagree, err := disagreeOn(p, chk, combos)
 	if err != nil {
 		return nil, nil, err
 	}

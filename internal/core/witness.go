@@ -124,15 +124,23 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	stats := &Stats{Algorithm: "Basic"}
 	start := time.Now()
 
+	// One prepared evaluation (base scans shared between Q1 and Q2)
+	// replaces the two independent Disagrees evaluations. Basic checks no
+	// further candidates through the checker — the solver models it
+	// verifies are witness-sized, where per-candidate Verify is cheapest —
+	// so the retained per-operator state is released immediately rather
+	// than pinned through the solve phase.
 	t0 := time.Now()
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	chk, err := newChecker(p)
 	if err != nil {
 		return nil, nil, err
 	}
+	chk.release()
 	stats.RawEvalTime = time.Since(t0)
-	if !differs {
+	if !chk.differs {
 		return nil, nil, fmt.Errorf("core: queries agree on D; no counterexample exists within D")
 	}
+	d12, d21 := chk.d12, chk.d21
 
 	t0 = time.Now()
 	tuples, provs, err := provOfDiffTuples(p.Q1, p.Q2, d12, p.DB, p.Params)
@@ -301,15 +309,20 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	stats := &Stats{Algorithm: "OptSigmaAll"}
 	start := time.Now()
 
+	// As in Basic: one shared-scan prepared evaluation for the base diffs,
+	// retained state released (the per-tuple candidates below are verified
+	// per-candidate, never through the checker).
 	t0 := time.Now()
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	chk, err := newChecker(p)
 	if err != nil {
 		return nil, nil, err
 	}
+	chk.release()
 	stats.RawEvalTime = time.Since(t0)
-	if !differs {
+	if !chk.differs {
 		return nil, nil, fmt.Errorf("core: queries agree on D")
 	}
+	d12, d21 := chk.d12, chk.d21
 	// Flatten the per-side, per-tuple iteration space and fan it out over
 	// the worker pool: every task pushes its tuple's selection down,
 	// evaluates provenance, and runs its own optimizing solver against the

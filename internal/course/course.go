@@ -238,10 +238,13 @@ type Explained struct {
 // ExplainDiscovered runs the grading sweep end to end: discover the bank
 // queries that differ from their reference solution on db, then enumerate
 // up to maxEach smallest counterexamples for each discovered query.
-// Candidate verification inside the enumeration goes through the batched
-// bitvector-semiring layer (one engine pass per ~64 candidate subinstances
-// instead of one evaluation per candidate), and the per-query enumerations
-// fan out over the worker pool with deterministic output order.
+// Candidate verification inside the enumeration goes through one prepared
+// delta-incremental evaluation per (correct, wrong) pair, which also backs
+// the batched bitvector-semiring accept/reject checks; queries whose
+// enumeration exhausts its solver budget fall back to the solver-free
+// greedy shrink (core.ShrinkGreedy), so a discovered mistake still ships
+// with a 1-minimal counterexample. The per-query enumerations fan out over
+// the worker pool with deterministic output order.
 func ExplainDiscovered(db *relation.Database, bank []WrongQuery, maxEach int) ([]Explained, error) {
 	found, err := DiscoveredWrong(db, bank)
 	if err != nil {
@@ -258,8 +261,12 @@ func ExplainDiscovered(db *relation.Database, bank []WrongQuery, maxEach int) ([
 		p := core.Problem{Q1: correct[w.Question], Q2: w.Query, DB: db, Constraints: Constraints()}
 		ces, err := core.EnumerateSmallest(p, maxEach)
 		if err != nil {
-			// No enumerable witness (solver budget, agreement regained on a
-			// subinstance, ...): grade without a counterexample.
+			// No enumerable witness (solver budget exhausted, ...): fall back
+			// to the greedy delta-incremental shrink, which needs no solver.
+			// If even that fails, grade without a counterexample.
+			if ce, _, serr := core.ShrinkGreedy(p); serr == nil {
+				out[i].CEs = []*core.Counterexample{ce}
+			}
 			return nil
 		}
 		out[i].CEs = ces

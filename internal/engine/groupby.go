@@ -7,48 +7,66 @@ import (
 	"repro/internal/relation"
 )
 
-// groupBy evaluates γ over the support of the input (the distinct tuples),
-// hash-partitioning into groups. Output rows are annotated One; the
-// semiring gate in exec.node restricts this to semirings whose annotations
-// carry no per-subinstance information (set, counting).
-func (e *exec[T]) groupBy(g *ra.GroupBy, in *Rel[T]) (*Rel[T], error) {
-	gIdx := make([]int, len(g.GroupCols))
+// groupPlan resolves γ's group and aggregate columns against the input
+// schema and derives the output schema. It is shared by the serial and
+// parallel evaluators and by the prepared (delta-incremental) operator.
+func groupPlan(g *ra.GroupBy, in relation.Schema) (gIdx, aIdx []int, out relation.Schema, err error) {
+	gIdx = make([]int, len(g.GroupCols))
 	for i, c := range g.GroupCols {
-		j, err := in.Schema.Resolve(c)
+		j, err := in.Resolve(c)
 		if err != nil {
-			return nil, err
+			return nil, nil, relation.Schema{}, err
 		}
 		gIdx[i] = j
 	}
-	aIdx := make([]int, len(g.Aggs))
+	aIdx = make([]int, len(g.Aggs))
 	for i, a := range g.Aggs {
 		if a.Attr == "" {
 			if a.Func != ra.Count {
-				return nil, fmt.Errorf("engine: %s requires an attribute", a.Func)
+				return nil, nil, relation.Schema{}, fmt.Errorf("engine: %s requires an attribute", a.Func)
 			}
 			aIdx[i] = -1
 			continue
 		}
-		j, err := in.Schema.Resolve(a.Attr)
+		j, err := in.Resolve(a.Attr)
 		if err != nil {
-			return nil, err
+			return nil, nil, relation.Schema{}, err
 		}
 		aIdx[i] = j
 	}
 	attrs := make([]relation.Attribute, 0, len(gIdx)+len(g.Aggs))
 	for i, j := range gIdx {
-		attrs = append(attrs, relation.Attribute{Name: g.GroupCols[i], Type: in.Schema.Attrs[j].Type})
+		attrs = append(attrs, relation.Attribute{Name: g.GroupCols[i], Type: in.Attrs[j].Type})
 	}
 	for i, a := range g.Aggs {
 		typ := relation.KindFloat
 		if a.Func == ra.Count {
 			typ = relation.KindInt
 		} else if aIdx[i] >= 0 && (a.Func == ra.Sum || a.Func == ra.Min || a.Func == ra.Max) {
-			typ = in.Schema.Attrs[aIdx[i]].Type
+			typ = in.Attrs[aIdx[i]].Type
 		}
 		attrs = append(attrs, relation.Attribute{Name: a.As, Type: typ})
 	}
-	out := NewRel[T](relation.Schema{Attrs: attrs})
+	return gIdx, aIdx, relation.Schema{Attrs: attrs}, nil
+}
+
+// groupBy evaluates γ over the support of the input (the distinct tuples),
+// hash-partitioning into groups. Output rows are annotated One; the
+// semiring gate in exec.node restricts this to semirings whose annotations
+// carry no per-subinstance information (set, counting). Above the parallel
+// threshold the groups are hash-partitioned by group key across workers
+// (a group lives entirely in one shard, so each shard aggregates its groups
+// independently over members in input order) and the shard outputs
+// concatenate in shard order — deterministic for a fixed Parallelism.
+func (e *exec[T]) groupBy(g *ra.GroupBy, in *Rel[T]) (*Rel[T], error) {
+	gIdx, aIdx, outSchema, err := groupPlan(g, in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if w := e.opts.workerCount(in.Len()); w > 1 {
+		return parallelGroupBy(e.s, g, in, gIdx, aIdx, outSchema, w)
+	}
+	out := NewRel[T](outSchema)
 
 	groups := map[string][]relation.Tuple{}
 	var order []string

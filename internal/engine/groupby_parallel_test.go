@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// randomGroupBy builds γ over a random compatible plan, mixing group-key
+// arities (including the single whole-input group) and aggregate functions.
+func randomGroupBy(rng *rand.Rand) *ra.GroupBy {
+	var cols []string
+	switch rng.Intn(3) {
+	case 0:
+		cols = []string{"a"}
+	case 1:
+		cols = []string{"a", "c"}
+	}
+	return &ra.GroupBy{
+		GroupCols: cols,
+		Aggs: []ra.AggSpec{
+			{Func: ra.Count, As: "n"},
+			{Func: ra.Sum, Attr: "b", As: "s"},
+			{Func: ra.Min, Attr: "c", As: "mn"},
+			{Func: ra.Max, Attr: "a", As: "mx"},
+			{Func: ra.Count, Attr: "b", As: "nb"},
+		},
+		In: randomCompat(rng, 2),
+	}
+}
+
+// TestParallelGroupByMatchesSerial: hash-partitioned γ produces exactly the
+// serial rows (same group keys, same aggregate values), as a set.
+func TestParallelGroupByMatchesSerial(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 200; trial++ {
+		db := randomDB(rng)
+		q := randomGroupBy(rng)
+		serial, err := Run[bool](Set, q, db, nil)
+		if err != nil {
+			t.Fatalf("trial %d: serial: %v\n%s", trial, err, q)
+		}
+		par, err := RunOpts[bool](Set, q, db, nil, popts)
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v\n%s", trial, err, q)
+		}
+		if !sameKeySets(keySet(serial.Tuples), keySet(par.Tuples)) {
+			t.Fatalf("trial %d: parallel γ differs from serial\nquery: %s\nserial %v\nparallel %v",
+				trial, q, serial.Tuples, par.Tuples)
+		}
+	}
+}
+
+// TestParallelGroupByDeterministic: the parallel row order is identical
+// across runs for a fixed Parallelism.
+func TestParallelGroupByDeterministic(t *testing.T) {
+	popts := forceParallel(t)
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 40; trial++ {
+		db := randomDB(rng)
+		q := randomGroupBy(rng)
+		first, err := RunOpts[bool](Set, q, db, nil, popts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for run := 0; run < 3; run++ {
+			again, err := RunOpts[bool](Set, q, db, nil, popts)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if again.Len() != first.Len() {
+				t.Fatalf("trial %d run %d: row count changed", trial, run)
+			}
+			for i := range first.Tuples {
+				if !first.Tuples[i].Identical(again.Tuples[i]) {
+					t.Fatalf("trial %d run %d: row %d order changed: %v vs %v",
+						trial, run, i, first.Tuples[i], again.Tuples[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGroupByThreshold: below ParallelRowThreshold γ stays serial
+// (row order matches the serial evaluator exactly).
+func TestParallelGroupByThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	db := randomDB(rng)
+	q := randomGroupBy(rng)
+	serial, err := Run[bool](Set, q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallelism requested, but the input is far below the threshold.
+	par, err := RunOpts[bool](Set, q, db, nil, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(par.Tuples) != fmt.Sprint(serial.Tuples) {
+		t.Fatalf("small-input γ took the parallel path: %v vs %v", par.Tuples, serial.Tuples)
+	}
+}
+
+// TestParallelGroupByLarge runs γ on an input wide enough to genuinely
+// engage multiple shards with the production threshold, checking counts.
+func TestParallelGroupByLarge(t *testing.T) {
+	db := relation.NewDatabase()
+	db.CreateRelation("L", relation.NewSchema(
+		relation.Attr("a", relation.KindInt),
+		relation.Attr("b", relation.KindInt),
+		relation.Attr("c", relation.KindString)))
+	rng := rand.New(rand.NewSource(8080))
+	for i := 0; i < 3*ParallelRowThreshold; i++ {
+		db.Insert("L", relation.NewTuple(
+			relation.Int(int64(rng.Intn(500))),
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("g%d", rng.Intn(50)))))
+	}
+	q := &ra.GroupBy{
+		GroupCols: []string{"c"},
+		Aggs: []ra.AggSpec{
+			{Func: ra.Count, As: "n"},
+			{Func: ra.Sum, Attr: "b", As: "s"},
+		},
+		In: &ra.Rel{Name: "L"},
+	}
+	serial, err := Run[bool](Set, q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunOpts[bool](Set, q, db, nil, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameKeySets(keySet(serial.Tuples), keySet(par.Tuples)) {
+		t.Fatalf("large parallel γ differs: %d vs %d rows", serial.Len(), par.Len())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/pool"
+	"repro/internal/ra"
 	"repro/internal/relation"
 )
 
@@ -259,6 +260,64 @@ func parallelDiff[T any](s Semiring[T], l, r *Rel[T], workers int) *Rel[T] {
 	})
 	concatShards(locals, out)
 	return out
+}
+
+// parallelGroupBy is γ across `workers` hash partitions of the group key:
+// every member of a group shares the key, so a group lives entirely in one
+// shard and each shard aggregates its groups independently, visiting members
+// in input order (so order-sensitive aggregates match the serial result
+// row-for-row). Shards emit rows in first-occurrence order of their group
+// keys and the shard outputs concatenate in shard order — deterministic for
+// a fixed Parallelism, like the other parallel operators.
+func parallelGroupBy[T any](s Semiring[T], g *ra.GroupBy, in *Rel[T], gIdx, aIdx []int, outSchema relation.Schema, workers int) (*Rel[T], error) {
+	n := in.Len()
+	keyTuples := make([]relation.Tuple, n)
+	keys := make([]string, n)
+	parallelRanges(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keyTuples[i] = in.Tuples[i].Project(gIdx)
+			keys[i] = keyTuples[i].Key()
+		}
+	})
+	shards := make([][]int, workers)
+	for i := 0; i < n; i++ {
+		w := fnvShard(keys[i], workers)
+		shards[w] = append(shards[w], i)
+	}
+	out := NewRel[T](outSchema)
+	locals := make([]*Rel[T], workers)
+	err := pool.ForEach(workers, workers, func(w int) error {
+		groups := map[string][]relation.Tuple{}
+		var order []string
+		first := map[string]int{}
+		for _, i := range shards[w] {
+			ks := keys[i]
+			if _, ok := groups[ks]; !ok {
+				order = append(order, ks)
+				first[ks] = i
+			}
+			groups[ks] = append(groups[ks], in.Tuples[i])
+		}
+		local := NewRelCap[T](outSchema, len(order))
+		for _, ks := range order {
+			row := keyTuples[first[ks]].Clone()
+			for i, a := range g.Aggs {
+				v, err := computeAgg(a.Func, aIdx[i], groups[ks])
+				if err != nil {
+					return err
+				}
+				row = append(row, v)
+			}
+			local.appendDistinct(row, s.One())
+		}
+		locals[w] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	concatShards(locals, out)
+	return out, nil
 }
 
 // concatShards appends the shard-local relations to out in shard order. The

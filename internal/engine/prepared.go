@@ -1,0 +1,1161 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// This file is the delta-incremental evaluation subsystem: PrepareDiff
+// evaluates Q1 and Q2 once on the full database under the counting semiring
+// and retains per-operator state — base-scan relations with a TupleID →
+// position map, join hash tables partitioned by join key, the output (with
+// its lazily-built tuple index) of every union/difference node, and per-group
+// membership for γ. PreparedDiff.EvalDelta then answers "what do Q1 − Q2 and
+// Q2 − Q1 look like after deleting these base tuples" by propagating only the
+// deletion delta up the operator DAG:
+//
+//   - scans translate removed ids into per-tuple count decrements,
+//   - joins probe the retained hash table of the *other* side
+//     (Δ(L⋈R) = ΔL⋈R + L⋈ΔR + ΔL⋈ΔR over signed counts),
+//   - unions add the child deltas,
+//   - differences re-derive only the tuples whose left or right count
+//     changed, from the retained child outputs (the Section-6 rule is not
+//     linear, so the delta consults old and new counts),
+//   - γ re-aggregates only the groups whose support intersects the delta.
+//
+// Derivation counts are the bookkeeping that makes deletion cheap: a deleted
+// input tuple decrements the counts it contributed to, and an output tuple
+// leaves the result exactly when its count reaches zero — no recomputation.
+// Because Diff nodes can also *resurrect* tuples (deleting right-side
+// derivations un-suppresses a left tuple), deltas are signed and retained
+// outputs may gain tuples on Commit.
+//
+// A DeltaResult is evaluated against the prepared object's current base
+// instance (initially D). Commit folds the delta into the retained state, so
+// a shrink loop pays O(|step delta|) per iteration instead of re-evaluating
+// the whole query; uncommitted results are independent, which is what the
+// candidate accept/reject checks need.
+
+// ErrNotIncremental is returned by PrepareDiff when the plan or its
+// evaluation state cannot be maintained incrementally (currently: derivation
+// counts that saturated the counting semiring, making count arithmetic
+// unsound). Callers fall back to the batch or per-candidate path.
+var ErrNotIncremental = errors.New("engine: plan is not delta-incrementalizable")
+
+// ErrStaleDelta is returned by DeltaResult.Commit when the prepared state
+// advanced (another result was committed) after this result was computed.
+// Committing a stale delta would corrupt the retained per-operator state.
+var ErrStaleDelta = errors.New("engine: delta result is stale: prepared state has advanced")
+
+// zsum is the ring ℤ used for deletion deltas: signed count changes merge by
+// plain addition. No saturation is needed — PrepareDiff rejects saturated
+// base counts, and every delta magnitude is bounded by a base count.
+type zsumRing struct{}
+
+func (zsumRing) Zero() int64                          { return 0 }
+func (zsumRing) One() int64                           { return 1 }
+func (zsumRing) Plus(a, b int64) int64                { return a + b }
+func (zsumRing) Times(a, b int64) int64               { return a * b }
+func (zsumRing) Minus(l, r int64) int64               { return l - r }
+func (zsumRing) IsZero(a int64) bool                  { return a == 0 }
+func (zsumRing) Leaf(relation.TupleID) (int64, error) { return 1, nil }
+func (zsumRing) Aggregates() bool                     { return false }
+func (zsumRing) Name() string                         { return "zsum" }
+
+var zsum zsumRing
+
+// deltaCtx carries one EvalDelta computation: the (sorted, deduplicated,
+// still-live) removed ids and the per-node memoized deltas. Nodes are shared
+// between the two difference directions and between Q1 and Q2 (base scans),
+// so memoization keeps every node's delta computed exactly once per call.
+type deltaCtx struct {
+	removed []relation.TupleID
+	memo    map[pnode]*Rel[int64]
+	aux     map[pnode][]groupChange
+}
+
+// pnode is one prepared operator: retained base output plus delta/commit.
+type pnode interface {
+	// rel is the retained output on the current base instance. It may
+	// contain zombie entries (count 0) left behind by committed deletions;
+	// consumers must read counts, never assume presence implies membership.
+	rel() *Rel[int64]
+	// delta computes the signed count changes this operator's output
+	// undergoes for ctx's removed tuples, memoized in ctx.
+	delta(ctx *deltaCtx) (*Rel[int64], error)
+	// commit folds the memoized delta of ctx into the retained state.
+	commit(ctx *deltaCtx)
+}
+
+// countOf reads a tuple's retained count (0 when absent or zombie).
+func countOf(r *Rel[int64], t relation.Tuple) int64 {
+	if i := r.Lookup(t); i >= 0 {
+		return r.Anns[i]
+	}
+	return 0
+}
+
+// deltaOf reads a tuple's signed delta (0 when untouched).
+func deltaOf(d *Rel[int64], t relation.Tuple) int64 {
+	if d == nil {
+		return 0
+	}
+	if i := d.Lookup(t); i >= 0 {
+		return d.Anns[i]
+	}
+	return 0
+}
+
+// applyDelta folds signed count changes into a retained output. Tuples whose
+// count reaches zero stay as zombies (removing them would shift positions
+// out from under the retained join/group indexes); tuples entering the
+// output are appended and indexed.
+func applyDelta(base *Rel[int64], d *Rel[int64]) {
+	for i, t := range d.Tuples {
+		c := d.Anns[i]
+		if c == 0 {
+			continue
+		}
+		if j := base.Lookup(t); j >= 0 {
+			base.Anns[j] += c
+			continue
+		}
+		base.Add(zsum, t, c)
+	}
+}
+
+// pscan is a retained base-relation scan: the deduplicated annotated scan
+// output plus the id → output-position map deletions are translated through.
+type pscan struct {
+	out *Rel[int64]
+	pos map[relation.TupleID]int
+}
+
+func (n *pscan) rel() *Rel[int64] { return n.out }
+
+func (n *pscan) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	d := NewRel[int64](n.out.Schema)
+	for _, id := range ctx.removed {
+		p, ok := n.pos[id]
+		if !ok {
+			continue // a tuple of some other relation
+		}
+		d.Add(zsum, n.out.Tuples[p], -1)
+	}
+	ctx.memo[n] = d
+	return d, nil
+}
+
+func (n *pscan) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
+
+// pselect filters the child delta through the retained compiled predicate.
+type pselect struct {
+	in   pnode
+	pred ra.CompiledExpr
+	out  *Rel[int64]
+}
+
+func (n *pselect) rel() *Rel[int64] { return n.out }
+
+func (n *pselect) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	din, err := n.in.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d := NewRel[int64](n.out.Schema)
+	for i, t := range din.Tuples {
+		c := din.Anns[i]
+		if c == 0 {
+			continue
+		}
+		v, err := n.pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if ra.Truthy(v) {
+			d.Add(zsum, t, c)
+		}
+	}
+	ctx.memo[n] = d
+	return d, nil
+}
+
+func (n *pselect) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
+
+// pproject projects the child delta, merging counts of collapsing tuples.
+type pproject struct {
+	in   pnode
+	idxs []int
+	out  *Rel[int64]
+}
+
+func (n *pproject) rel() *Rel[int64] { return n.out }
+
+func (n *pproject) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	din, err := n.in.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d := NewRel[int64](n.out.Schema)
+	for i, t := range din.Tuples {
+		if c := din.Anns[i]; c != 0 {
+			d.Add(zsum, t.Project(n.idxs), c)
+		}
+	}
+	ctx.memo[n] = d
+	return d, nil
+}
+
+func (n *pproject) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
+
+// prename requalifies the child delta's schema; tuple values are unchanged,
+// so the delta aliases the child's (deltas are read-only once built).
+type prename struct {
+	in  pnode
+	out *Rel[int64]
+}
+
+func (n *prename) rel() *Rel[int64] { return n.out }
+
+func (n *prename) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	din, err := n.in.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d := &Rel[int64]{Schema: n.out.Schema, Tuples: din.Tuples, Anns: din.Anns, index: din.index}
+	ctx.memo[n] = d
+	return d, nil
+}
+
+func (n *prename) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
+
+// punion adds the two child deltas.
+type punion struct {
+	l, r pnode
+	out  *Rel[int64]
+}
+
+func (n *punion) rel() *Rel[int64] { return n.out }
+
+func (n *punion) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	dl, err := n.l.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := n.r.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d := NewRel[int64](n.out.Schema)
+	for i, t := range dl.Tuples {
+		if c := dl.Anns[i]; c != 0 {
+			d.Add(zsum, t, c)
+		}
+	}
+	for i, t := range dr.Tuples {
+		if c := dr.Anns[i]; c != 0 {
+			d.Add(zsum, t, c)
+		}
+	}
+	ctx.memo[n] = d
+	return d, nil
+}
+
+func (n *punion) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
+
+// pjoin retains both children's join-key hash tables and expands
+// Δ(L⋈R) = ΔL⋈R + L⋈ΔR + ΔL⋈ΔR: each delta side probes the *other* side's
+// retained table, and the cross term pairs the two (small) deltas. With no
+// equi keys (cross products, residual-only θ-joins) the probes degrade to a
+// scan of the other side's retained output — still proportional to one
+// side's size, not the whole plan.
+type pjoin struct {
+	l, r         pnode
+	lKeys, rKeys []int // equi-join key columns; empty → no hash keys
+	natural      bool
+	rOnly        []int           // natural join: right-side columns appended
+	pred         ra.CompiledExpr // residual θ-condition over the concat, or nil
+	out          *Rel[int64]
+	lIdx, rIdx   map[string][]int
+	lSynced      int // child output positions already indexed
+	rSynced      int
+}
+
+func (n *pjoin) rel() *Rel[int64] { return n.out }
+
+// sync indexes child output positions appended by commits since the last
+// delta (tuples resurrected through a Diff keep their old, already-indexed
+// position; only genuinely new tuples appear past the watermark).
+func (n *pjoin) sync() {
+	if len(n.lKeys) == 0 {
+		return
+	}
+	lrel, rrel := n.l.rel(), n.r.rel()
+	for i := n.lSynced; i < lrel.Len(); i++ {
+		k := lrel.Tuples[i].Project(n.lKeys)
+		if !hasNullValue(k) {
+			n.lIdx[k.Key()] = append(n.lIdx[k.Key()], i)
+		}
+	}
+	n.lSynced = lrel.Len()
+	for i := n.rSynced; i < rrel.Len(); i++ {
+		k := rrel.Tuples[i].Project(n.rKeys)
+		if !hasNullValue(k) {
+			n.rIdx[k.Key()] = append(n.rIdx[k.Key()], i)
+		}
+	}
+	n.rSynced = rrel.Len()
+}
+
+// outTuple builds the output tuple for a matched pair.
+func (n *pjoin) outTuple(lt, rt relation.Tuple) relation.Tuple {
+	if n.natural {
+		return lt.Concat(rt.Project(n.rOnly))
+	}
+	return lt.Concat(rt)
+}
+
+// emitDelta adds one pair's signed contribution, applying the residual
+// θ-condition.
+func (n *pjoin) emitDelta(d *Rel[int64], lt, rt relation.Tuple, c int64) error {
+	if c == 0 {
+		return nil
+	}
+	if n.pred != nil {
+		v, err := n.pred(lt.Concat(rt))
+		if err != nil {
+			return err
+		}
+		if !ra.Truthy(v) {
+			return nil
+		}
+	}
+	d.Add(zsum, n.outTuple(lt, rt), c)
+	return nil
+}
+
+func (n *pjoin) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	dl, err := n.l.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := n.r.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n.sync()
+	d := NewRel[int64](n.out.Schema)
+	lrel, rrel := n.l.rel(), n.r.rel()
+	keyed := len(n.lKeys) > 0
+	// ΔL ⋈ R (retained right state).
+	for i, lt := range dl.Tuples {
+		c := dl.Anns[i]
+		if c == 0 {
+			continue
+		}
+		if keyed {
+			k := lt.Project(n.lKeys)
+			if hasNullValue(k) {
+				continue
+			}
+			for _, ri := range n.rIdx[k.Key()] {
+				if err := n.emitDelta(d, lt, rrel.Tuples[ri], c*rrel.Anns[ri]); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		for ri := range rrel.Tuples {
+			if err := n.emitDelta(d, lt, rrel.Tuples[ri], c*rrel.Anns[ri]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// L (retained left state) ⋈ ΔR.
+	for j, rt := range dr.Tuples {
+		c := dr.Anns[j]
+		if c == 0 {
+			continue
+		}
+		if keyed {
+			k := rt.Project(n.rKeys)
+			if hasNullValue(k) {
+				continue
+			}
+			for _, li := range n.lIdx[k.Key()] {
+				if err := n.emitDelta(d, lrel.Tuples[li], rt, lrel.Anns[li]*c); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		for li := range lrel.Tuples {
+			if err := n.emitDelta(d, lrel.Tuples[li], rt, lrel.Anns[li]*c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// ΔL ⋈ ΔR: both sides changed; the product of two (negative) deletions
+	// adds back the doubly-subtracted pairs.
+	for i, lt := range dl.Tuples {
+		ci := dl.Anns[i]
+		if ci == 0 {
+			continue
+		}
+		var lk relation.Tuple
+		if keyed {
+			lk = lt.Project(n.lKeys)
+			if hasNullValue(lk) {
+				continue
+			}
+		}
+		for j, rt := range dr.Tuples {
+			cj := dr.Anns[j]
+			if cj == 0 {
+				continue
+			}
+			if keyed {
+				rk := rt.Project(n.rKeys)
+				if hasNullValue(rk) || !lk.Identical(rk) {
+					continue
+				}
+			}
+			if err := n.emitDelta(d, lt, rt, ci*cj); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ctx.memo[n] = d
+	return d, nil
+}
+
+func (n *pjoin) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
+
+// pdiff applies the counting-semiring Section-6 difference rule
+// out(t) = L(t) if R(t) == 0 else 0. The rule is not linear, so the delta
+// re-derives exactly the tuples whose left or right count changed, reading
+// old counts from the retained child outputs. live tracks the support size
+// so emptiness checks are O(1).
+type pdiff struct {
+	l, r pnode
+	out  *Rel[int64]
+	live int
+}
+
+func (n *pdiff) rel() *Rel[int64] { return n.out }
+
+func (n *pdiff) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	dl, err := n.l.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := n.r.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d := NewRel[int64](n.out.Schema)
+	lrel, rrel := n.l.rel(), n.r.rel()
+	seen := map[string]bool{}
+	process := func(t relation.Tuple) {
+		k := t.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		oldL := countOf(lrel, t)
+		oldR := countOf(rrel, t)
+		newL := oldL + deltaOf(dl, t)
+		newR := oldR + deltaOf(dr, t)
+		oldOut, newOut := oldL, newL
+		if oldR != 0 {
+			oldOut = 0
+		}
+		if newR != 0 {
+			newOut = 0
+		}
+		if ch := newOut - oldOut; ch != 0 {
+			d.Add(zsum, t, ch)
+		}
+	}
+	for _, t := range dl.Tuples {
+		process(t)
+	}
+	for _, t := range dr.Tuples {
+		process(t)
+	}
+	ctx.memo[n] = d
+	return d, nil
+}
+
+func (n *pdiff) commit(ctx *deltaCtx) {
+	d := ctx.memo[n]
+	for i, t := range d.Tuples {
+		ch := d.Anns[i]
+		if ch == 0 {
+			continue
+		}
+		old := countOf(n.out, t)
+		switch {
+		case old == 0 && old+ch != 0:
+			n.live++
+		case old != 0 && old+ch == 0:
+			n.live--
+		}
+	}
+	applyDelta(n.out, d)
+}
+
+// groupChange records one affected group for commit: the key and its new
+// output row (nil when the group's support emptied).
+type groupChange struct {
+	key string
+	row relation.Tuple
+}
+
+// pgroup retains γ's group membership (group key → input output positions)
+// and the current output row per live group. A delta re-aggregates only the
+// groups whose support intersects the changed input tuples; untouched groups
+// keep their retained rows.
+type pgroup struct {
+	in        pnode
+	aggs      []ra.AggSpec
+	gIdx      []int
+	aIdx      []int
+	out       *Rel[int64]
+	groups    map[string][]int
+	keyTuples map[string]relation.Tuple
+	rows      map[string]relation.Tuple
+	inSynced  int
+}
+
+func (n *pgroup) rel() *Rel[int64] { return n.out }
+
+// sync assigns input positions appended since the last delta to groups.
+func (n *pgroup) sync() {
+	inrel := n.in.rel()
+	for p := n.inSynced; p < inrel.Len(); p++ {
+		key := inrel.Tuples[p].Project(n.gIdx)
+		ks := key.Key()
+		if _, ok := n.keyTuples[ks]; !ok {
+			n.keyTuples[ks] = key
+		}
+		n.groups[ks] = append(n.groups[ks], p)
+	}
+	n.inSynced = inrel.Len()
+}
+
+func (n *pgroup) delta(ctx *deltaCtx) (*Rel[int64], error) {
+	if d, ok := ctx.memo[n]; ok {
+		return d, nil
+	}
+	din, err := n.in.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n.sync()
+	inrel := n.in.rel()
+	d := NewRel[int64](n.out.Schema)
+	var changes []groupChange
+	var affected []string
+	seenKey := map[string]bool{}
+	// One pass over the input delta collects the affected group keys and
+	// buckets fresh tuples — delta tuples entering the input for the first
+	// time (possible when a Diff below resurrects a tuple) — per key, so the
+	// per-group work below is linear in the delta instead of rescanning the
+	// whole delta once per affected group.
+	fresh := map[string][]relation.Tuple{}
+	for i, t := range din.Tuples {
+		key := t.Project(n.gIdx)
+		ks := key.Key()
+		if !seenKey[ks] {
+			seenKey[ks] = true
+			affected = append(affected, ks)
+			if _, ok := n.keyTuples[ks]; !ok {
+				n.keyTuples[ks] = key
+			}
+		}
+		if din.Anns[i] > 0 && inrel.Lookup(t) < 0 {
+			fresh[ks] = append(fresh[ks], t)
+		}
+	}
+	for _, ks := range affected {
+		// Current support of the group: retained members whose new count
+		// stays positive, plus the fresh tuples bucketed above.
+		var members []relation.Tuple
+		for _, p := range n.groups[ks] {
+			t := inrel.Tuples[p]
+			if inrel.Anns[p]+deltaOf(din, t) > 0 {
+				members = append(members, t)
+			}
+		}
+		members = append(members, fresh[ks]...)
+		var newRow relation.Tuple
+		if len(members) > 0 {
+			row := n.keyTuples[ks].Clone()
+			for i, a := range n.aggs {
+				v, err := computeAgg(a.Func, n.aIdx[i], members)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+			newRow = row
+		}
+		oldRow := n.rows[ks]
+		if oldRow == nil && newRow == nil {
+			continue
+		}
+		if oldRow != nil && newRow != nil && oldRow.Identical(newRow) {
+			continue
+		}
+		if oldRow != nil {
+			d.Add(zsum, oldRow, -1)
+		}
+		if newRow != nil {
+			d.Add(zsum, newRow, 1)
+		}
+		changes = append(changes, groupChange{key: ks, row: newRow})
+	}
+	ctx.memo[n] = d
+	ctx.aux[n] = changes
+	return d, nil
+}
+
+func (n *pgroup) commit(ctx *deltaCtx) {
+	applyDelta(n.out, ctx.memo[n])
+	for _, ch := range ctx.aux[n] {
+		if ch.row == nil {
+			delete(n.rows, ch.key)
+			continue
+		}
+		n.rows[ch.key] = ch.row
+	}
+}
+
+// pbuilder constructs the prepared operator DAG and its base evaluation.
+// Base scans are cached by relation name, so Q1 and Q2 (and self-joins)
+// share one retained scan per relation — the same sharing the batch layer's
+// per-exec scan cache provides, but persistent.
+type pbuilder struct {
+	db     *relation.Database
+	params map[string]relation.Value
+	scans  map[string]*pscan
+	nodes  []pnode // children before parents (commit order is irrelevant,
+	// but a deterministic walk keeps Commit reproducible)
+}
+
+func (b *pbuilder) add(n pnode) pnode {
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+func (b *pbuilder) build(q ra.Node) (pnode, error) {
+	switch x := q.(type) {
+	case *ra.Rel:
+		return b.buildScan(x)
+	case *ra.Select:
+		in, err := b.build(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return b.buildSelect(x, in)
+	case *ra.Project:
+		in, err := b.build(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return b.buildProject(x, in)
+	case *ra.Rename:
+		in, err := b.build(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return b.add(&prename{in: in, out: renameRel(in.rel(), x.As)}), nil
+	case *ra.Join:
+		l, err := b.build(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.build(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return b.buildJoin(x, l, r)
+	case *ra.Union:
+		l, err := b.build(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.build(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if !l.rel().Schema.UnionCompatible(r.rel().Schema) {
+			return nil, fmt.Errorf("engine: union of incompatible schemas %s, %s", l.rel().Schema, r.rel().Schema)
+		}
+		n := &punion{l: l, r: r, out: NewRel[int64](l.rel().Schema)}
+		for i, t := range l.rel().Tuples {
+			n.out.Add(Count, t, l.rel().Anns[i])
+		}
+		for i, t := range r.rel().Tuples {
+			n.out.Add(Count, t, r.rel().Anns[i])
+		}
+		return b.add(n), nil
+	case *ra.Diff:
+		l, err := b.build(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.build(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if !l.rel().Schema.UnionCompatible(r.rel().Schema) {
+			return nil, fmt.Errorf("engine: difference of incompatible schemas %s, %s", l.rel().Schema, r.rel().Schema)
+		}
+		return b.buildDiff(l, r), nil
+	case *ra.GroupBy:
+		in, err := b.build(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return b.buildGroupBy(x, in)
+	}
+	return nil, fmt.Errorf("engine: unknown node type %T", q)
+}
+
+func (b *pbuilder) buildScan(x *ra.Rel) (pnode, error) {
+	if n, ok := b.scans[x.Name]; ok {
+		return n, nil
+	}
+	r := b.db.Relation(x.Name)
+	if r == nil {
+		return nil, fmt.Errorf("engine: unknown relation %q", x.Name)
+	}
+	n := &pscan{out: NewRel[int64](r.Schema), pos: make(map[relation.TupleID]int, r.Len())}
+	for i, t := range r.Tuples {
+		n.out.Add(Count, t, 1)
+		n.pos[r.ID(i)] = n.out.Lookup(t)
+	}
+	b.scans[x.Name] = n
+	b.add(n)
+	return n, nil
+}
+
+func (b *pbuilder) buildSelect(x *ra.Select, in pnode) (pnode, error) {
+	pred, err := ra.CompileExpr(x.Pred, in.rel().Schema, b.params)
+	if err != nil {
+		return nil, err
+	}
+	n := &pselect{in: in, pred: pred, out: NewRelCap[int64](in.rel().Schema, in.rel().Len())}
+	for i, t := range in.rel().Tuples {
+		v, err := pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if ra.Truthy(v) {
+			n.out.appendDistinct(t, in.rel().Anns[i])
+		}
+	}
+	return b.add(n), nil
+}
+
+func (b *pbuilder) buildProject(x *ra.Project, in pnode) (pnode, error) {
+	idxs, outSchema, err := projectPlan(x, in.rel().Schema)
+	if err != nil {
+		return nil, err
+	}
+	n := &pproject{in: in, idxs: idxs, out: NewRel[int64](outSchema)}
+	for i, t := range in.rel().Tuples {
+		n.out.Add(Count, t.Project(idxs), in.rel().Anns[i])
+	}
+	return b.add(n), nil
+}
+
+func (b *pbuilder) buildJoin(x *ra.Join, l, r pnode) (pnode, error) {
+	lrel, rrel := l.rel(), r.rel()
+	n := &pjoin{l: l, r: r, lIdx: map[string][]int{}, rIdx: map[string][]int{}}
+	var outSchema relation.Schema
+	if x.Cond == nil {
+		shared, rOnly := ra.NaturalJoinCols(lrel.Schema, rrel.Schema)
+		attrs := make([]relation.Attribute, 0, len(lrel.Schema.Attrs)+len(rOnly))
+		attrs = append(attrs, lrel.Schema.Attrs...)
+		for _, j := range rOnly {
+			attrs = append(attrs, rrel.Schema.Attrs[j])
+		}
+		outSchema = relation.Schema{Attrs: attrs}
+		n.natural = true
+		n.rOnly = rOnly
+		n.lKeys = make([]int, len(shared))
+		n.rKeys = make([]int, len(shared))
+		for i, p := range shared {
+			n.lKeys[i], n.rKeys[i] = p[0], p[1]
+		}
+		if len(shared) == 0 && crossExceedsBudget(lrel.Len(), rrel.Len(), MaxIntermediateRows) {
+			return nil, ErrRowBudget
+		}
+	} else {
+		outSchema = lrel.Schema.Concat(rrel.Schema)
+		var residual ra.Expr
+		n.lKeys, n.rKeys, residual = EquiJoinPlan(x.Cond, lrel.Schema, rrel.Schema)
+		if residual != nil {
+			pred, err := ra.CompileExpr(residual, outSchema, b.params)
+			if err != nil {
+				return nil, err
+			}
+			n.pred = pred
+		}
+	}
+	n.out = NewRel[int64](outSchema)
+	n.sync()
+	// Base evaluation: probe the retained right table in left order (the
+	// serial hash join's order) or fall back to nested loops.
+	emit := func(li, ri int) error {
+		c := Count.Times(lrel.Anns[li], rrel.Anns[ri])
+		if c == 0 {
+			return nil
+		}
+		lt, rt := lrel.Tuples[li], rrel.Tuples[ri]
+		if n.pred != nil {
+			v, err := n.pred(lt.Concat(rt))
+			if err != nil {
+				return err
+			}
+			if !ra.Truthy(v) {
+				return nil
+			}
+		}
+		if n.out.Len() >= MaxIntermediateRows {
+			return ErrRowBudget
+		}
+		n.out.appendDistinct(n.outTuple(lt, rt), c)
+		return nil
+	}
+	if len(n.lKeys) > 0 {
+		for li, lt := range lrel.Tuples {
+			k := lt.Project(n.lKeys)
+			if hasNullValue(k) {
+				continue
+			}
+			for _, ri := range n.rIdx[k.Key()] {
+				if err := emit(li, ri); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		for li := range lrel.Tuples {
+			for ri := range rrel.Tuples {
+				if err := emit(li, ri); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.add(n), nil
+}
+
+func (b *pbuilder) buildDiff(l, r pnode) pnode {
+	lrel, rrel := l.rel(), r.rel()
+	n := &pdiff{l: l, r: r, out: NewRelCap[int64](lrel.Schema, lrel.Len())}
+	for i, t := range lrel.Tuples {
+		ann := Count.Minus(lrel.Anns[i], countOf(rrel, t))
+		if ann == 0 {
+			continue
+		}
+		n.out.appendDistinct(t, ann)
+	}
+	n.live = n.out.Len()
+	b.add(n)
+	return n
+}
+
+func (b *pbuilder) buildGroupBy(x *ra.GroupBy, in pnode) (pnode, error) {
+	gIdx, aIdx, outSchema, err := groupPlan(x, in.rel().Schema)
+	if err != nil {
+		return nil, err
+	}
+	n := &pgroup{
+		in: in, aggs: x.Aggs, gIdx: gIdx, aIdx: aIdx,
+		out:    NewRel[int64](outSchema),
+		groups: map[string][]int{}, keyTuples: map[string]relation.Tuple{},
+		rows: map[string]relation.Tuple{},
+	}
+	inrel := in.rel()
+	var order []string
+	for p, t := range inrel.Tuples {
+		key := t.Project(gIdx)
+		ks := key.Key()
+		if _, ok := n.keyTuples[ks]; !ok {
+			n.keyTuples[ks] = key
+			order = append(order, ks)
+		}
+		n.groups[ks] = append(n.groups[ks], p)
+	}
+	n.inSynced = inrel.Len()
+	for _, ks := range order {
+		members := make([]relation.Tuple, 0, len(n.groups[ks]))
+		for _, p := range n.groups[ks] {
+			members = append(members, inrel.Tuples[p])
+		}
+		row := n.keyTuples[ks].Clone()
+		for i, a := range x.Aggs {
+			v, err := computeAgg(a.Func, aIdx[i], members)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		n.out.appendDistinct(row, 1)
+		n.rows[ks] = row
+	}
+	return b.add(n), nil
+}
+
+// PreparedDiff is the retained evaluation of Q1 − Q2 and Q2 − Q1 over a base
+// instance, ready to answer deletion deltas. It is NOT safe for concurrent
+// use: EvalDelta mutates lazily-synced indexes and Commit mutates retained
+// outputs.
+type PreparedDiff struct {
+	db       *relation.Database
+	d12, d21 *pdiff
+	nodes    []pnode
+	removed  map[relation.TupleID]bool
+	epoch    int
+	liveSize int
+}
+
+// PrepareDiff evaluates q1 and q2 once on db under the counting semiring
+// (sharing base scans between the two queries) and retains the per-operator
+// state needed to propagate deletion deltas. It returns ErrNotIncremental
+// (wrapped) when the retained state cannot support delta arithmetic; other
+// errors mirror a full evaluation's (unknown relations, row budget,
+// incompatible schemas).
+func PrepareDiff(q1, q2 ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (*PreparedDiff, error) {
+	cat := Catalog{DB: db}
+	if !opts.NoOptimize {
+		q1 = Optimize(q1, cat)
+		q2 = Optimize(q2, cat)
+	}
+	b := &pbuilder{db: db, params: params, scans: map[string]*pscan{}}
+	n1, err := b.build(q1)
+	if err != nil {
+		return nil, err
+	}
+	n2, err := b.build(q2)
+	if err != nil {
+		return nil, err
+	}
+	if !n1.rel().Schema.UnionCompatible(n2.rel().Schema) {
+		return nil, fmt.Errorf("engine: difference of incompatible schemas %s, %s", n1.rel().Schema, n2.rel().Schema)
+	}
+	d12 := b.buildDiff(n1, n2)
+	d21 := b.buildDiff(n2, n1)
+	// Saturated derivation counts would make the signed delta arithmetic
+	// unsound (saturation is not invertible); such plans fall back.
+	for _, n := range b.nodes {
+		for _, c := range n.rel().Anns {
+			if c == math.MaxInt64 {
+				return nil, fmt.Errorf("%w: derivation counts saturated", ErrNotIncremental)
+			}
+		}
+	}
+	return &PreparedDiff{
+		db: db, d12: d12.(*pdiff), d21: d21.(*pdiff), nodes: b.nodes,
+		removed: map[relation.TupleID]bool{}, liveSize: db.Size(),
+	}, nil
+}
+
+// Epoch counts committed deltas; it identifies the base instance version.
+func (p *PreparedDiff) Epoch() int { return p.epoch }
+
+// BaseSize is the number of tuples in the current base instance.
+func (p *PreparedDiff) BaseSize() int { return p.liveSize }
+
+// Disagrees reports whether Q1 and Q2 differ on the current base instance.
+func (p *PreparedDiff) Disagrees() bool { return p.d12.live > 0 || p.d21.live > 0 }
+
+// LiveIDs returns the identifiers of the current base instance, sorted.
+func (p *PreparedDiff) LiveIDs() []relation.TupleID {
+	out := make([]relation.TupleID, 0, p.liveSize)
+	for _, id := range p.db.AllIDs() {
+		if !p.removed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Diffs materializes Q1 − Q2 and Q2 − Q1 on the current base instance.
+func (p *PreparedDiff) Diffs() (*relation.Relation, *relation.Relation) {
+	return materializeDiff(p.d12.out, nil), materializeDiff(p.d21.out, nil)
+}
+
+func materializeDiff(base *Rel[int64], d *Rel[int64]) *relation.Relation {
+	out := relation.NewRelation("−", base.Schema)
+	for i, t := range base.Tuples {
+		if base.Anns[i]+deltaOf(d, t) > 0 {
+			out.Append(t)
+		}
+	}
+	if d != nil {
+		for i, t := range d.Tuples {
+			if d.Anns[i] > 0 && base.Lookup(t) < 0 {
+				out.Append(t)
+			}
+		}
+	}
+	return out
+}
+
+// DeltaResult is the effect of one deletion delta on the two difference
+// directions, relative to the prepared base instance at the epoch it was
+// computed. Multiple uncommitted results from the same epoch are
+// independent candidates; Commit folds one of them into the base.
+type DeltaResult struct {
+	p              *PreparedDiff
+	epoch          int
+	ctx            *deltaCtx
+	size12, size21 int
+	committed      bool
+}
+
+// EvalDelta propagates the deletion of the given base tuples through the
+// retained operator DAG and reports the resulting state of Q1 − Q2 and
+// Q2 − Q1. Ids already removed by committed deltas, unknown ids and
+// duplicates are ignored. The work is proportional to the delta's footprint
+// in each operator, not to the database or plan size.
+func (p *PreparedDiff) EvalDelta(removed []relation.TupleID) (*DeltaResult, error) {
+	ids := make([]relation.TupleID, 0, len(removed))
+	seen := make(map[relation.TupleID]bool, len(removed))
+	for _, id := range removed {
+		if seen[id] || p.removed[id] {
+			continue
+		}
+		if _, _, ok := p.db.Lookup(id); !ok {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	// Sorted ids make every delta's tuple order — and therefore committed
+	// append order — deterministic.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ctx := &deltaCtx{
+		removed: ids,
+		memo:    make(map[pnode]*Rel[int64], len(p.nodes)),
+		aux:     map[pnode][]groupChange{},
+	}
+	d12, err := p.d12.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d21, err := p.d21.delta(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaResult{
+		p: p, epoch: p.epoch, ctx: ctx,
+		size12: p.d12.live + supportShift(p.d12.out, d12),
+		size21: p.d21.live + supportShift(p.d21.out, d21),
+	}, nil
+}
+
+// supportShift counts how many tuples enter minus leave a retained output
+// under a signed delta.
+func supportShift(base *Rel[int64], d *Rel[int64]) int {
+	shift := 0
+	for i, t := range d.Tuples {
+		ch := d.Anns[i]
+		if ch == 0 {
+			continue
+		}
+		old := countOf(base, t)
+		switch {
+		case old == 0 && old+ch != 0:
+			shift++
+		case old != 0 && old+ch == 0:
+			shift--
+		}
+	}
+	return shift
+}
+
+// Size12 is |Q1 − Q2| on the delta's subinstance; Size21 the reverse.
+func (r *DeltaResult) Size12() int { return r.size12 }
+
+// Size21 is |Q2 − Q1| on the delta's subinstance.
+func (r *DeltaResult) Size21() int { return r.size21 }
+
+// Disagrees reports whether the queries differ on the delta's subinstance.
+func (r *DeltaResult) Disagrees() bool { return r.size12 > 0 || r.size21 > 0 }
+
+// Diff12 materializes Q1 − Q2 on the delta's subinstance. After this
+// result was committed its delta is already folded into the base, so the
+// base materializes as-is; a result superseded by another commit returns
+// ErrStaleDelta (re-applying its delta against the advanced base would
+// double-count the changes).
+func (r *DeltaResult) Diff12() (*relation.Relation, error) {
+	return r.materialize(r.p.d12)
+}
+
+// Diff21 materializes Q2 − Q1 on the delta's subinstance.
+func (r *DeltaResult) Diff21() (*relation.Relation, error) {
+	return r.materialize(r.p.d21)
+}
+
+func (r *DeltaResult) materialize(n *pdiff) (*relation.Relation, error) {
+	if r.committed {
+		return materializeDiff(n.out, nil), nil
+	}
+	if r.epoch != r.p.epoch {
+		return nil, ErrStaleDelta
+	}
+	return materializeDiff(n.out, r.ctx.memo[n]), nil
+}
+
+// Commit folds the delta into the retained state: the delta's subinstance
+// becomes the new base, and subsequent EvalDelta calls are relative to it.
+// A result computed before another Commit advanced the state returns
+// ErrStaleDelta — committing it would apply changes against the wrong base.
+func (r *DeltaResult) Commit() error {
+	if r.epoch != r.p.epoch {
+		return ErrStaleDelta
+	}
+	for _, n := range r.p.nodes {
+		n.commit(r.ctx)
+	}
+	for _, id := range r.ctx.removed {
+		r.p.removed[id] = true
+	}
+	r.p.liveSize -= len(r.ctx.removed)
+	r.p.epoch++
+	r.committed = true
+	return nil
+}

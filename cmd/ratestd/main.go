@@ -1,0 +1,80 @@
+// Command ratestd serves counterexample explanations over HTTP — the
+// long-lived deployment of the paper's RATest tool (Section 6 describes the
+// web service used in Duke's undergraduate database course). Unlike the
+// one-shot ratest CLI it keeps parsed query plans and generated instances
+// cached across requests, bounds concurrent explanations, and enforces a
+// per-request wall-clock budget.
+//
+// Usage:
+//
+//	ratestd [-addr :8080] [-default-timeout 10s] [-max-timeout 60s]
+//	        [-plan-cache 256] [-instance-cache 8] [-max-concurrent N]
+//	        [-max-instance-tuples 200000]
+//
+// Endpoints: POST /explain, POST /grade, GET /healthz, GET /stats. See
+// internal/server and the README's "Running the server" section for the
+// request/response formats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	planCache := flag.Int("plan-cache", 256, "parsed-plan LRU cache entries")
+	instanceCache := flag.Int("instance-cache", 8, "generated-instance LRU cache entries")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent explanations (0 = one per CPU)")
+	defaultTimeout := flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request sets none")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "largest per-request budget a request may ask for")
+	maxTuples := flag.Int("max-instance-tuples", 200_000, "largest instance the server will generate or accept")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		PlanCacheSize:     *planCache,
+		InstanceCacheSize: *instanceCache,
+		MaxConcurrent:     *maxConcurrent,
+		DefaultTimeout:    *defaultTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxInstanceTuples: *maxTuples,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests for up to
+	// the maximum request budget before exiting.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ratestd: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ratestd:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "ratestd: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ratestd: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

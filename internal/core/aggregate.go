@@ -44,6 +44,9 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	}
 	stats := &Stats{Algorithm: name}
 	start := time.Now()
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 
 	q1, q2 := p.Q1, p.Q2
 	origParams := p.Params
@@ -65,13 +68,16 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	}
 
 	t0 := time.Now()
-	differs, d12, d21, err := Disagrees(q1, q2, p.DB, origParams)
+	differs, d12, d21, err := disagreesOpts(q1, q2, p.DB, origParams, p.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.RawEvalTime = time.Since(t0)
 	if !differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D")
+		return nil, nil, ErrQueriesAgree
+	}
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
 	}
 
 	// Aggregate provenance. When parameterizing, the HAVING parameters are
@@ -178,11 +184,14 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	// so the decisions match the old one-at-a-time loop exactly.
 	var pending []*Counterexample
 	for _, c := range cands {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		g1 := ap1.GroupByKey(c.key)
 		g2 := ap2.GroupByKey(c.key)
 		f := groupDisagreement(g1, g2, ap1, ap2)
 		f = addFKFormulas(f, p.DB, fks)
-		res := smt.Solve(smt.Problem{Formula: f, Params: specs, MaxNodes: opts.MaxNodes})
+		res := smt.Solve(smt.Problem{Formula: f, Params: specs, MaxNodes: opts.MaxNodes, Stop: p.stopFunc()})
 		stats.ModelsTried++
 		if res.Status != smt.Optimal && res.Status != smt.Feasible {
 			if res.Status == smt.Unknown {
@@ -216,7 +225,10 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 		}
 		pending = append(pending, ce)
 	}
-	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}
+	// The rebuilt problem must keep the caller's budget fields, or the
+	// verification phase would escape the request's deadline and caps.
+	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams,
+		Ctx: p.Ctx, MaxConflicts: p.MaxConflicts, MaxRows: p.MaxRows}
 	// The aggregate candidates carry their own parameter settings, which the
 	// per-problem prepared state cannot answer: no shared checker here.
 	oks := verifyCandidates(verifyProblem, nil, pending)
@@ -232,6 +244,9 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	stats.SolverTime = time.Since(t0)
 	stats.TotalTime = time.Since(start)
 	if best == nil {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: %s found no verifying counterexample", name)
 	}
 	stats.WitnessSize = best.Size()
@@ -460,6 +475,9 @@ func floatValue(f float64) relation.Value {
 func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	stats := &Stats{Algorithm: "Agg-Opt"}
 	start := time.Now()
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 	maxRetries := opts.MaxRetries
 	if maxRetries <= 0 {
 		maxRetries = 64
@@ -488,15 +506,18 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	inner1, inner2 := spec1.Inner, spec2.Inner
 
 	t0 := time.Now()
-	r1, err := engine.Eval(inner1, p.DB, origParams)
+	r1, err := engine.EvalOpts(inner1, p.DB, origParams, p.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
-	r2, err := engine.Eval(inner2, p.DB, origParams)
+	r2, err := engine.EvalOpts(inner2, p.DB, origParams, p.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.RawEvalTime = time.Since(t0)
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 
 	d12 := r1.SetDiff(r2)
 	d21 := r2.SetDiff(r1)
@@ -521,7 +542,7 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 
 	t0 = time.Now()
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
-	ann, err := engine.EvalProv(pushed, p.DB, origParams)
+	ann, err := engine.EvalProvOpts(pushed, p.DB, origParams, p.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -539,7 +560,8 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 		return nil, nil, err
 	}
 
-	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams}
+	verifyProblem := Problem{Q1: q1, Q2: q2, DB: p.DB, Constraints: p.Constraints, Params: origParams,
+		Ctx: p.Ctx, MaxConflicts: p.MaxConflicts, MaxRows: p.MaxRows}
 	var result *Counterexample
 	// The model loop stays adaptive — each candidate's acceptance decides
 	// whether the solver enumerates another model, so verifying one at a
@@ -547,7 +569,7 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 	// Batching would not help anyway: every candidate carries its own
 	// chosen HAVING parameters and query rewrites, the case the batch
 	// layer's γ fallback hands back to per-candidate Verify.
-	err = forEachWitnessModel(b, counted, varToID, maxRetries, func(ids []int) bool {
+	err = forEachWitnessModel(b, counted, varToID, maxRetries, p.stopFunc(), func(ids []int) bool {
 		stats.ModelsTried++
 		closed, ferr := fkClose(ids, p.DB, fks)
 		if ferr != nil {
@@ -570,6 +592,9 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 		return nil, nil, err
 	}
 	if result == nil {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: AggOpt found no verifying counterexample within %d models", maxRetries)
 	}
 	stats.WitnessSize = result.Size()
@@ -578,9 +603,11 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 
 // forEachWitnessModel yields witness models smallest-first: first the
 // min-ones optimum, then successive distinct models by blocking clauses.
-// yield returns true to stop.
-func forEachWitnessModel(b *boolexpr.CNFBuilder, counted []int, varToID map[int]int, max int, yield func(ids []int) bool) error {
+// yield returns true to stop; stop (may be nil) aborts the solver on
+// budget expiry.
+func forEachWitnessModel(b *boolexpr.CNFBuilder, counted []int, varToID map[int]int, max int, stop func() bool, yield func(ids []int) bool) error {
 	s := sat.New()
+	s.Stop = stop
 	s.EnsureVars(b.NumVars)
 	for _, c := range b.Clauses {
 		if err := s.AddClause(c...); err != nil {

@@ -40,12 +40,15 @@ func DisagreeBatch(p Problem, idSets [][]int) ([]bool, error) {
 		cands[i] = c
 	}
 	for lo := 0; lo < len(cands); lo += disagreeChunk {
+		if err := p.interrupted(); err != nil {
+			return nil, err
+		}
 		hi := lo + disagreeChunk
 		if hi > len(cands) {
 			hi = len(cands)
 		}
 		chunk := cands[lo:hi]
-		d12, d21, err := engine.EvalBatchDiffs(p.Q1, p.Q2, p.DB, p.Params, chunk, engine.Options{})
+		d12, d21, err := engine.EvalBatchDiffs(p.Q1, p.Q2, p.DB, p.Params, chunk, p.engineOpts())
 		if err != nil {
 			if !errors.Is(err, engine.ErrNoAggregates) && !errors.Is(err, engine.ErrRowBudget) {
 				return nil, err
@@ -54,7 +57,7 @@ func DisagreeBatch(p Problem, idSets [][]int) ([]bool, error) {
 			// fallback via the existing evaluate-on-subinstance path.
 			for k := lo; k < hi; k++ {
 				sub, _ := subinstanceFromIDs(p.DB, idSets[k])
-				differs, _, _, derr := Disagrees(p.Q1, p.Q2, sub, p.Params)
+				differs, _, _, derr := p.disagrees(sub)
 				if derr != nil {
 					return nil, derr
 				}
@@ -151,6 +154,11 @@ func verifyCandidates(p Problem, c *checker, ces []*Counterexample) []bool {
 		// handles) is not necessarily a per-candidate error: fall through.
 	}
 	for i, ce := range ces {
+		// An expired budget rejects the remaining candidates; the callers'
+		// no-result paths then surface the budget error.
+		if p.interrupted() != nil {
+			break
+		}
 		out[i] = ce != nil && Verify(p, ce) == nil
 	}
 	return out

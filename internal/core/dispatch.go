@@ -16,6 +16,9 @@ import (
 // It returns the smallest counterexample found along with per-component
 // statistics.
 func Explain(p Problem) (*Counterexample, *Stats, error) {
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 	c1, c2 := ra.Classify(p.Q1), ra.Classify(p.Q2)
 	if c1.Aggregate || c2.Aggregate {
 		if !c1.Aggregate || !c2.Aggregate {

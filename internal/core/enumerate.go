@@ -30,6 +30,9 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 	if max <= 0 {
 		max = 64
 	}
+	if err := p.interrupted(); err != nil {
+		return nil, err
+	}
 	// One prepared evaluation serves the whole enumeration: its retained
 	// state provides the base diffs here and answers the candidate
 	// disagreement checks below (batched for witness-sized candidates,
@@ -39,7 +42,10 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 		return nil, err
 	}
 	if !chk.differs {
-		return nil, fmt.Errorf("core: queries agree on D")
+		return nil, ErrQueriesAgree
+	}
+	if err := p.interrupted(); err != nil {
+		return nil, err
 	}
 	d12, d21 := chk.d12, chk.d21
 	fks := p.ForeignKeys()
@@ -60,6 +66,9 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 		diff   *relation.Relation
 	}{{p.Q1, p.Q2, d12}, {p.Q2, p.Q1, d21}} {
 		for _, t := range side.diff.Tuples {
+			if err := p.interrupted(); err != nil {
+				return nil, err
+			}
 			prov, err := provOfPushedTuple(side.qa, side.qb, t, p)
 			if err != nil {
 				return nil, err
@@ -76,7 +85,7 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 			} else {
 				seenCase[key] = true
 			}
-			r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+			r := minones.Minimize(b.NumVars, b.Clauses, counted, p.solverOpts())
 			if r.Status == minones.Infeasible || r.Status == minones.Unknown {
 				// Infeasible: no witness exists. Unknown: no model in
 				// budget — either way there is no model to enumerate from.
@@ -91,6 +100,11 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 		}
 	}
 	if best < 0 {
+		// Distinguish "the budget cut every solve short" from a genuine
+		// absence of witnesses, as the sibling algorithms do.
+		if err := p.interrupted(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: no witnesses found")
 	}
 
@@ -107,7 +121,10 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 		if c.optima != best {
 			continue
 		}
-		models := minones.EnumerateAtCost(c.nVars, c.cnf, c.vars, best, max, minones.Options{})
+		if err := p.interrupted(); err != nil {
+			return nil, err
+		}
+		models := minones.EnumerateAtCost(c.nVars, c.cnf, c.vars, best, max, p.solverOpts())
 		for _, m := range models {
 			ids := modelToIDs(m, c.vars, c.varID)
 			sort.Ints(ids)
@@ -139,6 +156,9 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 		}
 	}
 	if len(out) == 0 {
+		if err := p.interrupted(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: enumeration found no verifying counterexamples")
 	}
 	return out, nil
@@ -146,7 +166,7 @@ func EnumerateSmallest(p Problem, max int) ([]*Counterexample, error) {
 
 func provOfPushedTuple(qa, qb ra.Node, t relation.Tuple, p Problem) (*boolexpr.Expr, error) {
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
-	ann, err := engine.EvalProv(pushed, p.DB, p.Params)
+	ann, err := engine.EvalProvOpts(pushed, p.DB, p.Params, p.engineOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -48,13 +49,13 @@ func JUStarSWP(p Problem) (*Counterexample, *Stats, error) {
 	start := time.Now()
 
 	t0 := time.Now()
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	differs, d12, d21, err := p.disagrees(p.DB)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.RawEvalTime = time.Since(t0)
 	if !differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D")
+		return nil, nil, ErrQueriesAgree
 	}
 	qa := p.Q1
 	diff := d12
@@ -69,6 +70,9 @@ func JUStarSWP(p Problem) (*Counterexample, *Stats, error) {
 	var bestIDs []int
 	cat := engine.Catalog{DB: p.DB}
 	for _, leaf := range unionLeaves(qa) {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		schema, err := ra.OutSchema(leaf, cat)
 		if err != nil || schema.Arity() != len(t) {
 			continue
@@ -80,10 +84,10 @@ func JUStarSWP(p Problem) (*Counterexample, *Stats, error) {
 		// produce t (the common case: t originates from specific leaves);
 		// errors mean the leaf is unevaluable, which — as before this
 		// rewrite — disqualifies the leaf rather than the whole search.
-		if n, err := engine.CountDistinct(pushed, p.DB, p.Params); err != nil || n == 0 {
+		if n, err := engine.CountDistinctOpts(pushed, p.DB, p.Params, p.engineOpts()); err != nil || n == 0 {
 			continue
 		}
-		ann, err := engine.EvalProv(pushed, p.DB, p.Params)
+		ann, err := engine.EvalProvOpts(pushed, p.DB, p.Params, p.engineOpts())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -113,6 +117,11 @@ func JUStarSWP(p Problem) (*Counterexample, *Stats, error) {
 	stats.Optimal = true
 	stats.TotalTime = time.Since(start)
 	if err := Verify(p, ce); err != nil {
+		// A budget expiry during the final verification is a budget
+		// failure, not an algorithm bug.
+		if errors.Is(err, ErrBudget) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: JUStarSWP produced an invalid counterexample: %v", err)
 	}
 	return ce, stats, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -69,13 +70,13 @@ func MonotoneSWP(p Problem, maxTerms int) (*Counterexample, *Stats, error) {
 	start := time.Now()
 
 	t0 := time.Now()
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	differs, d12, d21, err := p.disagrees(p.DB)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.RawEvalTime = time.Since(t0)
 	if !differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D")
+		return nil, nil, ErrQueriesAgree
 	}
 	qa := p.Q1
 	diff := d12
@@ -87,7 +88,7 @@ func MonotoneSWP(p Problem, maxTerms int) (*Counterexample, *Stats, error) {
 
 	t0 = time.Now()
 	pushed := PushDownTupleSelection(qa, t, p.DB)
-	ann, err := engine.EvalProv(pushed, p.DB, p.Params)
+	ann, err := engine.EvalProvOpts(pushed, p.DB, p.Params, p.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -119,6 +120,11 @@ func MonotoneSWP(p Problem, maxTerms int) (*Counterexample, *Stats, error) {
 	stats.Optimal = true
 	stats.TotalTime = time.Since(start)
 	if err := Verify(p, ce); err != nil {
+		// A budget expiry during the final verification is a budget
+		// failure, not an algorithm bug.
+		if errors.Is(err, ErrBudget) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: MonotoneSWP produced an invalid counterexample: %v", err)
 	}
 	return ce, stats, nil
@@ -150,7 +156,10 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 	}
 	stats.RawEvalTime = time.Since(t0)
 	if !chk.differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D")
+		return nil, nil, ErrQueriesAgree
+	}
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
 	}
 	d12, d21 := chk.d12, chk.d21
 	qa, qb := p.Q1, p.Q2
@@ -168,6 +177,9 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 	var witnessSets [][][]int
 	cat := engine.Catalog{DB: p.DB}
 	for _, q := range terms {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		// Union-compatibility: compare positionally via key.
 		schema, err := ra.OutSchema(q, cat)
 		if err != nil || schema.Arity() != len(t) {
@@ -179,14 +191,14 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 		// of the provenance pass it skips (no annotation expressions), so
 		// it pays off whenever some terms don't produce t — the common
 		// case, since t originates from specific SPJU terms.
-		n, err := engine.CountDistinct(pushed, p.DB, p.Params)
+		n, err := engine.CountDistinctOpts(pushed, p.DB, p.Params, p.engineOpts())
 		if err != nil {
 			return nil, nil, err
 		}
 		if n == 0 {
 			continue
 		}
-		ann, err := engine.EvalProv(pushed, p.DB, p.Params)
+		ann, err := engine.EvalProvOpts(pushed, p.DB, p.Params, p.engineOpts())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -226,6 +238,9 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 	var scratch []byte
 	pick := make([]int, len(witnessSets))
 	for {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		// Build the union of the current picks.
 		idSet := map[int]bool{}
 		for i, s := range witnessSets {
@@ -290,6 +305,9 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 	stats.SolverTime = time.Since(t0)
 	stats.TotalTime = time.Since(start)
 	if best == nil {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: SPJUD* enumeration found no witness")
 	}
 	stats.WitnessSize = best.Size()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -45,12 +46,12 @@ type checker struct {
 // otherwise it degrades to the plain Disagrees evaluation.
 func newChecker(p Problem) (*checker, error) {
 	c := &checker{p: p}
-	if prep, err := engine.PrepareDiff(p.Q1, p.Q2, p.DB, p.Params, engine.Options{}); err == nil {
+	if prep, err := engine.PrepareDiff(p.Q1, p.Q2, p.DB, p.Params, p.engineOpts()); err == nil {
 		c.prep = prep
 		c.d12, c.d21 = prep.Diffs()
 	} else {
 		var derr error
-		_, c.d12, c.d21, derr = Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+		_, c.d12, c.d21, derr = p.disagrees(p.DB)
 		if derr != nil {
 			return nil, derr
 		}
@@ -213,22 +214,31 @@ const shrinkFallbackLimit = 4096
 func ShrinkGreedy(p Problem) (*Counterexample, *Stats, error) {
 	stats := &Stats{Algorithm: "ShrinkGreedy"}
 	start := time.Now()
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 	guard, err := newFKGuard(p.DB, p.ForeignKeys())
 	if err != nil {
 		return nil, nil, err
 	}
 	t0 := time.Now()
-	prep, perr := engine.PrepareDiff(p.Q1, p.Q2, p.DB, p.Params, engine.Options{})
+	prep, perr := engine.PrepareDiff(p.Q1, p.Q2, p.DB, p.Params, p.engineOpts())
 	stats.RawEvalTime = time.Since(t0)
 	var kept []relation.TupleID
 	var witness relation.Tuple
 	if perr == nil {
 		if !prep.Disagrees() {
-			return nil, nil, fmt.Errorf("core: queries agree on D; no counterexample exists within D")
+			return nil, nil, ErrQueriesAgree
+		}
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
 		}
 		for {
 			progress := false
 			for _, id := range prep.LiveIDs() {
+				if err := p.interrupted(); err != nil {
+					return nil, nil, err
+				}
 				if !guard.removable(id) {
 					continue
 				}
@@ -275,6 +285,11 @@ func ShrinkGreedy(p Problem) (*Counterexample, *Stats, error) {
 	stats.WitnessSize = ce.Size()
 	stats.TotalTime = time.Since(start)
 	if err := Verify(p, ce); err != nil {
+		// A budget expiry during the final verification is a budget
+		// failure, not an algorithm bug.
+		if errors.Is(err, ErrBudget) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: ShrinkGreedy produced an invalid counterexample: %v", err)
 	}
 	return ce, stats, nil
@@ -291,12 +306,12 @@ func shrinkGreedyFallback(p Problem, guard *fkGuard) ([]relation.TupleID, relati
 	for _, id := range p.DB.AllIDs() {
 		live[id] = true
 	}
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	differs, d12, d21, err := p.disagrees(p.DB)
 	if err != nil {
 		return nil, nil, err
 	}
 	if !differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D; no counterexample exists within D")
+		return nil, nil, ErrQueriesAgree
 	}
 	var witness relation.Tuple
 	if d12.Len() > 0 {
@@ -307,12 +322,15 @@ func shrinkGreedyFallback(p Problem, guard *fkGuard) ([]relation.TupleID, relati
 	for {
 		progress := false
 		for _, id := range p.DB.AllIDs() {
+			if err := p.interrupted(); err != nil {
+				return nil, nil, err
+			}
 			if !live[id] || !guard.removable(id) {
 				continue
 			}
 			live[id] = false
 			sub := p.DB.Subinstance(live)
-			differs, nd12, nd21, err := Disagrees(p.Q1, p.Q2, sub, p.Params)
+			differs, nd12, nd21, err := p.disagrees(sub)
 			if err != nil || !differs {
 				live[id] = true
 				continue

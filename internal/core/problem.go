@@ -1,27 +1,29 @@
-// Package core implements the paper's contribution: algorithms for the
-// smallest counterexample problem (SCP) and smallest witness problem (SWP)
-// of Section 2, including
-//
-//   - Basic (Algorithm 1): SAT-model enumeration over how-provenance;
-//   - OptSigma (Algorithm 2): selection pushdown plus an optimizing solver;
-//   - poly-time algorithms for the tractable classes of Table 1 (SJ, SPU,
-//     JU*, SPJU via DNF, SPJUD* via minimal-witness enumeration);
-//   - the aggregate-query algorithms of Section 5: AggBasic (provenance for
-//     aggregates), AggParam (smallest parameterized counterexample), and
-//     AggOpt (the heuristic Algorithm 3);
-//   - foreign-key constraint handling (Section 4.3) and automatic
-//     algorithm dispatch.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/minones"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
+
+// ErrQueriesAgree is returned when the two queries agree on the full
+// instance D: no counterexample exists within D, which callers (the CLI,
+// the serving layer's grader) treat as a distinct, non-error outcome.
+var ErrQueriesAgree = errors.New("core: queries agree on D; no counterexample exists within D")
+
+// ErrBudget wraps every error the algorithms return because a per-request
+// budget ran out (the problem's Ctx expired or was canceled) rather than
+// because the problem itself is defective. Long-lived callers (the serving
+// layer) detect it with errors.Is and report "budget exceeded" instead of a
+// hard failure.
+var ErrBudget = errors.New("core: request budget exceeded")
 
 // Problem is an instance of SCP/SWP: two union-compatible queries that
 // disagree on a database instance satisfying the constraints.
@@ -31,6 +33,76 @@ type Problem struct {
 	Constraints []relation.Constraint
 	// Params binds the queries' @-parameters (the original setting λ).
 	Params map[string]relation.Value
+
+	// Ctx, when non-nil, carries the request's wall-clock budget: its
+	// deadline/cancellation is polled between loop iterations of the
+	// search algorithms and inside the SAT/SMT solvers, so an expired
+	// context aborts a solve in flight. Algorithms then fail with an error
+	// wrapping ErrBudget and the context's error; they never return a
+	// wrong counterexample (every result is verified before it is
+	// returned). Nil means no budget.
+	Ctx context.Context
+	// MaxConflicts, when > 0, bounds every individual SAT call's conflict
+	// count (minones.Options.MaxConflictsPerCall), turning runaway solves
+	// into Unknown statuses.
+	MaxConflicts int64
+	// MaxRows, when > 0, tightens the engine's intermediate-row budget for
+	// this problem's evaluations (engine.Options.MaxRows).
+	MaxRows int
+}
+
+// interrupted reports the budget error to surface when the problem's
+// context has expired, or nil while the budget still holds. Loops call it
+// between iterations; the error wraps both ErrBudget and the context error
+// (context.DeadlineExceeded / context.Canceled).
+func (p Problem) interrupted() error {
+	if p.Ctx == nil {
+		return nil
+	}
+	if err := p.Ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrBudget, err)
+	}
+	return nil
+}
+
+// stopFunc returns the solver stop hook enforcing the context budget, or
+// nil when the problem carries none.
+func (p Problem) stopFunc() func() bool {
+	if p.Ctx == nil {
+		return nil
+	}
+	done := p.Ctx.Done()
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// solverOpts maps the problem's budget onto a minones solver configuration.
+func (p Problem) solverOpts() minones.Options {
+	return minones.Options{MaxConflictsPerCall: p.MaxConflicts, Stop: p.stopFunc()}
+}
+
+// engineOpts maps the problem's budget onto engine evaluation options:
+// the row cap, plus the context budget as the engine's evaluation-time
+// stop hook (so one long evaluation aborts mid-flight instead of only
+// between phases).
+func (p Problem) engineOpts() engine.Options {
+	opts := engine.Options{MaxRows: p.MaxRows}
+	if p.Ctx != nil {
+		opts.Stop = p.interrupted
+	}
+	return opts
+}
+
+// disagrees is Disagrees under the problem's budgeted engine options,
+// against an arbitrary (sub)instance.
+func (p Problem) disagrees(db *relation.Database) (bool, *relation.Relation, *relation.Relation, error) {
+	return disagreesOpts(p.Q1, p.Q2, db, p.Params, p.engineOpts())
 }
 
 // ForeignKeys returns the foreign-key constraints of the problem (the only
@@ -104,11 +176,11 @@ func Verify(p Problem, ce *Counterexample) error {
 	if ce.Q1 != nil && ce.Q2 != nil {
 		q1, q2 = ce.Q1, ce.Q2
 	}
-	r1, err := engine.Eval(q1, ce.DB, params)
+	r1, err := engine.EvalOpts(q1, ce.DB, params, p.engineOpts())
 	if err != nil {
 		return err
 	}
-	r2, err := engine.Eval(q2, ce.DB, params)
+	r2, err := engine.EvalOpts(q2, ce.DB, params, p.engineOpts())
 	if err != nil {
 		return err
 	}
@@ -121,11 +193,15 @@ func Verify(p Problem, ce *Counterexample) error {
 // Disagrees evaluates both queries on db under params and reports whether
 // their results differ, along with the difference tuples Q1\Q2 and Q2\Q1.
 func Disagrees(q1, q2 ra.Node, db *relation.Database, params map[string]relation.Value) (bool, *relation.Relation, *relation.Relation, error) {
-	r1, err := engine.Eval(q1, db, params)
+	return disagreesOpts(q1, q2, db, params, engine.Options{})
+}
+
+func disagreesOpts(q1, q2 ra.Node, db *relation.Database, params map[string]relation.Value, opts engine.Options) (bool, *relation.Relation, *relation.Relation, error) {
+	r1, err := engine.EvalOpts(q1, db, params, opts)
 	if err != nil {
 		return false, nil, nil, err
 	}
-	r2, err := engine.Eval(q2, db, params)
+	r2, err := engine.EvalOpts(q2, db, params, opts)
 	if err != nil {
 		return false, nil, nil, err
 	}

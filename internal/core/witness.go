@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -92,11 +93,11 @@ func modelToIDs(m minones.Model, counted []int, varToID map[int]int) []int {
 
 // provOfDiffTuples evaluates Q_a − Q_b with provenance annotation and
 // returns, for each tuple of the plain difference, its how-provenance.
-func provOfDiffTuples(qa, qb ra.Node, diff *relation.Relation, db *relation.Database, params map[string]relation.Value) ([]relation.Tuple, []*boolexpr.Expr, error) {
+func provOfDiffTuples(qa, qb ra.Node, diff *relation.Relation, p Problem) ([]relation.Tuple, []*boolexpr.Expr, error) {
 	if diff.Len() == 0 {
 		return nil, nil, nil
 	}
-	ann, err := engine.EvalProv(&ra.Diff{L: qa, R: qb}, db, params)
+	ann, err := engine.EvalProvOpts(&ra.Diff{L: qa, R: qb}, p.DB, p.Params, p.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -123,6 +124,9 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	}
 	stats := &Stats{Algorithm: "Basic"}
 	start := time.Now()
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 
 	// One prepared evaluation (base scans shared between Q1 and Q2)
 	// replaces the two independent Disagrees evaluations. Basic checks no
@@ -138,16 +142,19 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	chk.release()
 	stats.RawEvalTime = time.Since(t0)
 	if !chk.differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D; no counterexample exists within D")
+		return nil, nil, ErrQueriesAgree
+	}
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
 	}
 	d12, d21 := chk.d12, chk.d21
 
 	t0 = time.Now()
-	tuples, provs, err := provOfDiffTuples(p.Q1, p.Q2, d12, p.DB, p.Params)
+	tuples, provs, err := provOfDiffTuples(p.Q1, p.Q2, d12, p)
 	if err != nil {
 		return nil, nil, err
 	}
-	tuples2, provs2, err := provOfDiffTuples(p.Q2, p.Q1, d21, p.DB, p.Params)
+	tuples2, provs2, err := provOfDiffTuples(p.Q2, p.Q1, d21, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -173,12 +180,15 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	}
 	results := make([]solveResult, len(provs))
 	err = pool.ForEach(Workers, len(provs), func(i int) error {
+		if err := p.interrupted(); err != nil {
+			return err
+		}
 		t0 := time.Now()
 		b, counted, varToID, err := buildCNF(provs[i], p.DB, fks)
 		if err != nil {
 			return err
 		}
-		r := minones.Enumerate(b.NumVars, b.Clauses, counted, delta, minones.Options{})
+		r := minones.Enumerate(b.NumVars, b.Clauses, counted, delta, p.solverOpts())
 		res := &results[i]
 		res.solve = time.Since(t0)
 		res.modelsTried = r.ModelsTried
@@ -223,6 +233,9 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	}
 	stats.TotalTime = time.Since(start)
 	if best == nil {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		if unknowns > 0 {
 			return nil, nil, fmt.Errorf("core: solver budget exhausted on %d witness formulas before any model was found", unknowns)
 		}
@@ -230,6 +243,11 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 	}
 	stats.WitnessSize = best.Size()
 	if err := Verify(p, best); err != nil {
+		// A budget expiry during the final verification is a budget
+		// failure, not an algorithm bug.
+		if errors.Is(err, ErrBudget) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: Basic produced an invalid counterexample: %v", err)
 	}
 	return best, stats, nil
@@ -242,15 +260,21 @@ func Basic(p Problem, delta int) (*Counterexample, *Stats, error) {
 func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 	stats := &Stats{Algorithm: "OptSigma"}
 	start := time.Now()
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 
 	t0 := time.Now()
-	differs, d12, d21, err := Disagrees(p.Q1, p.Q2, p.DB, p.Params)
+	differs, d12, d21, err := p.disagrees(p.DB)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.RawEvalTime = time.Since(t0)
 	if !differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D; no counterexample exists within D")
+		return nil, nil, ErrQueriesAgree
+	}
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
 	}
 
 	qa, qb := p.Q1, p.Q2
@@ -263,7 +287,7 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 
 	t0 = time.Now()
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
-	ann, err := engine.EvalProv(pushed, p.DB, p.Params)
+	ann, err := engine.EvalProvOpts(pushed, p.DB, p.Params, p.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -273,13 +297,16 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 	}
 	prov := ann.Anns[i]
 	stats.ProvEvalTime = time.Since(t0)
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 
 	t0 = time.Now()
 	b, counted, varToID, err := buildCNF(prov, p.DB, p.ForeignKeys())
 	if err != nil {
 		return nil, nil, err
 	}
-	r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+	r := minones.Minimize(b.NumVars, b.Clauses, counted, p.solverOpts())
 	stats.SolverTime = time.Since(t0)
 	stats.ModelsTried = r.ModelsTried
 	stats.Optimal = r.Status == minones.Optimal
@@ -287,6 +314,9 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 		return nil, nil, fmt.Errorf("core: witness formula unsatisfiable (unexpected)")
 	}
 	if r.Status == minones.Unknown {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: solver budget exhausted before any model of the witness formula was found")
 	}
 	ids := modelToIDs(r.Model, counted, varToID)
@@ -295,6 +325,11 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 	stats.WitnessSize = ce.Size()
 	stats.TotalTime = time.Since(start)
 	if err := Verify(p, ce); err != nil {
+		// A budget expiry during the final verification is a budget
+		// failure, not an algorithm bug.
+		if errors.Is(err, ErrBudget) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: OptSigma produced an invalid counterexample: %v", err)
 	}
 	return ce, stats, nil
@@ -308,6 +343,9 @@ func OptSigma(p Problem) (*Counterexample, *Stats, error) {
 func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	stats := &Stats{Algorithm: "OptSigmaAll"}
 	start := time.Now()
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
+	}
 
 	// As in Basic: one shared-scan prepared evaluation for the base diffs,
 	// retained state released (the per-tuple candidates below are verified
@@ -320,7 +358,10 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	chk.release()
 	stats.RawEvalTime = time.Since(t0)
 	if !chk.differs {
-		return nil, nil, fmt.Errorf("core: queries agree on D")
+		return nil, nil, ErrQueriesAgree
+	}
+	if err := p.interrupted(); err != nil {
+		return nil, nil, err
 	}
 	d12, d21 := chk.d12, chk.d21
 	// Flatten the per-side, per-tuple iteration space and fan it out over
@@ -351,11 +392,14 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	}
 	results := make([]solveResult, len(tasks))
 	err = pool.ForEach(Workers, len(tasks), func(i int) error {
+		if err := p.interrupted(); err != nil {
+			return err
+		}
 		tk := tasks[i]
 		res := &results[i]
 		t0 := time.Now()
 		pushed := PushDownTupleSelection(&ra.Diff{L: tk.qa, R: tk.qb}, tk.t, p.DB)
-		ann, err := engine.EvalProv(pushed, p.DB, p.Params)
+		ann, err := engine.EvalProvOpts(pushed, p.DB, p.Params, p.engineOpts())
 		if err != nil {
 			return err
 		}
@@ -369,7 +413,7 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 		if err != nil {
 			return err
 		}
-		r := minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+		r := minones.Minimize(b.NumVars, b.Clauses, counted, p.solverOpts())
 		res.solve = time.Since(t0)
 		res.modelsTried = r.ModelsTried
 		if r.Status == minones.Infeasible || r.Status == minones.Unknown {
@@ -397,6 +441,9 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	}
 	stats.TotalTime = time.Since(start)
 	if bestIdx < 0 {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: no satisfiable witness found")
 	}
 	sub, tids := subinstanceFromIDs(p.DB, results[bestIdx].ids)
@@ -404,6 +451,11 @@ func OptSigmaAll(p Problem) (*Counterexample, *Stats, error) {
 	stats.WitnessSize = best.Size()
 	stats.Optimal = true
 	if err := Verify(p, best); err != nil {
+		// A budget expiry during the final verification is a budget
+		// failure, not an algorithm bug.
+		if errors.Is(err, ErrBudget) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("core: OptSigmaAll produced an invalid counterexample: %v", err)
 	}
 	return best, stats, nil
@@ -425,7 +477,7 @@ func SolveWitnessStrategy(p Problem, strategy string, m int) (int, int, error) {
 		diff = d21
 	}
 	if diff.Len() == 0 {
-		return 0, 0, fmt.Errorf("core: queries agree on D")
+		return 0, 0, ErrQueriesAgree
 	}
 	t := diff.Tuples[0]
 	pushed := PushDownTupleSelection(&ra.Diff{L: qa, R: qb}, t, p.DB)
@@ -443,9 +495,9 @@ func SolveWitnessStrategy(p Problem, strategy string, m int) (int, int, error) {
 	}
 	var r minones.Result
 	if strategy == "opt" {
-		r = minones.Minimize(b.NumVars, b.Clauses, counted, minones.Options{})
+		r = minones.Minimize(b.NumVars, b.Clauses, counted, p.solverOpts())
 	} else {
-		r = minones.Enumerate(b.NumVars, b.Clauses, counted, m, minones.Options{})
+		r = minones.Enumerate(b.NumVars, b.Clauses, counted, m, p.solverOpts())
 	}
 	if r.Status == minones.Infeasible {
 		return 0, 0, fmt.Errorf("core: witness formula unsatisfiable")

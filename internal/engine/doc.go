@@ -1,0 +1,59 @@
+// Package engine is the unified query execution engine: a single relational
+// algebra evaluator parameterized by an annotation semiring, with hash-based
+// physical operators (hash equi-join, hash union/difference/dedup) driven by
+// the equi-join keys the optimizer extracts.
+//
+// # Semirings
+//
+// Every logical operator (σ, π, ⋈, ∪, −, ρ, γ) is written once against
+// [Semiring]: a commutative semiring (⊕, ⊗, 0, 1) over the annotation type
+// T, extended with the Section-6 difference rule and a base-tuple leaf
+// annotation. The shipped instantiations are
+//
+//   - [Set] — plain set semantics, behind [Eval] / [EvalOpts];
+//   - [Why] — Boolean how-provenance over base tuple identifiers, behind
+//     [EvalProv] / [EvalProvOpts] (γ is rejected: aggregate provenance goes
+//     through eval.EvalAggProv);
+//   - [Count] — derivation counting with saturating arithmetic, behind
+//     [CountDistinct] / [CountDistinctOpts];
+//   - [BitSemiring] / [WideBitSemiring] — the batch semirings below.
+//
+// New annotation domains (lineage sets, tropical costs, …) only need a
+// Semiring implementation; the logical and physical operators are shared.
+// Invariant: operators never mutate their inputs, so relations — including
+// the caller's database — may be shared across concurrent evaluations.
+//
+// # Batched evaluation
+//
+// [EvalBatch] evaluates one query over K candidate subinstances of the same
+// database in a single pass: bit k of every annotation replays the
+// set-semantics evaluation on candidate k (⊕ = OR, ⊗ = AND, Minus = AND
+// NOT), with definite-zero annotations pruned at scans and join emits.
+// [EvalBatchDiffs] does both directions of Q1 − Q2 with shared base scans.
+// Plans containing γ fail with an error wrapping [ErrNoAggregates]
+// (aggregation is not per-bit sound); callers detect it with errors.Is and
+// fall back to per-candidate evaluation.
+//
+// # Delta-incremental evaluation
+//
+// [PrepareDiff] evaluates Q1 and Q2 once under the counting semiring and
+// retains per-operator state (scan position maps, both join-side hash
+// tables, indexed set-operation outputs, γ group membership, derivation
+// counts). [PreparedDiff.EvalDelta] answers "do the queries still disagree
+// with these tuples deleted" in time proportional to the delta;
+// [DeltaResult.Commit] rebases the retained state for sequential shrink
+// loops. Invariants: a prepared state answers deltas only against its
+// current base (stale commits fail with [ErrStaleDelta]); plans whose
+// derivation counts saturate refuse to prepare with [ErrNotIncremental]
+// (saturation is not invertible, so signed delta arithmetic would be
+// unsound).
+//
+// # Budgets and parallelism
+//
+// Every evaluation is bounded by the intermediate-row budget — the
+// process-wide [MaxIntermediateRows], optionally tightened per evaluation
+// via [Options].MaxRows — and fails with [ErrRowBudget] when exceeded.
+// [Options].Parallelism enables the hash-partitioned parallel operator
+// forms; results are identical to serial evaluation with deterministic
+// tuple order for a fixed setting.
+package engine

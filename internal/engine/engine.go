@@ -15,9 +15,11 @@ import (
 // complicated student queries that involved massive cross products").
 var MaxIntermediateRows = 1_000_000
 
-// ErrRowBudget is returned when a query's intermediate result exceeds
-// MaxIntermediateRows.
-var ErrRowBudget = fmt.Errorf("engine: intermediate result exceeds %d rows", MaxIntermediateRows)
+// ErrRowBudget is returned when a query's intermediate result exceeds the
+// row budget in effect — the process-wide MaxIntermediateRows, or the
+// tighter per-evaluation Options.MaxRows. The message deliberately names
+// no number: the effective bound is per-evaluation.
+var ErrRowBudget = errors.New("engine: intermediate result exceeds the row budget")
 
 // ErrNoAggregates is wrapped by the error returned when a plan contains
 // GroupBy but the semiring does not support aggregation (Aggregates() is
@@ -53,12 +55,50 @@ type Options struct {
 	// CPU-bound plans. Results are identical to serial evaluation up to
 	// tuple order, which remains deterministic for a fixed Parallelism.
 	Parallelism int
+	// MaxRows, when > 0, tightens the intermediate-result row budget for
+	// this evaluation below the process-wide MaxIntermediateRows (it can
+	// never loosen it). Long-lived callers (the serving layer) use it to
+	// bound a single request's memory without touching the global.
+	MaxRows int
+	// Stop, when non-nil, is polled during evaluation — once per operator
+	// and on an output-pair stride inside the join loops — and a non-nil
+	// return aborts the evaluation with exactly that error. It is how
+	// request-scoped deadlines reach into a single long evaluation (the
+	// stride bounds the overshoot after expiry to stopPollStride join
+	// pairs).
+	Stop func() error
+}
+
+// stopPollStride is how many join pairs may be emitted between two Stop
+// polls.
+const stopPollStride = 8192
+
+// poll invokes the Stop hook, if any.
+func (o Options) poll() error {
+	if o.Stop == nil {
+		return nil
+	}
+	return o.Stop()
+}
+
+// rowBudget is the effective intermediate-row bound for one evaluation:
+// the per-evaluation MaxRows when set and tighter, else the global default.
+func (o Options) rowBudget() int {
+	if o.MaxRows > 0 && o.MaxRows < MaxIntermediateRows {
+		return o.MaxRows
+	}
+	return MaxIntermediateRows
 }
 
 // Eval evaluates a query under set semantics. params binds the query's
 // @-parameters (may be nil).
 func Eval(q ra.Node, db *relation.Database, params map[string]relation.Value) (*relation.Relation, error) {
-	r, err := Run(Set, q, db, params)
+	return EvalOpts(q, db, params, Options{})
+}
+
+// EvalOpts is Eval with explicit evaluation options.
+func EvalOpts(q ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (*relation.Relation, error) {
+	r, err := RunOpts(Set, q, db, params, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,13 +112,23 @@ func EvalProv(q ra.Node, db *relation.Database, params map[string]relation.Value
 	return Run[*boolexpr.Expr](Why, q, db, params)
 }
 
+// EvalProvOpts is EvalProv with explicit evaluation options.
+func EvalProvOpts(q ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (*ProvRel, error) {
+	return RunOpts[*boolexpr.Expr](Why, q, db, params, opts)
+}
+
 // CountDistinct evaluates a query under the counting semiring and returns
 // the cardinality of its support — the number of distinct result tuples
 // under set semantics — without building provenance or a result relation.
 // The witness-search algorithms use it as a cheap membership/emptiness
 // pre-check on pushed-down queries.
 func CountDistinct(q ra.Node, db *relation.Database, params map[string]relation.Value) (int, error) {
-	r, err := Run[int64](Count, q, db, params)
+	return CountDistinctOpts(q, db, params, Options{})
+}
+
+// CountDistinctOpts is CountDistinct with explicit evaluation options.
+func CountDistinctOpts(q ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (int, error) {
+	r, err := RunOpts[int64](Count, q, db, params, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -119,6 +169,9 @@ func newExec[T any](s Semiring[T], db *relation.Database, params map[string]rela
 }
 
 func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
+	if err := e.opts.poll(); err != nil {
+		return nil, err
+	}
 	switch x := q.(type) {
 	case *ra.Rel:
 		return e.base(x)

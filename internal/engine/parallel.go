@@ -107,7 +107,7 @@ func parallelRanges(workers, n int, fn func(lo, hi int)) {
 // an atomic counter. Output tuples are distinct because the inputs are
 // (distinct pairs concatenate to distinct tuples), so the result needs no
 // ⊕-merge.
-func parallelHashJoin[T any](s Semiring[T], l, r *Rel[T], lKeys, rKeys []int, workers int, combine func(li, ri int) (relation.Tuple, bool, error), out *Rel[T]) error {
+func parallelHashJoin[T any](s Semiring[T], l, r *Rel[T], lKeys, rKeys []int, workers, maxRows int, stop func() error, combine func(li, ri int) (relation.Tuple, bool, error), out *Rel[T]) error {
 	lPos, lKeyStr := shardByKey(l, lKeys, workers, workers)
 	rPos, rKeyStr := shardByKey(r, rKeys, workers, workers)
 
@@ -120,8 +120,14 @@ func parallelHashJoin[T any](s Semiring[T], l, r *Rel[T], lKeys, rKeys []int, wo
 			build[k] = append(build[k], ri)
 		}
 		local := NewRel[T](out.Schema)
+		var pairs int
 		for _, li := range lPos[w] {
 			for _, ri := range build[lKeyStr[li]] {
+				if pairs++; stop != nil && pairs%stopPollStride == 0 {
+					if err := stop(); err != nil {
+						return err
+					}
+				}
 				t, ok, err := combine(li, ri)
 				if err != nil {
 					return err
@@ -135,7 +141,7 @@ func parallelHashJoin[T any](s Semiring[T], l, r *Rel[T], lKeys, rKeys []int, wo
 				if s.IsZero(ann) {
 					continue
 				}
-				if atomic.AddInt64(&rows, 1) > int64(MaxIntermediateRows) {
+				if atomic.AddInt64(&rows, 1) > int64(maxRows) {
 					return ErrRowBudget
 				}
 				local.appendDistinct(t, ann)

@@ -48,7 +48,16 @@ func (e *exec[T]) join(l, r *Rel[T], cond ra.Expr) (*Rel[T], error) {
 		}
 		return t, true, nil
 	}
+	var pairs int
 	emit := func(li, ri int) error {
+		// Stride-poll the stop hook: emit sees every probed pair (the
+		// θ-predicate runs inside combine), so this bounds a deadline
+		// overshoot inside one join to stopPollStride pairs.
+		if pairs++; pairs%stopPollStride == 0 {
+			if err := e.opts.poll(); err != nil {
+				return err
+			}
+		}
 		t, ok, err := combine(li, ri)
 		if err != nil || !ok {
 			return err
@@ -63,7 +72,7 @@ func (e *exec[T]) join(l, r *Rel[T], cond ra.Expr) (*Rel[T], error) {
 		if e.s.IsZero(ann) {
 			return nil
 		}
-		if out.Len() >= MaxIntermediateRows {
+		if out.Len() >= e.opts.rowBudget() {
 			return ErrRowBudget
 		}
 		// Distinct pairs of distinct inputs concatenate to distinct tuples.
@@ -72,7 +81,7 @@ func (e *exec[T]) join(l, r *Rel[T], cond ra.Expr) (*Rel[T], error) {
 	}
 	if len(lKeys) > 0 {
 		if w := e.opts.workerCount(l.Len() + r.Len()); w > 1 {
-			return out, parallelHashJoin(e.s, l, r, lKeys, rKeys, w, combine, out)
+			return out, parallelHashJoin(e.s, l, r, lKeys, rKeys, w, e.opts.rowBudget(), e.opts.Stop, combine, out)
 		}
 		return out, hashJoin(l, r, lKeys, rKeys, emit)
 	}
@@ -123,7 +132,13 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 	combine := func(li, ri int) (relation.Tuple, bool, error) {
 		return l.Tuples[li].Concat(r.Tuples[ri].Project(rOnly)), true, nil
 	}
+	var pairs int
 	emit := func(li, ri int) error {
+		if pairs++; pairs%stopPollStride == 0 {
+			if err := e.opts.poll(); err != nil {
+				return err
+			}
+		}
 		// Unlike the θ-join emit there is no predicate to wait for (every
 		// matched pair emits), so the zero-product prune runs first and
 		// saves the output tuple construction for pruned pairs.
@@ -131,7 +146,7 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 		if e.s.IsZero(ann) {
 			return nil
 		}
-		if out.Len() >= MaxIntermediateRows {
+		if out.Len() >= e.opts.rowBudget() {
 			return ErrRowBudget
 		}
 		t, _, _ := combine(li, ri)
@@ -142,7 +157,7 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 	}
 	if len(shared) == 0 {
 		// Cross product.
-		if crossExceedsBudget(l.Len(), r.Len(), MaxIntermediateRows) {
+		if crossExceedsBudget(l.Len(), r.Len(), e.opts.rowBudget()) {
 			return nil, ErrRowBudget
 		}
 		for li := range l.Tuples {
@@ -178,7 +193,7 @@ func (e *exec[T]) naturalJoin(l, r *Rel[T]) (*Rel[T], error) {
 		return out, nil
 	}
 	if w := e.opts.workerCount(l.Len() + r.Len()); w > 1 {
-		return out, parallelHashJoin(e.s, l, r, lCols, rCols, w, combine, out)
+		return out, parallelHashJoin(e.s, l, r, lCols, rCols, w, e.opts.rowBudget(), e.opts.Stop, combine, out)
 	}
 	return out, hashJoin(l, r, lCols, rCols, emit)
 }

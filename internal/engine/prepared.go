@@ -665,6 +665,7 @@ func (n *pgroup) commit(ctx *deltaCtx) {
 type pbuilder struct {
 	db     *relation.Database
 	params map[string]relation.Value
+	opts   Options
 	scans  map[string]*pscan
 	nodes  []pnode // children before parents (commit order is irrelevant,
 	// but a deterministic walk keeps Commit reproducible)
@@ -676,6 +677,9 @@ func (b *pbuilder) add(n pnode) pnode {
 }
 
 func (b *pbuilder) build(q ra.Node) (pnode, error) {
+	if err := b.opts.poll(); err != nil {
+		return nil, err
+	}
 	switch x := q.(type) {
 	case *ra.Rel:
 		return b.buildScan(x)
@@ -817,7 +821,7 @@ func (b *pbuilder) buildJoin(x *ra.Join, l, r pnode) (pnode, error) {
 		for i, p := range shared {
 			n.lKeys[i], n.rKeys[i] = p[0], p[1]
 		}
-		if len(shared) == 0 && crossExceedsBudget(lrel.Len(), rrel.Len(), MaxIntermediateRows) {
+		if len(shared) == 0 && crossExceedsBudget(lrel.Len(), rrel.Len(), b.opts.rowBudget()) {
 			return nil, ErrRowBudget
 		}
 	} else {
@@ -836,7 +840,13 @@ func (b *pbuilder) buildJoin(x *ra.Join, l, r pnode) (pnode, error) {
 	n.sync()
 	// Base evaluation: probe the retained right table in left order (the
 	// serial hash join's order) or fall back to nested loops.
+	var pairs int
 	emit := func(li, ri int) error {
+		if pairs++; pairs%stopPollStride == 0 {
+			if err := b.opts.poll(); err != nil {
+				return err
+			}
+		}
 		c := Count.Times(lrel.Anns[li], rrel.Anns[ri])
 		if c == 0 {
 			return nil
@@ -851,7 +861,7 @@ func (b *pbuilder) buildJoin(x *ra.Join, l, r pnode) (pnode, error) {
 				return nil
 			}
 		}
-		if n.out.Len() >= MaxIntermediateRows {
+		if n.out.Len() >= b.opts.rowBudget() {
 			return ErrRowBudget
 		}
 		n.out.appendDistinct(n.outTuple(lt, rt), c)
@@ -963,7 +973,7 @@ func PrepareDiff(q1, q2 ra.Node, db *relation.Database, params map[string]relati
 		q1 = Optimize(q1, cat)
 		q2 = Optimize(q2, cat)
 	}
-	b := &pbuilder{db: db, params: params, scans: map[string]*pscan{}}
+	b := &pbuilder{db: db, params: params, opts: opts, scans: map[string]*pscan{}}
 	n1, err := b.build(q1)
 	if err != nil {
 		return nil, err

@@ -1,18 +1,3 @@
-// Package engine is the unified query execution engine: a single relational
-// algebra evaluator parameterized by an annotation semiring, with hash-based
-// physical operators (hash equi-join, hash union/difference/dedup) driven by
-// the equi-join keys the optimizer extracts.
-//
-// The same evaluator instantiates to
-//
-//   - plain set-semantics evaluation (SetSemiring, annotation ⊤/⊥),
-//   - Boolean how-provenance per Sections 2.3 and 6 of the paper
-//     (WhySemiring, annotation *boolexpr.Expr over base tuple identifiers),
-//   - derivation counting (CountSemiring), used for cheap cardinality-only
-//     pre-checks in the witness-search algorithms.
-//
-// New annotation domains (e.g. lineage sets, tropical costs) only need a
-// Semiring implementation; the logical and physical operators are shared.
 package engine
 
 import (

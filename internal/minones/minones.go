@@ -69,6 +69,19 @@ func (m Model) Count(counted []int) int {
 type Options struct {
 	// MaxConflictsPerCall bounds each SAT call; 0 means unbounded.
 	MaxConflictsPerCall int64
+	// Stop, when non-nil, is polled by the underlying SAT solver; returning
+	// true aborts the in-flight call, which then reports Unknown (or the
+	// best model found so far, for the iterative strategies). Callers use it
+	// to enforce wall-clock deadlines.
+	Stop func() bool
+}
+
+// newSolver builds a SAT solver configured with the options' budgets.
+func newSolver(opt Options) *sat.Solver {
+	s := sat.New()
+	s.MaxConflicts = opt.MaxConflictsPerCall
+	s.Stop = opt.Stop
+	return s
 }
 
 // Result is the outcome of Minimize or Enumerate.
@@ -86,9 +99,8 @@ type Result struct {
 // variables set to true (the Opt strategy). numVars must cover every
 // variable in clauses and counted.
 func Minimize(numVars int, clauses [][]int, counted []int, opt Options) Result {
-	s := sat.New()
+	s := newSolver(opt)
 	s.EnsureVars(numVars)
-	s.MaxConflicts = opt.MaxConflictsPerCall
 	for _, c := range clauses {
 		if err := s.AddClause(c...); err != nil {
 			return Result{Status: Infeasible}
@@ -139,9 +151,8 @@ func Minimize(numVars int, clauses [][]int, counted []int, opt Options) Result {
 // with the fewest counted trues. Status is Optimal when enumeration
 // exhausted all counted projections before hitting maxModels.
 func Enumerate(numVars int, clauses [][]int, counted []int, maxModels int, opt Options) Result {
-	s := sat.New()
+	s := newSolver(opt)
 	s.EnsureVars(numVars)
-	s.MaxConflicts = opt.MaxConflictsPerCall
 	for _, c := range clauses {
 		if err := s.AddClause(c...); err != nil {
 			return Result{Status: Infeasible}
@@ -197,9 +208,8 @@ func Enumerate(numVars int, clauses [][]int, counted []int, maxModels int, opt O
 // optimum: the totalizer bound makes the solver reject anything larger, and
 // nothing smaller exists if cost is optimal).
 func EnumerateAtCost(numVars int, clauses [][]int, counted []int, cost, maxModels int, opt Options) []Model {
-	s := sat.New()
+	s := newSolver(opt)
 	s.EnsureVars(numVars)
-	s.MaxConflicts = opt.MaxConflictsPerCall
 	for _, c := range clauses {
 		if err := s.AddClause(c...); err != nil {
 			return nil

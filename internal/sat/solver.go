@@ -118,7 +118,19 @@ type Solver struct {
 	// MaxConflicts, when > 0, bounds the total conflicts per Solve call;
 	// exceeding it yields Unknown.
 	MaxConflicts int64
+	// Stop, when non-nil, is polled periodically during search (every
+	// stopPollInterval conflicts and at every restart). Returning true
+	// aborts the current Solve call with Unknown, leaving the solver
+	// reusable. It is how callers thread wall-clock deadlines
+	// (context.Context) into long-running solves without a solver-side
+	// clock.
+	Stop func() bool
 }
+
+// stopPollInterval bounds how many conflicts may pass between two Stop
+// polls: small enough that a deadline is noticed within milliseconds on
+// hard formulas, large enough that the poll is free on easy ones.
+const stopPollInterval = 256
 
 // New creates an empty solver.
 func New() *Solver {
@@ -535,6 +547,10 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
+		if s.Stop != nil && s.Stop() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 	}
 }
 
@@ -573,6 +589,13 @@ func (s *Solver) search(assume []int32, budget int64, maxLearnts *float64) Statu
 			continue
 		}
 		if conflictC >= budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		// Poll Stop on a conflict-count stride: restart budgets grow with the
+		// luby sequence, so the per-restart poll in Solve alone would let a
+		// hard formula run unchecked for long stretches late in the search.
+		if s.Stop != nil && conflictC > 0 && conflictC%stopPollInterval == 0 && s.Stop() {
 			s.cancelUntil(0)
 			return Unknown
 		}

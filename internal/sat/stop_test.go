@@ -1,0 +1,57 @@
+package sat
+
+import "testing"
+
+// php builds the unsatisfiable pigeonhole clauses PHP(n+1, n): variable
+// (i, j) means pigeon i sits in hole j.
+func php(pigeons, holes int) (*Solver, int) {
+	s := New()
+	v := func(i, j int) int { return i*holes + j + 1 }
+	s.EnsureVars(pigeons * holes)
+	for i := 0; i < pigeons; i++ {
+		c := make([]int, holes)
+		for j := 0; j < holes; j++ {
+			c[j] = v(i, j)
+		}
+		_ = s.AddClause(c...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				_ = s.AddClause(-v(i, j), -v(k, j))
+			}
+		}
+	}
+	return s, pigeons * holes
+}
+
+// A Stop hook that fires must abort a hard solve with Unknown, and the
+// solver must remain usable afterwards.
+func TestStopHookAborts(t *testing.T) {
+	s, _ := php(9, 8)
+	polls := 0
+	s.Stop = func() bool {
+		polls++
+		return true
+	}
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("Solve with firing Stop = %v, want Unknown", st)
+	}
+	if polls == 0 {
+		t.Fatal("Stop hook was never polled")
+	}
+	// Clearing the hook lets the same solver finish the proof.
+	s.Stop = nil
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Solve after clearing Stop = %v, want Unsat", st)
+	}
+}
+
+// A Stop hook that never fires must not change the outcome.
+func TestStopHookInert(t *testing.T) {
+	s, _ := php(6, 5)
+	s.Stop = func() bool { return false }
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Solve with inert Stop = %v, want Unsat", st)
+	}
+}

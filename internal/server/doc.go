@@ -1,0 +1,43 @@
+// Package server is the long-lived HTTP serving layer over Explain — the
+// resident deployment of the paper's RATest web service (Section 6), which
+// students hit repeatedly during a course. Where the CLI re-parses queries
+// and regenerates instances on every invocation, a [Server] amortizes that
+// work across requests.
+//
+// # Endpoints
+//
+//   - POST /explain — find a smallest counterexample for a (q1, q2,
+//     instance) triple; see [ExplainRequest] / [ExplainResponse].
+//   - POST /grade — grade a submitted query against a course assignment
+//     question: "pass" when it agrees with the reference on the instance,
+//     "fail" with a counterexample otherwise; see [GradeRequest].
+//   - GET /healthz — liveness.
+//   - GET /stats — request counters, cache sizes and hit rates, admission
+//     gauges.
+//
+// # Caching
+//
+// Two LRU caches persist across requests. The plan cache maps
+// whitespace-normalized RA text to parsed query plans; plans are immutable
+// after parsing (the optimizer builds fresh trees), so concurrent requests
+// share cached nodes without copying. The instance cache maps generated
+// instance specs ("course:size:seed", "tpch:sf:seed") to their databases;
+// generation is deterministic in the spec and evaluation never mutates a
+// database, so instances are shared the same way. Inline instances are
+// request-private and never cached. Invariant: cache hits change cost
+// only, never answers — eviction is always safe.
+//
+// # Budgets and admission
+//
+// Every request runs under a wall-clock budget (request timeout_ms,
+// clamped to the server maximum) threaded as a context through
+// ratest.ExplainContext into the core search loops and solvers, plus
+// optional per-request row and SAT-conflict caps. Budget exhaustion is a
+// 200 response with status "budget_exceeded" and partial stats (solver
+// status "unknown") — a slow request is a service outcome, not a server
+// failure. An admission semaphore bounds concurrent explanations so that
+// request-level concurrency multiplied by the engine's worker-pool
+// parallelism cannot oversubscribe the machine; the budget clock covers
+// queueing, so a request that spends its budget waiting is refused rather
+// than run late.
+package server

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro"
+	"repro/internal/course"
+	"repro/internal/relation"
+	"repro/internal/tpch"
+)
+
+// InstanceSpec names the database instance a request runs against. Kind is
+// one of:
+//
+//   - "course": the Section 7.1 Student/Registration workload; Size is the
+//     approximate total tuple count (default 1000), Seed the generator seed.
+//   - "tpch": the TPC-H-style instance of Section 7.2; SF is the row-count
+//     scale factor (default 0.001), Seed the generator seed.
+//   - "inline": Data holds a full instance in the ratest.LoadDatabase text
+//     format. Inline instances are request-private and never cached.
+//
+// Generated instances are deterministic in (kind, size/sf, seed), which is
+// what makes them shareable across requests: two requests naming the same
+// spec read the same immutable database.
+type InstanceSpec struct {
+	Kind string  `json:"kind"`
+	Size int     `json:"size,omitempty"`
+	Seed int64   `json:"seed,omitempty"`
+	SF   float64 `json:"sf,omitempty"`
+	Data string  `json:"data,omitempty"`
+}
+
+// instance is a resolved database with its integrity constraints.
+type instance struct {
+	db          *relation.Database
+	constraints []relation.Constraint
+}
+
+// tpchTuplesPerSF approximates how many tuples a TPC-H instance holds per
+// unit of scale factor (the sum of the official table cardinalities); the
+// server uses it to map its tuple cap onto SF.
+const tpchTuplesPerSF = 8_660_000
+
+// cacheKey returns the instance-cache key for a spec, or "" when the spec
+// is not cacheable (inline data).
+func (s InstanceSpec) cacheKey() string {
+	switch s.Kind {
+	case "course":
+		return fmt.Sprintf("course:%d:%d", s.sizeOrDefault(), s.Seed)
+	case "tpch":
+		return fmt.Sprintf("tpch:%g:%d", s.sfOrDefault(), s.Seed)
+	}
+	return ""
+}
+
+func (s InstanceSpec) sizeOrDefault() int {
+	if s.Size <= 0 {
+		return 1000
+	}
+	return s.Size
+}
+
+func (s InstanceSpec) sfOrDefault() float64 {
+	if s.SF <= 0 {
+		return 0.001
+	}
+	return s.SF
+}
+
+// resolve materializes a spec, consulting and populating the instance
+// cache for the generated kinds. The returned instance's database must be
+// treated as read-only: it may be shared with concurrent requests.
+func (srv *Server) resolve(spec InstanceSpec) (*instance, bool, error) {
+	switch spec.Kind {
+	case "course":
+		n := spec.sizeOrDefault()
+		if n > srv.cfg.MaxInstanceTuples {
+			return nil, false, fmt.Errorf("course instance size %d exceeds the server cap %d", n, srv.cfg.MaxInstanceTuples)
+		}
+		key := spec.cacheKey()
+		if inst, ok := srv.instances.Get(key); ok {
+			return inst, true, nil
+		}
+		inst := &instance{db: course.GenerateDB(n, spec.Seed), constraints: course.Constraints()}
+		srv.instances.Add(key, inst)
+		return inst, false, nil
+	case "tpch":
+		sf := spec.sfOrDefault()
+		// Compare in float: converting sf*tpchTuplesPerSF to int first
+		// overflows for absurd sf values and would wave them through the
+		// cap (and NaN compares false against everything, so reject it
+		// explicitly).
+		if math.IsNaN(sf) || sf*tpchTuplesPerSF > float64(srv.cfg.MaxInstanceTuples) {
+			return nil, false, fmt.Errorf("tpch sf %g (≈%.0f tuples) exceeds the server cap %d tuples", sf, sf*tpchTuplesPerSF, srv.cfg.MaxInstanceTuples)
+		}
+		key := spec.cacheKey()
+		if inst, ok := srv.instances.Get(key); ok {
+			return inst, true, nil
+		}
+		inst := &instance{db: tpch.Generate(sf, spec.Seed)}
+		srv.instances.Add(key, inst)
+		return inst, false, nil
+	case "inline":
+		if strings.TrimSpace(spec.Data) == "" {
+			return nil, false, fmt.Errorf("inline instance needs non-empty data")
+		}
+		db, cons, err := ratest.LoadDatabase(strings.NewReader(spec.Data))
+		if err != nil {
+			return nil, false, fmt.Errorf("parsing inline instance: %w", err)
+		}
+		if db.Size() > srv.cfg.MaxInstanceTuples {
+			return nil, false, fmt.Errorf("inline instance has %d tuples, exceeding the server cap %d", db.Size(), srv.cfg.MaxInstanceTuples)
+		}
+		return &instance{db: db, constraints: cons}, false, nil
+	case "":
+		return nil, false, fmt.Errorf("instance.kind is required (course, tpch or inline)")
+	}
+	return nil, false, fmt.Errorf("unknown instance kind %q (want course, tpch or inline)", spec.Kind)
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a concurrency-safe least-recently-used cache with hit/miss
+// accounting. Both caches the server keeps — compiled query plans and
+// generated instances — hold values that are immutable once inserted
+// (plans are never mutated by evaluation, instance databases are only read),
+// so Get hands the cached value out directly and concurrent readers share
+// it without copying.
+type lru[K comparable, V any] struct {
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recently used
+	items  map[K]*list.Element
+	hits   int64
+	misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRU creates a cache bounded to cap entries; cap <= 0 disables caching
+// (every Get misses, Add is a no-op).
+func newLRU[K comparable, V any](cap int) *lru[K, V] {
+	return &lru[K, V]{cap: cap, order: list.New(), items: map[K]*list.Element{}}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lru[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts (or refreshes) a value, evicting the least recently used
+// entry when the cache is full.
+func (c *lru[K, V]) Add(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry[K, V]).key)
+	}
+	c.items[key] = c.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+}
+
+// Len returns the current number of entries.
+func (c *lru[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the cumulative hit/miss counts.
+func (c *lru[K, V]) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// b is now least recently used; adding c evicts it.
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (a was touched more recently)")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v; want 1, true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %v; want 3, true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRURefreshDoesNotGrow(t *testing.T) {
+	c := newLRU[string, int](2)
+	c.Add("a", 1)
+	c.Add("a", 10)
+	c.Add("b", 2)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a = %d, want refreshed value 10", v)
+	}
+}
+
+func TestLRUCounters(t *testing.T) {
+	c := newLRU[string, int](4)
+	c.Add("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	h, m := c.Counters()
+	if h != 2 || m != 1 {
+		t.Fatalf("counters = (%d, %d), want (2, 1)", h, m)
+	}
+}
+
+func TestLRUZeroCapDisables(t *testing.T) {
+	c := newLRU[string, int](0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-cap cache should never store")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+// The cache must survive concurrent mixed traffic (run under -race).
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU[string, int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%12)
+				if v, ok := c.Get(k); ok && v != (g+i)%12 {
+					t.Errorf("key %s holds %d", k, v)
+				}
+				c.Add(k, (g+i)%12)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,578 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/course"
+	"repro/internal/pool"
+	"repro/internal/ra"
+	"repro/internal/raparser"
+	"repro/internal/relation"
+)
+
+// Config tunes a Server. The zero value is usable; Normalize fills in the
+// defaults below.
+type Config struct {
+	// PlanCacheSize bounds the LRU cache of parsed query plans, keyed by
+	// whitespace-normalized RA text (default 256 entries).
+	PlanCacheSize int
+	// InstanceCacheSize bounds the LRU cache of generated course/TPC-H
+	// instances (default 8; instances dominate the server's memory, so the
+	// cap is deliberately small).
+	InstanceCacheSize int
+	// MaxConcurrent bounds how many explanations run at once; further
+	// requests queue until a slot frees or their deadline passes. The
+	// default is one slot per pool worker divided by nothing — i.e.
+	// pool.DefaultWorkers — because each explanation may itself fan out
+	// over the worker pool; admission keeps the multiplied parallelism
+	// bounded instead of oversubscribing the machine.
+	MaxConcurrent int
+	// DefaultTimeout is the per-request wall-clock budget when the request
+	// does not set one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the budget a request may ask for (default 60s).
+	MaxTimeout time.Duration
+	// MaxInstanceTuples caps the size of any instance the server will
+	// generate or accept inline (default 200000 tuples).
+	MaxInstanceTuples int
+	// MaxBodyBytes caps a request body (default 8 MiB — inline instances
+	// can be large).
+	MaxBodyBytes int64
+}
+
+// Normalize fills unset fields with their defaults.
+func (c Config) Normalize() Config {
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.InstanceCacheSize == 0 {
+		c.InstanceCacheSize = 8
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = pool.DefaultWorkers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxInstanceTuples <= 0 {
+		c.MaxInstanceTuples = 200_000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the long-lived RATest service: it keeps parsed query plans and
+// generated instances resident across requests, bounds concurrent
+// explanations with an admission semaphore, and enforces per-request
+// wall-clock/row/conflict budgets. All handler state is either immutable
+// after construction or guarded (LRU mutexes, atomics), so one Server
+// serves concurrent requests.
+type Server struct {
+	cfg       Config
+	plans     *lru[string, ra.Node]
+	instances *lru[string, *instance]
+	admission chan struct{}
+	started   time.Time
+
+	// Counters, all atomic.
+	explainReqs    int64
+	gradeReqs      int64
+	okResponses    int64
+	agreeResponses int64
+	budgetExceeded int64
+	errorResponses int64
+	inFlight       int64
+	waiting        int64
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.Normalize()
+	return &Server{
+		cfg:       cfg,
+		plans:     newLRU[string, ra.Node](cfg.PlanCacheSize),
+		instances: newLRU[string, *instance](cfg.InstanceCacheSize),
+		admission: make(chan struct{}, cfg.MaxConcurrent),
+		started:   time.Now(),
+	}
+}
+
+// Handler returns the server's HTTP routing table.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/explain", srv.handleExplain)
+	mux.HandleFunc("/grade", srv.handleGrade)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/stats", srv.handleStats)
+	return mux
+}
+
+// Request statuses.
+const (
+	StatusOK             = "ok"              // counterexample found
+	StatusAgree          = "agree"           // queries agree on the instance
+	StatusBudgetExceeded = "budget_exceeded" // wall-clock budget ran out
+	StatusError          = "error"           // malformed request or failed search
+)
+
+// ExplainRequest is the body of POST /explain.
+type ExplainRequest struct {
+	// Q1 is the reference (correct) query, Q2 the query under test, both
+	// in the textual RA syntax.
+	Q1 string `json:"q1"`
+	Q2 string `json:"q2"`
+	// Instance names the database instance to explain against.
+	Instance InstanceSpec `json:"instance"`
+	// Algorithm picks a specific algorithm (ratest.Options.Algorithm);
+	// empty means automatic dispatch.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Params binds @-parameters; values are parsed like instance literals.
+	Params map[string]string `json:"params,omitempty"`
+	// TimeoutMS is the wall-clock budget in milliseconds (0 = the server
+	// default; capped at the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxRows tightens the intermediate-row budget for this request.
+	MaxRows int `json:"max_rows,omitempty"`
+	// MaxConflicts bounds each SAT call's conflicts for this request.
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// NoConstraints drops the instance's integrity constraints (foreign
+	// keys stop being enforced on counterexamples).
+	NoConstraints bool `json:"no_constraints,omitempty"`
+}
+
+// CERelation is one relation of a counterexample, rendered for JSON.
+type CERelation struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// CEJSON renders a counterexample.
+type CEJSON struct {
+	Size      int               `json:"size"`
+	Relations []CERelation      `json:"relations"`
+	IDs       []int             `json:"ids"`
+	Witness   []string          `json:"witness,omitempty"`
+	Params    map[string]string `json:"params,omitempty"`
+	Rendered  string            `json:"rendered"`
+}
+
+// StatsJSON carries the per-request timing breakdown (core.Stats). On a
+// budget-exceeded response only Algorithm and SolverStatus ("unknown") are
+// meaningful; the timings are the partial elapsed values.
+type StatsJSON struct {
+	Algorithm    string  `json:"algorithm"`
+	TotalMS      float64 `json:"total_ms"`
+	RawEvalMS    float64 `json:"raw_eval_ms"`
+	ProvEvalMS   float64 `json:"prov_eval_ms"`
+	SolverMS     float64 `json:"solver_ms"`
+	ModelsTried  int     `json:"models_tried"`
+	WitnessSize  int     `json:"witness_size"`
+	Optimal      bool    `json:"optimal"`
+	SolverStatus string  `json:"solver_status"`
+}
+
+// CacheJSON reports which caches a request hit.
+type CacheJSON struct {
+	PlanQ1   string `json:"plan_q1,omitempty"`
+	PlanQ2   string `json:"plan_q2,omitempty"`
+	Instance string `json:"instance,omitempty"`
+}
+
+// ExplainResponse is the body of a POST /explain response. Budget
+// exhaustion is a 200 with Status "budget_exceeded" and partial stats — a
+// slow request is a service outcome, not a server failure.
+type ExplainResponse struct {
+	Status         string     `json:"status"`
+	Counterexample *CEJSON    `json:"counterexample,omitempty"`
+	Stats          *StatsJSON `json:"stats,omitempty"`
+	Cache          *CacheJSON `json:"cache,omitempty"`
+	ElapsedMS      float64    `json:"elapsed_ms"`
+	Error          string     `json:"error,omitempty"`
+}
+
+// GradeRequest is the body of POST /grade: grade a submitted query against
+// one of the course assignment questions (the instance defaults to the
+// course workload and must be course or inline kind).
+type GradeRequest struct {
+	// Question is the course question id (q1..q8).
+	Question string `json:"question"`
+	// Q is the submitted query in the textual RA syntax.
+	Q string `json:"q"`
+	// Instance defaults to {kind: course, size: 1000, seed: 1}.
+	Instance     InstanceSpec      `json:"instance,omitempty"`
+	Params       map[string]string `json:"params,omitempty"`
+	TimeoutMS    int64             `json:"timeout_ms,omitempty"`
+	MaxRows      int               `json:"max_rows,omitempty"`
+	MaxConflicts int64             `json:"max_conflicts,omitempty"`
+}
+
+// GradeResponse is the body of a POST /grade response. Grade is "pass"
+// when the submission agrees with the reference on the instance, "fail"
+// when a counterexample demonstrates the difference, and "unknown" when
+// the budget ran out before either was established.
+type GradeResponse struct {
+	ExplainResponse
+	Question string `json:"question"`
+	Grade    string `json:"grade,omitempty"`
+}
+
+func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(srv.started).Seconds()})
+}
+
+// cacheStats is one cache's /stats entry.
+type cacheStats struct {
+	Len    int   `json:"len"`
+	Cap    int   `json:"cap"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func statsFor[K comparable, V any](c *lru[K, V], cap int) cacheStats {
+	h, m := c.Counters()
+	return cacheStats{Len: c.Len(), Cap: cap, Hits: h, Misses: m}
+}
+
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(srv.started).Seconds(),
+		"requests": map[string]int64{
+			"explain": atomic.LoadInt64(&srv.explainReqs),
+			"grade":   atomic.LoadInt64(&srv.gradeReqs),
+		},
+		"responses": map[string]int64{
+			"ok":              atomic.LoadInt64(&srv.okResponses),
+			"agree":           atomic.LoadInt64(&srv.agreeResponses),
+			"budget_exceeded": atomic.LoadInt64(&srv.budgetExceeded),
+			"error":           atomic.LoadInt64(&srv.errorResponses),
+		},
+		"plan_cache":     statsFor(srv.plans, srv.cfg.PlanCacheSize),
+		"instance_cache": statsFor(srv.instances, srv.cfg.InstanceCacheSize),
+		"admission": map[string]int64{
+			"limit":     int64(srv.cfg.MaxConcurrent),
+			"in_flight": atomic.LoadInt64(&srv.inFlight),
+			"waiting":   atomic.LoadInt64(&srv.waiting),
+		},
+	})
+}
+
+func (srv *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&srv.explainReqs, 1)
+	var req ExplainRequest
+	if !srv.decode(w, r, &req) {
+		return
+	}
+	status, resp := srv.explain(r.Context(), &req)
+	writeJSON(w, status, resp)
+}
+
+func (srv *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&srv.gradeReqs, 1)
+	var req GradeRequest
+	if !srv.decode(w, r, &req) {
+		return
+	}
+	var reference string
+	for _, q := range course.Questions() {
+		if q.ID == req.Question {
+			reference = q.Correct.String()
+		}
+	}
+	if reference == "" {
+		srv.fail(w, http.StatusBadRequest, fmt.Errorf("unknown course question %q (want q1..q8)", req.Question))
+		return
+	}
+	inst := req.Instance
+	if inst.Kind == "" {
+		inst = InstanceSpec{Kind: "course", Size: 1000, Seed: 1}
+	}
+	if inst.Kind == "tpch" {
+		srv.fail(w, http.StatusBadRequest, fmt.Errorf("grading runs on the course schema; instance kind %q does not carry it", inst.Kind))
+		return
+	}
+	status, resp := srv.explain(r.Context(), &ExplainRequest{
+		Q1: reference, Q2: req.Q, Instance: inst, Params: req.Params,
+		TimeoutMS: req.TimeoutMS, MaxRows: req.MaxRows, MaxConflicts: req.MaxConflicts,
+	})
+	out := GradeResponse{ExplainResponse: *resp, Question: req.Question}
+	switch resp.Status {
+	case StatusOK:
+		out.Grade = "fail"
+	case StatusAgree:
+		out.Grade = "pass"
+	case StatusBudgetExceeded:
+		out.Grade = "unknown"
+	}
+	writeJSON(w, status, out)
+}
+
+// explain runs the full pipeline for one request: resolve the instance,
+// look up or parse the plans, admit the request, and run the search under
+// its budgets. It returns the HTTP status plus the response body.
+func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *ExplainResponse) {
+	start := time.Now()
+	finish := func(status int, resp *ExplainResponse) (int, *ExplainResponse) {
+		resp.ElapsedMS = msSince(start)
+		switch resp.Status {
+		case StatusOK:
+			atomic.AddInt64(&srv.okResponses, 1)
+		case StatusAgree:
+			atomic.AddInt64(&srv.agreeResponses, 1)
+		case StatusBudgetExceeded:
+			atomic.AddInt64(&srv.budgetExceeded, 1)
+		default:
+			atomic.AddInt64(&srv.errorResponses, 1)
+		}
+		return status, resp
+	}
+	errResp := func(status int, err error) (int, *ExplainResponse) {
+		return finish(status, &ExplainResponse{Status: StatusError, Error: err.Error()})
+	}
+
+	// The budget clock starts immediately and admission comes first: cold-
+	// cache work (instance generation, plan parsing) is real CPU that must
+	// be charged to the request's budget and bounded by the concurrency
+	// limit, not run unadmitted. A request that spends its whole budget
+	// queued reports budget_exceeded rather than occupying a slot it can
+	// no longer use.
+	budget := srv.budget(req.TimeoutMS)
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	if ok := srv.admit(ctx); !ok {
+		return finish(http.StatusOK, &ExplainResponse{
+			Status: StatusBudgetExceeded,
+			Stats:  &StatsJSON{SolverStatus: "unknown"},
+			Error:  fmt.Sprintf("request spent its %v budget queued for admission", budget),
+		})
+	}
+	defer srv.release()
+
+	inst, instHit, err := srv.resolve(req.Instance)
+	if err != nil {
+		return errResp(http.StatusBadRequest, err)
+	}
+	q1, q1Hit, err := srv.plan(req.Q1)
+	if err != nil {
+		return errResp(http.StatusBadRequest, fmt.Errorf("parsing q1: %w", err))
+	}
+	q2, q2Hit, err := srv.plan(req.Q2)
+	if err != nil {
+		return errResp(http.StatusBadRequest, fmt.Errorf("parsing q2: %w", err))
+	}
+	params, err := parseParams(req.Params)
+	if err != nil {
+		return errResp(http.StatusBadRequest, err)
+	}
+	cache := &CacheJSON{PlanQ1: hitMiss(q1Hit), PlanQ2: hitMiss(q2Hit), Instance: hitMiss(instHit)}
+
+	opts := &ratest.Options{
+		Params:       params,
+		Algorithm:    req.Algorithm,
+		MaxRows:      req.MaxRows,
+		MaxConflicts: req.MaxConflicts,
+	}
+	if !req.NoConstraints {
+		opts.Constraints = inst.constraints
+	}
+	ce, stats, err := ratest.ExplainContext(ctx, q1, q2, inst.db, opts)
+	switch {
+	case err == nil:
+		return finish(http.StatusOK, &ExplainResponse{
+			Status:         StatusOK,
+			Counterexample: renderCE(q1, q2, ce, params),
+			Stats:          renderStats(stats, "model"),
+			Cache:          cache,
+		})
+	case errors.Is(err, core.ErrQueriesAgree):
+		return finish(http.StatusOK, &ExplainResponse{Status: StatusAgree, Cache: cache})
+	case errors.Is(err, core.ErrBudget) || ctx.Err() != nil:
+		// Partial stats with an unknown solver status, not a 500: the
+		// search was cut off, nothing is known about the problem.
+		return finish(http.StatusOK, &ExplainResponse{
+			Status: StatusBudgetExceeded, Cache: cache,
+			Stats: &StatsJSON{
+				Algorithm:    core.AlgorithmFor(core.Problem{Q1: q1, Q2: q2, DB: inst.db}),
+				TotalMS:      msSince(start),
+				SolverStatus: "unknown",
+			},
+			Error: err.Error(),
+		})
+	default:
+		// A well-formed request whose search failed (e.g. the row budget,
+		// or an unknown algorithm name): a client error, not a 500.
+		return errResp(http.StatusUnprocessableEntity, err)
+	}
+}
+
+// plan parses RA text through the plan cache, keyed by whitespace-
+// normalized source so formatting variants share an entry. Plans are
+// immutable after parsing (the optimizer builds fresh trees), so cached
+// nodes are shared across concurrent requests.
+func (srv *Server) plan(src string) (ra.Node, bool, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, false, fmt.Errorf("empty query")
+	}
+	key := strings.Join(strings.Fields(src), " ")
+	if q, ok := srv.plans.Get(key); ok {
+		return q, true, nil
+	}
+	q, err := raparser.Parse(src)
+	if err != nil {
+		return nil, false, err
+	}
+	srv.plans.Add(key, q)
+	return q, false, nil
+}
+
+// budget clamps a requested timeout to the server's bounds.
+func (srv *Server) budget(timeoutMS int64) time.Duration {
+	d := srv.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > srv.cfg.MaxTimeout {
+		d = srv.cfg.MaxTimeout
+	}
+	return d
+}
+
+// admit blocks until an execution slot frees or the context expires,
+// reporting whether the request was admitted.
+func (srv *Server) admit(ctx context.Context) bool {
+	atomic.AddInt64(&srv.waiting, 1)
+	defer atomic.AddInt64(&srv.waiting, -1)
+	select {
+	case srv.admission <- struct{}{}:
+		atomic.AddInt64(&srv.inFlight, 1)
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (srv *Server) release() {
+	atomic.AddInt64(&srv.inFlight, -1)
+	<-srv.admission
+}
+
+// decode reads a JSON request body, enforcing method and size limits.
+func (srv *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		srv.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, srv.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		srv.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (srv *Server) fail(w http.ResponseWriter, status int, err error) {
+	atomic.AddInt64(&srv.errorResponses, 1)
+	writeJSON(w, status, &ExplainResponse{Status: StatusError, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func parseParams(raw map[string]string) (map[string]relation.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]relation.Value, len(raw))
+	for k, v := range raw {
+		out[k] = relation.ParseValue(v)
+	}
+	return out, nil
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func renderStats(s *core.Stats, solverStatus string) *StatsJSON {
+	if s == nil {
+		return nil
+	}
+	if s.Optimal {
+		solverStatus = "optimal"
+	}
+	return &StatsJSON{
+		Algorithm:    s.Algorithm,
+		TotalMS:      ms(s.TotalTime),
+		RawEvalMS:    ms(s.RawEvalTime),
+		ProvEvalMS:   ms(s.ProvEvalTime),
+		SolverMS:     ms(s.SolverTime),
+		ModelsTried:  s.ModelsTried,
+		WitnessSize:  s.WitnessSize,
+		Optimal:      s.Optimal,
+		SolverStatus: solverStatus,
+	}
+}
+
+func renderCE(q1, q2 ra.Node, ce *core.Counterexample, params map[string]relation.Value) *CEJSON {
+	out := &CEJSON{
+		Size:     ce.Size(),
+		IDs:      make([]int, len(ce.IDs)),
+		Rendered: ratest.FormatCounterexample(q1, q2, ce, params),
+	}
+	for i, id := range ce.IDs {
+		out.IDs[i] = int(id)
+	}
+	for _, name := range ce.DB.Names() {
+		rel := ce.DB.Relation(name)
+		if rel.Len() == 0 {
+			continue
+		}
+		cr := CERelation{Name: name}
+		for _, a := range rel.Schema.Attrs {
+			cr.Columns = append(cr.Columns, a.Name)
+		}
+		for _, t := range rel.Tuples {
+			row := make([]string, len(t))
+			for i, v := range t {
+				row[i] = v.String()
+			}
+			cr.Rows = append(cr.Rows, row)
+		}
+		out.Relations = append(out.Relations, cr)
+	}
+	for _, v := range ce.Witness {
+		out.Witness = append(out.Witness, v.String())
+	}
+	if len(ce.Params) > 0 {
+		out.Params = map[string]string{}
+		for k, v := range ce.Params {
+			out.Params[k] = v.String()
+		}
+	}
+	return out
+}

@@ -55,6 +55,11 @@ type Problem struct {
 	MaxNodes int64
 	// MaxParamCombos caps the parameter grid (0 = default 512).
 	MaxParamCombos int
+	// Stop, when non-nil, is polled periodically during the search;
+	// returning true aborts it, reporting Unknown (or Feasible with the
+	// best assignment found so far). Callers use it to enforce wall-clock
+	// deadlines.
+	Stop func() bool
 }
 
 // Result is the outcome of Solve.
@@ -105,6 +110,7 @@ func Solve(p Problem) Result {
 			params:   combo,
 			maxNodes: maxNodes,
 			bestCost: best.Cost,
+			stop:     p.Stop,
 		}
 		s.nodes = nodes
 		s.search(0, 0)
@@ -118,6 +124,13 @@ func Solve(p Problem) Result {
 			complete = false
 		}
 		if nodes >= maxNodes {
+			complete = false
+			break
+		}
+		// A fired Stop hook is permanent (deadlines don't un-expire):
+		// don't start the remaining parameter combos just to have each
+		// burn ~a poll stride of nodes before noticing.
+		if p.Stop != nil && p.Stop() {
 			complete = false
 			break
 		}
@@ -151,6 +164,7 @@ type searcher struct {
 	best      map[int]bool
 	bestCost  int
 	budgetHit bool
+	stop      func() bool
 }
 
 func (s *searcher) triAssign(v int) boolexpr.TriState {
@@ -165,6 +179,13 @@ func (s *searcher) triAssign(v int) boolexpr.TriState {
 
 func (s *searcher) search(i, cost int) {
 	if s.nodes >= s.maxNodes {
+		s.budgetHit = true
+		return
+	}
+	// Poll the caller's stop hook on a node stride (same Unknown/Feasible
+	// reporting as the node budget, so deadline aborts are never mistaken
+	// for infeasibility proofs).
+	if s.stop != nil && s.nodes%1024 == 0 && s.stop() {
 		s.budgetHit = true
 		return
 	}

@@ -24,6 +24,7 @@
 package ratest
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -32,6 +33,11 @@ import (
 	"repro/internal/raparser"
 	"repro/internal/relation"
 )
+
+// ErrBudget is reported (wrapped) when an explanation fails because its
+// context budget — deadline or cancellation — ran out rather than because
+// the problem is defective. Detect it with errors.Is.
+var ErrBudget = core.ErrBudget
 
 // Re-exported data-model types.
 type (
@@ -114,6 +120,12 @@ type Options struct {
 	Algorithm string
 	// Delta is the model budget of the Basic algorithm (default 128).
 	Delta int
+	// MaxConflicts, when > 0, bounds each SAT call's conflict count; solves
+	// exceeding it report an unknown status instead of running on.
+	MaxConflicts int64
+	// MaxRows, when > 0, tightens the per-evaluation intermediate-row
+	// budget below the engine-wide default (it can never loosen it).
+	MaxRows int
 }
 
 // Explain finds a small counterexample distinguishing q1 (the reference
@@ -121,10 +133,26 @@ type Options struct {
 // query class like the RATest system (Section 6): aggregate queries go
 // through the Section 5 algorithms, SPJUD queries through Optσ.
 func Explain(q1, q2 Query, db *Database, opts *Options) (*Counterexample, *Stats, error) {
+	return ExplainContext(context.Background(), q1, q2, db, opts)
+}
+
+// ExplainContext is Explain under a caller-supplied context: the context's
+// deadline/cancellation is threaded through the search loops and into the
+// SAT/SMT solvers, so a request-scoped budget aborts an explanation in
+// flight (the serving layer's per-request wall-clock budget). A budget
+// failure is reported as an error wrapping ErrBudget and the context error;
+// partial results are never returned unverified.
+func ExplainContext(ctx context.Context, q1, q2 Query, db *Database, opts *Options) (*Counterexample, *Stats, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	p := core.Problem{Q1: q1, Q2: q2, DB: db, Constraints: opts.Constraints, Params: opts.Params}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := core.Problem{
+		Q1: q1, Q2: q2, DB: db, Constraints: opts.Constraints, Params: opts.Params,
+		Ctx: ctx, MaxConflicts: opts.MaxConflicts, MaxRows: opts.MaxRows,
+	}
 	switch opts.Algorithm {
 	case "", "auto":
 		return core.Explain(p)

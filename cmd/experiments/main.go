@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/course"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/mutation"
 	"repro/internal/pool"
@@ -44,9 +45,15 @@ func main() {
 	sample := flag.Int("sample", 12, "wrong queries sampled per measurement")
 	workers := flag.Int("workers", pool.DefaultWorkers,
 		"worker-pool size for the fan-out loops; use 1 for uncontended per-query timings (parallel runs inflate the per-query latency columns on multi-core machines)")
+	plan := flag.Bool("plan", false,
+		"print the cost-based join planner's decisions (chosen join order, estimated vs actual cardinalities, acyclic fast path) on TPC-H at -sf, then exit")
 	flag.Parse()
 	pool.DefaultWorkers = *workers
 	core.Workers = *workers
+	if *plan {
+		planDemo(*sf)
+		return
+	}
 
 	run := func(name string, f func()) {
 		if *exp == "all" || *exp == name {
@@ -406,6 +413,61 @@ func fig7(sf float64) {
 			fmt.Printf("w%d Agg-Param %-16v %d  (params: %v)\n", wi+1, sP.SolverTime.Round(time.Microsecond), ceP.Size(), ceP.Params)
 		}
 	}
+}
+
+// ------------------------------------------------------------------- plan
+
+// planDemo prints the cost-based join planner's decisions for a few
+// multi-way TPC-H joins: the chosen join order, the estimated vs actual
+// cardinality of every join (the planned tree is executed once with the
+// report attached as observer), and whether the acyclic Yannakakis
+// semi-join path fired.
+func planDemo(sf float64) {
+	fmt.Println("Cost-based join planner: chosen order, estimated vs actual rows")
+	db := tpch.Generate(sf, 1)
+	fmt.Printf("TPC-H instance: %d tuples at sf=%v\n\n", db.Size(), sf)
+	queries := []struct{ name, src string }{
+		{"3-way, selective filter last in source order",
+			`(orders join[o_orderkey = l_orderkey] lineitem)
+			 join[o_custkey = c_custkey] select[c_custkey < 20](customer)`},
+		{"4-way chain",
+			`((select[c_custkey < 50](customer) join[c_custkey = o_custkey] orders)
+			 join[o_orderkey = l_orderkey] lineitem)
+			 join[l_suppkey = s_suppkey] supplier`},
+	}
+	for _, q := range queries {
+		printPlan(q.name, mustParse(q.src), db)
+	}
+}
+
+func printPlan(name string, q ra.Node, db *relation.Database) {
+	planned, report, err := engine.ExplainPlan(q, db, engine.Options{})
+	if err != nil {
+		fmt.Printf("%s: %v\n\n", name, err)
+		return
+	}
+	// Execute the planned tree once with the report attached, so every join
+	// records its actual output cardinality.
+	if _, err := engine.RunOpts(engine.Set, planned, db, nil, engine.Options{
+		NoOptimize: true, NoPlan: true, Observer: report,
+	}); err != nil {
+		fmt.Printf("%s: %v\n\n", name, err)
+		return
+	}
+	fmt.Println(name)
+	for _, reg := range report.Regions {
+		if !reg.Planned {
+			fmt.Printf("  region kept as written: %s (%s)\n", reg.Order, reg.Reason)
+			continue
+		}
+		fmt.Printf("  order:   %s\n", reg.Order)
+		fmt.Printf("  acyclic: %v (%d semi-joins), estimated peak %.4g rows\n", reg.Acyclic, reg.SemiJoins, reg.EstPeakRows)
+		fmt.Printf("  %-58s %-12s %s\n", "join", "est rows", "actual rows")
+		for _, j := range reg.Joins {
+			fmt.Printf("  %-58s %-12.5g %d\n", j.Expr, j.EstRows, j.ActualRows)
+		}
+	}
+	fmt.Println()
 }
 
 // ------------------------------------------------------------------ study

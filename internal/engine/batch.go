@@ -128,6 +128,17 @@ func evalPairDiffs[T any](s Semiring[T], q1, q2 ra.Node, db *relation.Database, 
 		q1 = Optimize(q1, cat)
 		q2 = Optimize(q2, cat)
 	}
+	if !opts.NoPlan {
+		var err error
+		if q1, err = planWith(q1, db, opts, true); err != nil {
+			return nil, nil, err
+		}
+		if q2, err = planWith(q2, db, opts, true); err != nil {
+			return nil, nil, err
+		}
+	}
+	e.markShared(q1)
+	e.markShared(q2)
 	r1, err := e.node(q1)
 	if err != nil {
 		return nil, nil, err

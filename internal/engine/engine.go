@@ -44,6 +44,15 @@ type Options struct {
 	// NoOptimize skips the logical rewrite pass (selection pushdown,
 	// equi-join extraction). Used by tests that compare plans.
 	NoOptimize bool
+	// NoPlan skips the cost-based join planner (reordering and semi-join
+	// reduction). Used by differential tests and as a benchmark baseline.
+	NoPlan bool
+	// Stats, when non-nil, overrides the planner's cardinality statistics
+	// (normally the instance's cached StatsOf result).
+	Stats *Stats
+	// Observer, when non-nil, collects the planner's decisions and the
+	// actual join cardinalities observed during execution.
+	Observer *PlanReport
 	// ForceNestedLoop disables the hash physical operators: joins run as
 	// nested loops and the difference probes linearly. Only useful as a
 	// benchmark baseline.
@@ -147,6 +156,14 @@ func RunOpts[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[
 	if !opts.NoOptimize {
 		q = Optimize(q, Catalog{DB: db})
 	}
+	if !opts.NoPlan {
+		var err error
+		q, err = planWith(q, db, opts, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.markShared(q)
 	return e.node(q)
 }
 
@@ -162,13 +179,48 @@ type exec[T any] struct {
 	// the scan, the Leaf annotations and the dedup hashing once. Safe
 	// because operators never mutate their inputs.
 	scans map[string]*Rel[T]
+	// refs counts how many parents reference each node (>1 only in the
+	// DAG-shaped plans the Yannakakis reducer emits, where a fully-reduced
+	// parent appears in every child's semi-join chain); memo caches results
+	// of exactly those shared nodes, so a DAG evaluates each node once
+	// without pinning every intermediate of a tree-shaped plan in memory.
+	refs map[ra.Node]int
+	memo map[ra.Node]*Rel[T]
 }
 
 func newExec[T any](s Semiring[T], db *relation.Database, params map[string]relation.Value, opts Options) *exec[T] {
-	return &exec[T]{s: s, db: db, params: params, opts: opts, scans: map[string]*Rel[T]{}}
+	return &exec[T]{s: s, db: db, params: params, opts: opts, scans: map[string]*Rel[T]{},
+		refs: map[ra.Node]int{}, memo: map[ra.Node]*Rel[T]{}}
+}
+
+// markShared counts node references without re-descending already-visited
+// pointers (a naive walk of a reduction DAG is exponential).
+func (e *exec[T]) markShared(q ra.Node) {
+	if e.refs[q]++; e.refs[q] > 1 {
+		return
+	}
+	for _, c := range q.Children() {
+		e.markShared(c)
+	}
 }
 
 func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
+	if e.refs[q] > 1 {
+		if r, ok := e.memo[q]; ok {
+			return r, nil
+		}
+	}
+	r, err := e.eval(q)
+	if err != nil {
+		return nil, err
+	}
+	if e.refs[q] > 1 {
+		e.memo[q] = r
+	}
+	return r, nil
+}
+
+func (e *exec[T]) eval(q ra.Node) (*Rel[T], error) {
 	if err := e.opts.poll(); err != nil {
 		return nil, err
 	}
@@ -238,6 +290,37 @@ func (e *exec[T]) node(q ra.Node) (*Rel[T], error) {
 			return nil, err
 		}
 		return e.groupBy(x, in)
+	case *ra.EquiJoin:
+		l, err := e.node(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.node(x.R)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.equiJoin(x, l, r)
+		if err != nil {
+			return nil, err
+		}
+		e.opts.Observer.observe(x, res.Len())
+		return res, nil
+	case *ra.Semi:
+		l, err := e.node(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.node(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return e.semiJoin(x, l, r)
+	case *ra.Permute:
+		in, err := e.node(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return e.permute(x, in), nil
 	}
 	return nil, fmt.Errorf("engine: unknown node type %T", q)
 }

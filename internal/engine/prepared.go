@@ -750,6 +750,28 @@ func (b *pbuilder) build(q ra.Node) (pnode, error) {
 			return nil, err
 		}
 		return b.buildGroupBy(x, in)
+	case *ra.EquiJoin:
+		l, err := b.build(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.build(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return b.buildEquiJoin(x, l, r)
+	case *ra.Permute:
+		in, err := b.build(x.In)
+		if err != nil {
+			return nil, err
+		}
+		// A positional permutation is a pproject whose indices were never
+		// resolved by name.
+		n := &pproject{in: in, idxs: x.Idxs, out: NewRel[int64](in.rel().Schema.Project(x.Idxs))}
+		for i, t := range in.rel().Tuples {
+			n.out.Add(Count, t.Project(x.Idxs), in.rel().Anns[i])
+		}
+		return b.add(n), nil
 	}
 	return nil, fmt.Errorf("engine: unknown node type %T", q)
 }
@@ -891,6 +913,48 @@ func (b *pbuilder) buildJoin(x *ra.Join, l, r pnode) (pnode, error) {
 	return b.add(n), nil
 }
 
+// buildEquiJoin is buildJoin for a planner-emitted positional equi-join:
+// always keyed, never a residual predicate, full concatenation kept.
+func (b *pbuilder) buildEquiJoin(x *ra.EquiJoin, l, r pnode) (pnode, error) {
+	lrel, rrel := l.rel(), r.rel()
+	n := &pjoin{
+		l: l, r: r, lIdx: map[string][]int{}, rIdx: map[string][]int{},
+		lKeys: append([]int(nil), x.LKeys...),
+		rKeys: append([]int(nil), x.RKeys...),
+	}
+	n.out = NewRel[int64](lrel.Schema.Concat(rrel.Schema))
+	n.sync()
+	var pairs int
+	emit := func(li, ri int) error {
+		if pairs++; pairs%stopPollStride == 0 {
+			if err := b.opts.poll(); err != nil {
+				return err
+			}
+		}
+		c := Count.Times(lrel.Anns[li], rrel.Anns[ri])
+		if c == 0 {
+			return nil
+		}
+		if n.out.Len() >= b.opts.rowBudget() {
+			return ErrRowBudget
+		}
+		n.out.appendDistinct(n.outTuple(lrel.Tuples[li], rrel.Tuples[ri]), c)
+		return nil
+	}
+	for li, lt := range lrel.Tuples {
+		k := lt.Project(n.lKeys)
+		if hasNullValue(k) {
+			continue
+		}
+		for _, ri := range n.rIdx[k.Key()] {
+			if err := emit(li, ri); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.add(n), nil
+}
+
 func (b *pbuilder) buildDiff(l, r pnode) pnode {
 	lrel, rrel := l.rel(), r.rel()
 	n := &pdiff{l: l, r: r, out: NewRelCap[int64](lrel.Schema, lrel.Len())}
@@ -972,6 +1036,19 @@ func PrepareDiff(q1, q2 ra.Node, db *relation.Database, params map[string]relati
 	if !opts.NoOptimize {
 		q1 = Optimize(q1, cat)
 		q2 = Optimize(q2, cat)
+	}
+	if !opts.NoPlan {
+		// Join reordering is shared with the one-shot path, but the
+		// Yannakakis semi-join pass is not: a deletion elsewhere can turn a
+		// retained tuple dangling, so a semi-join-reduced retained state
+		// cannot be maintained by local deltas.
+		var err error
+		if q1, err = planWith(q1, db, opts, false); err != nil {
+			return nil, err
+		}
+		if q2, err = planWith(q2, db, opts, false); err != nil {
+			return nil, err
+		}
 	}
 	b := &pbuilder{db: db, params: params, opts: opts, scans: map[string]*pscan{}}
 	n1, err := b.build(q1)

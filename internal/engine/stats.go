@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// This file computes the per-instance cardinality statistics that drive the
+// cost-based join planner: per-relation row counts and per-column distinct
+// counts and NULL fractions. Small relations are scanned exactly — the
+// distinct count of column i is the support cardinality |π_i(R)| under the
+// counting semiring, computed here as the same hash dedup the counting
+// evaluator performs, without materializing a result relation. Relations
+// above StatsSampleThreshold are estimated from a uniform row sample
+// instead. Statistics are cached on the Database itself (its opaque derived
+// slot) keyed by its version counter, so every evaluation against a shared
+// instance — including the server's instance-LRU residents — pays for them
+// once.
+
+// StatsSampleThreshold is the row count above which column statistics come
+// from a sample instead of an exact scan.
+var StatsSampleThreshold = 65_536
+
+// StatsSampleSize is how many rows the sampled estimator inspects.
+var StatsSampleSize = 4096
+
+// ColStats describes one column of a base relation.
+type ColStats struct {
+	// Distinct estimates the number of distinct non-NULL values.
+	Distinct float64
+	// NullFrac is the fraction of rows that are NULL in this column.
+	NullFrac float64
+}
+
+// RelStats describes one base relation.
+type RelStats struct {
+	Rows    int
+	Cols    []ColStats
+	Sampled bool
+}
+
+// Stats holds per-relation statistics for one database instance.
+type Stats struct {
+	version int64
+	rels    map[string]*RelStats
+}
+
+// Rel returns the statistics for a base relation, or nil when unknown
+// (statistics-free planning falls back to default estimates).
+func (s *Stats) Rel(name string) *RelStats {
+	if s == nil {
+		return nil
+	}
+	return s.rels[name]
+}
+
+// StatsOf returns the (possibly cached) statistics for an instance. A nil
+// database yields empty statistics — the statistics-free fallback used for
+// planning without an instance at hand. The cache lives on the database, so
+// its lifetime (and sharing) follows the instance: concurrent evaluations
+// against the same shared instance compute statistics once, and a database
+// mutated after the fact recomputes on next use via the version check.
+func StatsOf(db *relation.Database) *Stats {
+	if db == nil {
+		return &Stats{}
+	}
+	if cached, ok := db.Derived().(*Stats); ok && cached.version == db.Version() {
+		return cached
+	}
+	s := ComputeStats(db)
+	db.SetDerived(s)
+	return s
+}
+
+// ComputeStats scans an instance and builds fresh statistics.
+func ComputeStats(db *relation.Database) *Stats {
+	s := &Stats{version: db.Version(), rels: map[string]*RelStats{}}
+	for _, name := range db.Names() {
+		r := db.Relation(name)
+		if r.Len() <= StatsSampleThreshold {
+			s.rels[name] = exactRelStats(r)
+		} else {
+			s.rels[name] = sampledRelStats(name, r)
+		}
+	}
+	return s
+}
+
+func exactRelStats(r *relation.Relation) *RelStats {
+	rs := &RelStats{Rows: r.Len(), Cols: make([]ColStats, r.Schema.Arity())}
+	for c := range rs.Cols {
+		seen := make(map[relation.Value]struct{})
+		nulls := 0
+		for _, t := range r.Tuples {
+			if t[c].IsNull() {
+				nulls++
+				continue
+			}
+			seen[t[c]] = struct{}{}
+		}
+		rs.Cols[c] = ColStats{Distinct: float64(len(seen)), NullFrac: frac(nulls, r.Len())}
+	}
+	return rs
+}
+
+// sampledRelStats estimates column statistics from a uniform sample of
+// StatsSampleSize rows (Floyd's algorithm: a without-replacement sample in
+// O(k), equivalent to a reservoir pass given the known row count). Distinct
+// counts scale up with the Chao1 estimator, except that a near-unique
+// sample is promoted to "key column" and estimated at the full row count.
+// The sample is seeded from the relation name, so plans are deterministic
+// per instance.
+func sampledRelStats(name string, r *relation.Relation) *RelStats {
+	n := r.Len()
+	k := StatsSampleSize
+	if k > n {
+		k = n
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ 0x5eed))
+	idx := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, taken := idx[t]; taken {
+			idx[j] = struct{}{}
+		} else {
+			idx[t] = struct{}{}
+		}
+	}
+	rs := &RelStats{Rows: n, Cols: make([]ColStats, r.Schema.Arity()), Sampled: true}
+	for c := range rs.Cols {
+		counts := make(map[relation.Value]int)
+		nulls := 0
+		for i := range idx {
+			v := r.Tuples[i][c]
+			if v.IsNull() {
+				nulls++
+				continue
+			}
+			counts[v]++
+		}
+		nonNull := k - nulls
+		d := len(counts)
+		f1, f2 := 0, 0
+		for _, cnt := range counts {
+			switch cnt {
+			case 1:
+				f1++
+			case 2:
+				f2++
+			}
+		}
+		nullFrac := frac(nulls, k)
+		est := float64(d) + float64(f1)*float64(f1-1)/(2*float64(f2+1))
+		if nonNull > 0 && float64(d) >= 0.95*float64(nonNull) {
+			// Nearly every sampled value was distinct: treat as a key.
+			est = float64(n) * (1 - nullFrac)
+		}
+		if max := float64(n) * (1 - nullFrac); est > max {
+			est = max
+		}
+		rs.Cols[c] = ColStats{Distinct: est, NullFrac: nullFrac}
+	}
+	return rs
+}
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -254,6 +254,29 @@ func OutSchema(n Node, cat Catalog) (relation.Schema, error) {
 			return relation.Schema{}, err
 		}
 		return in.Qualify(q.As), nil
+	case *EquiJoin:
+		l, err := OutSchema(q.L, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		r, err := OutSchema(q.R, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		return l.Concat(r), nil
+	case *Semi:
+		return OutSchema(q.L, cat)
+	case *Permute:
+		in, err := OutSchema(q.In, cat)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		for _, j := range q.Idxs {
+			if j < 0 || j >= in.Arity() {
+				return relation.Schema{}, fmt.Errorf("ra: permute index %d out of range for schema %s", j, in)
+			}
+		}
+		return in.Project(q.Idxs), nil
 	case *GroupBy:
 		in, err := OutSchema(q.In, cat)
 		if err != nil {

@@ -1,0 +1,165 @@
+package ra
+
+import (
+	"repro/internal/relation"
+)
+
+// This file flattens a maximal conjunctive join region — a subtree built
+// entirely of Join nodes — into hypergraph form for the cost-based planner:
+// the region's leaf inputs, the equality constraints its natural- and
+// theta-join conditions impose, and the mapping from the region's original
+// output columns into the flattened column space. Anything the flattener
+// cannot express as pure equi-join constraints (residual θ-predicates,
+// cross products) makes it bail, and the planner keeps the original tree.
+
+// JoinLeaf is one non-Join input of a flattened join region. Off is the
+// global id of the leaf's first column: the region's global column space is
+// the concatenation of all leaf schemas in left-to-right discovery order.
+type JoinLeaf struct {
+	Node   Node
+	Schema relation.Schema
+	Off    int
+}
+
+// JoinGraph is a join region in hypergraph form. Eqs holds every equality
+// the original tree enforces, as pairs of global column ids; Out lists the
+// global columns of the region's original output schema, in order (natural
+// joins drop shared right-side columns, so Out is generally a strict subset
+// of the global space).
+type JoinGraph struct {
+	Leaves []JoinLeaf
+	Cols   []relation.Attribute
+	Eqs    [][2]int
+	Out    []int
+}
+
+// LeafOf returns the index of the leaf owning a global column.
+func (g *JoinGraph) LeafOf(col int) int {
+	for i := len(g.Leaves) - 1; i >= 0; i-- {
+		if col >= g.Leaves[i].Off {
+			return i
+		}
+	}
+	return -1
+}
+
+// FlattenJoin flattens the maximal join region rooted at j. ok is false
+// when the region is not a pure conjunctive equi-join component: a join
+// condition with a non-equality (or not attribute-to-attribute, or
+// ambiguous) conjunct, or a cross product (a natural join with no shared
+// attributes, or a theta join with no extractable key pair — including the
+// vacuous 1=1 condition the optimizer leaves after distributing every
+// conjunct). The flattening mirrors EquiJoinPlan and NaturalJoinCols
+// exactly, so the constraint set is identical to what the unplanned
+// evaluator would enforce join-node by join-node.
+func FlattenJoin(j *Join, cat Catalog) (*JoinGraph, bool) {
+	g := &JoinGraph{}
+	out, ok := g.flatten(j, cat)
+	if !ok {
+		return nil, false
+	}
+	g.Out = out
+	return g, true
+}
+
+func (g *JoinGraph) flatten(n Node, cat Catalog) ([]int, bool) {
+	j, isJoin := n.(*Join)
+	if !isJoin {
+		schema, err := OutSchema(n, cat)
+		if err != nil {
+			return nil, false
+		}
+		off := len(g.Cols)
+		g.Cols = append(g.Cols, schema.Attrs...)
+		g.Leaves = append(g.Leaves, JoinLeaf{Node: n, Schema: schema, Off: off})
+		out := make([]int, schema.Arity())
+		for i := range out {
+			out[i] = off + i
+		}
+		return out, true
+	}
+	lOut, ok := g.flatten(j.L, cat)
+	if !ok {
+		return nil, false
+	}
+	rOut, ok := g.flatten(j.R, cat)
+	if !ok {
+		return nil, false
+	}
+	lSchema := g.schemaAt(lOut)
+	rSchema := g.schemaAt(rOut)
+	if j.Cond == nil {
+		shared, rOnly := NaturalJoinCols(lSchema, rSchema)
+		if len(shared) == 0 {
+			return nil, false // cross product
+		}
+		for _, p := range shared {
+			g.Eqs = append(g.Eqs, [2]int{lOut[p[0]], rOut[p[1]]})
+		}
+		out := append([]int(nil), lOut...)
+		for _, ri := range rOnly {
+			out = append(out, rOut[ri])
+		}
+		return out, true
+	}
+	eqs := 0
+	for _, p := range andConjuncts(j.Cond) {
+		c, isCmp := p.(*Cmp)
+		if !isCmp || c.Op != EQ {
+			return nil, false
+		}
+		la, lok := c.L.(*AttrRef)
+		rb, rok := c.R.(*AttrRef)
+		if !lok || !rok {
+			return nil, false
+		}
+		// Same orientation logic as EquiJoinPlan: each attribute must
+		// resolve on exactly one side.
+		li, lerr := lSchema.Resolve(la.Name)
+		ri, rerr := rSchema.Resolve(rb.Name)
+		if lerr == nil && rerr == nil && !resolvesInSchema(rb.Name, lSchema) && !resolvesInSchema(la.Name, rSchema) {
+			g.Eqs = append(g.Eqs, [2]int{lOut[li], rOut[ri]})
+			eqs++
+			continue
+		}
+		li2, lerr2 := lSchema.Resolve(rb.Name)
+		ri2, rerr2 := rSchema.Resolve(la.Name)
+		if lerr2 == nil && rerr2 == nil && !resolvesInSchema(la.Name, lSchema) && !resolvesInSchema(rb.Name, rSchema) {
+			g.Eqs = append(g.Eqs, [2]int{lOut[li2], rOut[ri2]})
+			eqs++
+			continue
+		}
+		return nil, false
+	}
+	if eqs == 0 {
+		return nil, false // cross product (e.g. the vacuous 1=1 condition)
+	}
+	return append(append([]int(nil), lOut...), rOut...), true
+}
+
+// schemaAt materializes the schema of a subregion output given its global
+// column ids.
+func (g *JoinGraph) schemaAt(cols []int) relation.Schema {
+	attrs := make([]relation.Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = g.Cols[c]
+	}
+	return relation.Schema{Attrs: attrs}
+}
+
+// andConjuncts flattens a predicate into its top-level conjuncts.
+func andConjuncts(e Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		var out []Expr
+		for _, k := range a.Kids {
+			out = append(out, andConjuncts(k)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+func resolvesInSchema(name string, s relation.Schema) bool {
+	_, err := s.Resolve(name)
+	return err == nil
+}

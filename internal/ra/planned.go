@@ -1,0 +1,80 @@
+package ra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines the physical join nodes the cost-based planner emits.
+// The parser never produces them: they exist so a reordered join region can
+// be expressed positionally, independent of attribute names (a reordered
+// concatenation can make name-based resolution ambiguous, e.g. in
+// self-joins). The planner guarantees the invariants documented on each
+// node; the evaluator trusts them.
+
+// EquiJoin is a positional hash equi-join: L ⋈ R on L[LKeys[i]] = R[RKeys[i]]
+// for every i, producing the concatenated tuple. Every equality the original
+// region enforced appears as a key pair at the lowest join of the reordered
+// tree where both columns are available (they are always on opposite sides
+// there), so key lists fully capture the original constraint set. NULLs
+// never compare equal (SQL equality semantics).
+type EquiJoin struct {
+	L, R         Node
+	LKeys, RKeys []int
+}
+
+// Children implements Node.
+func (j *EquiJoin) Children() []Node { return []Node{j.L, j.R} }
+
+func (j *EquiJoin) String() string {
+	keys := make([]string, len(j.LKeys))
+	for i := range j.LKeys {
+		keys[i] = fmt.Sprintf("%d=%d", j.LKeys[i], j.RKeys[i])
+	}
+	return fmt.Sprintf("(%s equijoin[%s] %s)", j.L, strings.Join(keys, ","), j.R)
+}
+
+// Semi is a positional hash semi-join L ⋉ R: the subset of L with at least
+// one R partner on L[LKeys[i]] = R[RKeys[i]]. The output schema is L's and
+// every surviving tuple keeps its annotation untouched — a Semi node only
+// filters, it never ⊗-multiplies, which is what makes the Yannakakis
+// reduction annotation-preserving for every semiring. Left tuples with a
+// NULL in any key column are dropped: they can never survive the eventual
+// equi-join on the same columns.
+type Semi struct {
+	L, R         Node
+	LKeys, RKeys []int
+}
+
+// Children implements Node.
+func (s *Semi) Children() []Node { return []Node{s.L, s.R} }
+
+func (s *Semi) String() string {
+	keys := make([]string, len(s.LKeys))
+	for i := range s.LKeys {
+		keys[i] = fmt.Sprintf("%d=%d", s.LKeys[i], s.RKeys[i])
+	}
+	return fmt.Sprintf("(%s semijoin[%s] %s)", s.L, strings.Join(keys, ","), s.R)
+}
+
+// Permute is a positional projection In[Idxs[0]], In[Idxs[1]], ... restoring
+// the column order (and schema) the original, unreordered join region
+// produced. Unlike Project it resolves nothing by name. The planner emits it
+// only with Idxs chosen so that dropped columns are join-enforced equal to
+// kept ones, making the mapping injective on the join output; the evaluator
+// still ⊕-merges defensively.
+type Permute struct {
+	In   Node
+	Idxs []int
+}
+
+// Children implements Node.
+func (p *Permute) Children() []Node { return []Node{p.In} }
+
+func (p *Permute) String() string {
+	idxs := make([]string, len(p.Idxs))
+	for i, j := range p.Idxs {
+		idxs[i] = fmt.Sprint(j)
+	}
+	return fmt.Sprintf("permute[%s](%s)", strings.Join(idxs, ","), p.In)
+}

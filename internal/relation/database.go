@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Database is a named collection of base relations whose tuples carry
@@ -14,6 +15,15 @@ type Database struct {
 	order  []string
 	nextID TupleID
 	byID   map[TupleID]tupleRef
+	// version counts content mutations (inserts); derived holds an opaque
+	// cache of data computed from the instance (the engine's cardinality
+	// statistics), validated against version by its owner. The slot is
+	// atomic because a read-only database may be shared by concurrent
+	// requests that race to populate it; version is a plain field because
+	// mutation and concurrent sharing never overlap (instances are built,
+	// then served read-only).
+	version int64
+	derived atomic.Value
 }
 
 type tupleRef struct {
@@ -55,8 +65,21 @@ func (d *Database) Insert(name string, t Tuple) TupleID {
 	id := d.nextID
 	d.byID[id] = tupleRef{rel: name, idx: len(r.Tuples)}
 	r.AppendWithID(t, id)
+	d.version++
 	return id
 }
+
+// Version returns a counter that changes whenever the database content
+// does. Derived-data caches compare it to detect staleness.
+func (d *Database) Version() int64 { return d.version }
+
+// Derived returns the opaque derived-data cache slot, or nil.
+func (d *Database) Derived() any { return d.derived.Load() }
+
+// SetDerived publishes a derived-data cache for this instance. Concurrent
+// publishers may race; any published value must be recomputable, and
+// last-write-wins is fine.
+func (d *Database) SetDerived(v any) { d.derived.Store(v) }
 
 // Relation returns the named base relation, or nil.
 func (d *Database) Relation(name string) *Relation { return d.rels[name] }

@@ -18,14 +18,23 @@
 // # Caching
 //
 // Two LRU caches persist across requests. The plan cache maps
-// whitespace-normalized RA text to parsed query plans; plans are immutable
-// after parsing (the optimizer builds fresh trees), so concurrent requests
-// share cached nodes without copying. The instance cache maps generated
-// instance specs ("course:size:seed", "tpch:sf:seed") to their databases;
-// generation is deterministic in the spec and evaluation never mutates a
-// database, so instances are shared the same way. Inline instances are
-// request-private and never cached. Invariant: cache hits change cost
-// only, never answers — eviction is always safe.
+// (whitespace-normalized RA text, instance cache key) to the parsed query
+// plus its fully planned form — optimized, join-reordered and semi-join
+// reduced by the engine's cost-based planner against the instance's
+// cardinality statistics — and the planner's report, surfaced by the
+// opt-in explain_plan request field. Entries are immutable after
+// construction, so concurrent requests share cached nodes without copying.
+// Queries against inline (request-private) instances get parse-only,
+// statistics-free entries keyed by query text alone: a positional plan
+// computed against one inline instance would be wrong for another sharing
+// the query text. The instance cache maps generated instance specs
+// ("course:size:seed", "tpch:sf:seed") to their databases; generation is
+// deterministic in the spec and evaluation never mutates a database, so
+// instances are shared the same way — including the cardinality statistics
+// the engine caches on each database, which therefore follow the
+// instance's LRU lifetime. Inline instances are request-private and never
+// cached. Invariant: cache hits change cost only, never answers — eviction
+// is always safe.
 //
 // # Budgets and admission
 //

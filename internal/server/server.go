@@ -13,6 +13,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/course"
+	"repro/internal/engine"
 	"repro/internal/pool"
 	"repro/internal/ra"
 	"repro/internal/raparser"
@@ -83,7 +84,7 @@ func (c Config) Normalize() Config {
 // serves concurrent requests.
 type Server struct {
 	cfg       Config
-	plans     *lru[string, ra.Node]
+	plans     *lru[string, *plannedQuery]
 	instances *lru[string, *instance]
 	admission chan struct{}
 	started   time.Time
@@ -104,7 +105,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.Normalize()
 	return &Server{
 		cfg:       cfg,
-		plans:     newLRU[string, ra.Node](cfg.PlanCacheSize),
+		plans:     newLRU[string, *plannedQuery](cfg.PlanCacheSize),
 		instances: newLRU[string, *instance](cfg.InstanceCacheSize),
 		admission: make(chan struct{}, cfg.MaxConcurrent),
 		started:   time.Now(),
@@ -152,6 +153,38 @@ type ExplainRequest struct {
 	// NoConstraints drops the instance's integrity constraints (foreign
 	// keys stop being enforced on counterexamples).
 	NoConstraints bool `json:"no_constraints,omitempty"`
+	// ExplainPlan opts into the "plan" response field: what the cost-based
+	// join planner decided for each query against this instance.
+	ExplainPlan bool `json:"explain_plan,omitempty"`
+}
+
+// PlanJoinJSON is one join of a planned region: the subtree it computes and
+// the planner's cardinality estimate. ActualRows is -1: the search pipeline
+// evaluates queries many times over many subinstances, so there is no
+// single "actual" to report (the experiments CLI's -plan flag measures one).
+type PlanJoinJSON struct {
+	Expr       string  `json:"expr"`
+	EstRows    float64 `json:"est_rows"`
+	ActualRows int64   `json:"actual_rows"`
+}
+
+// PlanRegionJSON is one join region of a planned query.
+type PlanRegionJSON struct {
+	Leaves      []string       `json:"leaves,omitempty"`
+	Order       string         `json:"order,omitempty"`
+	Planned     bool           `json:"planned"`
+	Reason      string         `json:"reason,omitempty"`
+	Acyclic     bool           `json:"acyclic"`
+	SemiJoins   int            `json:"semi_joins"`
+	EstPeakRows float64        `json:"est_peak_rows"`
+	Joins       []PlanJoinJSON `json:"joins,omitempty"`
+}
+
+// PlanJSON is the opt-in /explain "plan" field: the join planner's
+// decisions for both queries against the request's instance.
+type PlanJSON struct {
+	Q1 []PlanRegionJSON `json:"q1,omitempty"`
+	Q2 []PlanRegionJSON `json:"q2,omitempty"`
 }
 
 // CERelation is one relation of a counterexample, rendered for JSON.
@@ -201,6 +234,7 @@ type ExplainResponse struct {
 	Counterexample *CEJSON    `json:"counterexample,omitempty"`
 	Stats          *StatsJSON `json:"stats,omitempty"`
 	Cache          *CacheJSON `json:"cache,omitempty"`
+	Plan           *PlanJSON  `json:"plan,omitempty"`
 	ElapsedMS      float64    `json:"elapsed_ms"`
 	Error          string     `json:"error,omitempty"`
 }
@@ -366,19 +400,28 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *Expl
 	if err != nil {
 		return errResp(http.StatusBadRequest, err)
 	}
-	q1, q1Hit, err := srv.plan(req.Q1)
+	instKey := req.Instance.cacheKey()
+	p1, q1Hit, err := srv.plan(req.Q1, inst, instKey)
 	if err != nil {
 		return errResp(http.StatusBadRequest, fmt.Errorf("parsing q1: %w", err))
 	}
-	q2, q2Hit, err := srv.plan(req.Q2)
+	p2, q2Hit, err := srv.plan(req.Q2, inst, instKey)
 	if err != nil {
 		return errResp(http.StatusBadRequest, fmt.Errorf("parsing q2: %w", err))
 	}
+	q1, q2 := p1.parsed, p2.parsed
 	params, err := parseParams(req.Params)
 	if err != nil {
 		return errResp(http.StatusBadRequest, err)
 	}
 	cache := &CacheJSON{PlanQ1: hitMiss(q1Hit), PlanQ2: hitMiss(q2Hit), Instance: hitMiss(instHit)}
+	var plan *PlanJSON
+	if req.ExplainPlan {
+		plan = &PlanJSON{
+			Q1: renderPlanRegions(planReportFor(p1, inst.db)),
+			Q2: renderPlanRegions(planReportFor(p2, inst.db)),
+		}
+	}
 
 	opts := &ratest.Options{
 		Params:       params,
@@ -397,14 +440,15 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *Expl
 			Counterexample: renderCE(q1, q2, ce, params),
 			Stats:          renderStats(stats, "model"),
 			Cache:          cache,
+			Plan:           plan,
 		})
 	case errors.Is(err, core.ErrQueriesAgree):
-		return finish(http.StatusOK, &ExplainResponse{Status: StatusAgree, Cache: cache})
+		return finish(http.StatusOK, &ExplainResponse{Status: StatusAgree, Cache: cache, Plan: plan})
 	case errors.Is(err, core.ErrBudget) || ctx.Err() != nil:
 		// Partial stats with an unknown solver status, not a 500: the
 		// search was cut off, nothing is known about the problem.
 		return finish(http.StatusOK, &ExplainResponse{
-			Status: StatusBudgetExceeded, Cache: cache,
+			Status: StatusBudgetExceeded, Cache: cache, Plan: plan,
 			Stats: &StatsJSON{
 				Algorithm:    core.AlgorithmFor(core.Problem{Q1: q1, Q2: q2, DB: inst.db}),
 				TotalMS:      msSince(start),
@@ -419,24 +463,91 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *Expl
 	}
 }
 
+// plannedQuery is a plan-cache entry: the parsed AST and, for cacheable
+// (named) instances, the fully planned tree — optimized, join-reordered and
+// semi-join reduced against the instance's cardinality statistics — with
+// the planner's report. The planned tree and report serve observability
+// (the explain_plan field); the search pipeline always starts from the
+// parsed AST, because its algorithms rewrite queries structurally
+// (selection pushdown per candidate tuple, query mutation) and the engine
+// re-plans internally at each evaluation, with the statistics cached on the
+// shared instance itself. Inline instances are request-private: their
+// entries are keyed by query text alone and stay statistics-free (parsed
+// only), since a positional plan computed against one inline instance's
+// schema would be wrong for a different instance sharing the query text.
+type plannedQuery struct {
+	parsed  ra.Node
+	planned ra.Node
+	report  *engine.PlanReport
+}
+
 // plan parses RA text through the plan cache, keyed by whitespace-
-// normalized source so formatting variants share an entry. Plans are
-// immutable after parsing (the optimizer builds fresh trees), so cached
-// nodes are shared across concurrent requests.
-func (srv *Server) plan(src string) (ra.Node, bool, error) {
+// normalized source (formatting variants share an entry) plus the instance
+// cache key when the instance is a shareable named one. Entries are
+// immutable after construction, so they are shared across concurrent
+// requests.
+func (srv *Server) plan(src string, inst *instance, instKey string) (*plannedQuery, bool, error) {
 	if strings.TrimSpace(src) == "" {
 		return nil, false, fmt.Errorf("empty query")
 	}
 	key := strings.Join(strings.Fields(src), " ")
-	if q, ok := srv.plans.Get(key); ok {
-		return q, true, nil
+	if instKey != "" {
+		key += "\x00" + instKey
+	}
+	if e, ok := srv.plans.Get(key); ok {
+		return e, true, nil
 	}
 	q, err := raparser.Parse(src)
 	if err != nil {
 		return nil, false, err
 	}
-	srv.plans.Add(key, q)
-	return q, false, nil
+	e := &plannedQuery{parsed: q}
+	if instKey != "" {
+		// Planning can only fail with the planner's pre-execution
+		// row-budget refusal; the entry then stays parse-only (its report
+		// is still kept for explain_plan) and the same structured error
+		// surfaces when the search evaluates the query.
+		planned, report, perr := engine.ExplainPlan(q, inst.db, engine.Options{})
+		e.report = report
+		if perr == nil {
+			e.planned = planned
+		}
+	}
+	srv.plans.Add(key, e)
+	return e, false, nil
+}
+
+// planReportFor returns a cache entry's planner report, computing one on
+// the fly for request-private (inline) instances.
+func planReportFor(e *plannedQuery, db *relation.Database) *engine.PlanReport {
+	if e.report != nil {
+		return e.report
+	}
+	_, report, _ := engine.ExplainPlan(e.parsed, db, engine.Options{})
+	return report
+}
+
+func renderPlanRegions(r *engine.PlanReport) []PlanRegionJSON {
+	if r == nil {
+		return nil
+	}
+	out := make([]PlanRegionJSON, 0, len(r.Regions))
+	for _, reg := range r.Regions {
+		j := PlanRegionJSON{
+			Leaves:      reg.Leaves,
+			Order:       reg.Order,
+			Planned:     reg.Planned,
+			Reason:      reg.Reason,
+			Acyclic:     reg.Acyclic,
+			SemiJoins:   reg.SemiJoins,
+			EstPeakRows: reg.EstPeakRows,
+		}
+		for _, jr := range reg.Joins {
+			j.Joins = append(j.Joins, PlanJoinJSON{Expr: jr.Expr, EstRows: jr.EstRows, ActualRows: jr.ActualRows})
+		}
+		out = append(out, j)
+	}
+	return out
 }
 
 // budget clamps a requested timeout to the server's bounds.

@@ -411,3 +411,79 @@ relation T(a: int)
 		t.Fatal("inline instance leaked into the cache")
 	}
 }
+
+// The opt-in explain_plan field must carry the join planner's decisions:
+// a three-leaf natural-join chain on the course schema is a planned,
+// acyclic region with semi-joins, and plan-cache entries must be keyed per
+// instance (the same query against a different instance is a fresh miss).
+func TestExplainPlanField(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := `project[name](Student join Registration join Student)`
+	var resp ExplainResponse
+	code := postJSON(t, ts.URL+"/explain", ExplainRequest{
+		Q1: q, Q2: q, Instance: courseSpec(300), ExplainPlan: true,
+	}, &resp)
+	if code != http.StatusOK || resp.Status != StatusAgree {
+		t.Fatalf("explain = %d / %q (%s), want 200 / agree", code, resp.Status, resp.Error)
+	}
+	if resp.Plan == nil || len(resp.Plan.Q1) == 0 {
+		t.Fatalf("explain_plan requested but plan missing: %+v", resp.Plan)
+	}
+	reg := resp.Plan.Q1[0]
+	if !reg.Planned || len(reg.Leaves) != 3 {
+		t.Fatalf("region = %+v, want a planned 3-leaf region", reg)
+	}
+	if !reg.Acyclic || reg.SemiJoins == 0 {
+		t.Fatalf("region = %+v, want the acyclic semi-join path to fire", reg)
+	}
+	if len(reg.Joins) != 2 || reg.Joins[0].EstRows <= 0 {
+		t.Fatalf("joins = %+v, want 2 joins with positive estimates", reg.Joins)
+	}
+
+	// Same query, different named instance: the plan cache must miss (entries
+	// are keyed by instance), then hit on repeat.
+	var resp2 ExplainResponse
+	postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: q, Q2: q, Instance: courseSpec(400)}, &resp2)
+	if resp2.Cache.PlanQ1 != "miss" {
+		t.Fatalf("plan cache for new instance = %q, want miss", resp2.Cache.PlanQ1)
+	}
+	postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: q, Q2: q, Instance: courseSpec(400)}, &resp2)
+	if resp2.Cache.PlanQ1 != "hit" {
+		t.Fatalf("repeated plan cache lookup = %q, want hit", resp2.Cache.PlanQ1)
+	}
+
+	// Without explain_plan the field stays absent.
+	var resp3 ExplainResponse
+	postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: q, Q2: q, Instance: courseSpec(300)}, &resp3)
+	if resp3.Plan != nil {
+		t.Fatalf("plan field present without explain_plan: %+v", resp3.Plan)
+	}
+}
+
+// Inline instances are request-private: their plan-cache entries are keyed
+// by query text alone and stay statistics-free, and explain_plan still
+// works by planning per request against the inline data.
+func TestExplainPlanInlineInstance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	data := `
+relation R(a: int, b: int)
+1, 1
+2, 2
+relation S(b: int, c: int)
+1, 10
+2, 20
+relation T(c: int, d: int)
+10, 100
+`
+	q := `project[a](R join S join T)`
+	var resp ExplainResponse
+	code := postJSON(t, ts.URL+"/explain", ExplainRequest{
+		Q1: q, Q2: q, Instance: InstanceSpec{Kind: "inline", Data: data}, ExplainPlan: true,
+	}, &resp)
+	if code != http.StatusOK || resp.Status != StatusAgree {
+		t.Fatalf("explain = %d / %q (%s), want 200 / agree", code, resp.Status, resp.Error)
+	}
+	if resp.Plan == nil || len(resp.Plan.Q1) == 0 || !resp.Plan.Q1[0].Planned {
+		t.Fatalf("inline explain_plan missing or unplanned: %+v", resp.Plan)
+	}
+}

@@ -1,0 +1,31 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml so that a green
+# `make lint test race bench-smoke` locally means a green CI run.
+
+GO ?= go
+RATESTLINT := $(shell $(GO) env GOPATH)/bin/ratestlint
+
+.PHONY: all lint test race bench-smoke fmt
+
+all: lint test
+
+# gofmt + go vet + the repo's own analyzer suite (see docs/LINTING.md).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build -o $(RATESTLINT) ./cmd/ratestlint
+	$(GO) vet -vettool=$(RATESTLINT) ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the batch/delta/planner benchmarks: compile-and-run
+# smoke plus their embedded equivalence guards.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Batch|PreparedDiff|Planner' -benchtime 1x ./internal/engine/...
+
+fmt:
+	gofmt -w .

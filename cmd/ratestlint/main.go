@@ -1,0 +1,29 @@
+// Command ratestlint is the repo's static-analysis suite: project-specific
+// analyzers enforcing the determinism, budget and soundness invariants
+// that previous PRs fixed by hand (see docs/LINTING.md).
+//
+// Run it through go vet so package loading, caching and test-file
+// handling come from the go tool:
+//
+//	go build -o bin/ratestlint ./cmd/ratestlint
+//	go vet -vettool=$PWD/bin/ratestlint ./...
+//
+// or equivalently "bin/ratestlint ./...", which re-execs the same thing.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/budgetpoll"
+	"repro/internal/lint/mapdeterminism"
+	"repro/internal/lint/saturatedarith"
+	"repro/internal/lint/sentinelcmp"
+)
+
+func main() {
+	lint.Main(
+		budgetpoll.Analyzer,
+		mapdeterminism.Analyzer,
+		saturatedarith.Analyzer,
+		sentinelcmp.Analyzer,
+	)
+}

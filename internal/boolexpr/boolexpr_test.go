@@ -1,6 +1,7 @@
 package boolexpr
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -141,7 +142,7 @@ func TestMonotoneDNFBudget(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		kids = append(kids, Or(Var(2*i), Var(2*i+1)))
 	}
-	if _, err := MonotoneDNF(And(kids...), 100); err != ErrDNFTooLarge {
+	if _, err := MonotoneDNF(And(kids...), 100); !errors.Is(err, ErrDNFTooLarge) {
 		t.Errorf("expected ErrDNFTooLarge, got %v", err)
 	}
 }

@@ -206,6 +206,7 @@ func AggBasic(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 				ids = append(ids, v)
 			}
 		}
+		sort.Ints(ids)
 		ids, err := fkClose(ids, p.DB, fks)
 		if err != nil {
 			return nil, nil, err
@@ -579,7 +580,7 @@ func AggOpt(p Problem, opts AggOptions) (*Counterexample, *Stats, error) {
 		ce := &Counterexample{DB: sub, IDs: tids, Witness: t, Q1: q1, Q2: q2}
 		// Choose parameter values that let the shrunken groups pass the
 		// HAVING thresholds (the paper's per-aggregate heuristic).
-		ce.Params = chooseParams(q1, q2, sub, origParams)
+		ce.Params = chooseParams(p, q1, q2, sub, origParams)
 		if Verify(verifyProblem, ce) == nil {
 			result = ce
 			return true
@@ -654,7 +655,7 @@ func forEachWitnessModel(b *boolexpr.CNFBuilder, counted []int, varToID map[int]
 // for each parameterized threshold it takes the smallest aggregate value
 // realized by the candidate's groups, adjusted so the comparison passes
 // (the COUNT/SUM/MIN/MAX/AVG heuristics of Section 5.3.2).
-func chooseParams(q1, q2 ra.Node, sub *relation.Database, orig map[string]relation.Value) map[string]relation.Value {
+func chooseParams(p Problem, q1, q2 ra.Node, sub *relation.Database, orig map[string]relation.Value) map[string]relation.Value {
 	out := map[string]relation.Value{}
 	for k, v := range orig {
 		out[k] = v
@@ -664,8 +665,10 @@ func chooseParams(q1, q2 ra.Node, sub *relation.Database, orig map[string]relati
 		if !ok {
 			continue
 		}
-		// Aggregate the candidate instance without HAVING.
-		grouped, err := engine.Eval(spec.Group, sub, out)
+		// Aggregate the candidate instance without HAVING, under the
+		// request budget: this runs once per solver model, so an unbudgeted
+		// pass here could outlive the deadline on large candidates.
+		grouped, err := engine.EvalOpts(spec.Group, sub, out, p.engineOpts())
 		if err != nil || grouped.Len() == 0 {
 			continue
 		}

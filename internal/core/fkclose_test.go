@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// fkClose's output is fingerprinted (idsKey) and fed into dedup maps by
+// the SPJUD* odometer, so two calls on the same id set must return the
+// same slice regardless of input order. These are the regressions for the
+// bug where the no-FK early return passed map-iteration order through,
+// which made equal unions look distinct — duplicate solver work and a
+// nondeterministic tie-break order among equal-size candidates.
+
+func TestFKCloseSortedWithoutFKs(t *testing.T) {
+	db := relation.NewDatabase()
+	rng := rand.New(rand.NewSource(11))
+	ids := []int{9, 3, 14, 0, 7, 21, 5}
+	want, err := fkClose(append([]int(nil), ids...), db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(want) {
+		t.Fatalf("fkClose output not sorted: %v", want)
+	}
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]int(nil), ids...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got, err := fkClose(perm, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: permuted input changed output: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestFKClosePermutationInvariantKey(t *testing.T) {
+	// With FKs, the closure must also be order-independent: same id set in
+	// any order → same idsKey fingerprint.
+	db := relation.NewDatabase()
+	db.CreateRelation("P", relation.NewSchema(relation.Attr("k", relation.KindInt)))
+	db.CreateRelation("C", relation.NewSchema(relation.Attr("k", relation.KindInt)))
+	for i := 0; i < 4; i++ {
+		db.Insert("P", relation.NewTuple(relation.Int(int64(i))))
+		db.Insert("C", relation.NewTuple(relation.Int(int64(i))))
+	}
+	fks := []relation.ForeignKey{{ChildRel: "C", ChildAttrs: []string{"k"},
+		ParentRel: "P", ParentAttrs: []string{"k"}}}
+
+	// The C tuples' ids follow the P tuples'.
+	var cids []int
+	for _, id := range db.Relation("C").IDs {
+		cids = append(cids, int(id))
+	}
+	base, err := fkClose(append([]int(nil), cids...), db, fks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(base) {
+		t.Fatalf("closure not sorted: %v", base)
+	}
+	wantKey := string(idsKey(base, nil))
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]int(nil), cids...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		closed, err := fkClose(perm, db, fks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(idsKey(closed, nil)); got != wantKey {
+			t.Fatalf("trial %d: permuted input changed idsKey: %v vs %v", trial, closed, base)
+		}
+	}
+}

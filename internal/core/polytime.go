@@ -18,7 +18,12 @@ import (
 // choice instead).
 func fkClose(ids []int, db *relation.Database, fks []relation.ForeignKey) ([]int, error) {
 	if len(fks) == 0 {
-		return ids, nil
+		// Sorted like the closure path below: callers fingerprint the
+		// result (idsKey) and feed it to dedup maps, so passing map-order
+		// input through unsorted made equal id sets look distinct.
+		out := append([]int(nil), ids...)
+		sort.Ints(out)
+		return out, nil
 	}
 	parentMaps := make([]map[relation.TupleID][]relation.TupleID, len(fks))
 	for i, fk := range fks {
@@ -253,6 +258,7 @@ func SPJUDStarSWP(p Problem, maxCombos int) (*Counterexample, *Stats, error) {
 			for id := range idSet {
 				ids = append(ids, id)
 			}
+			sort.Ints(ids)
 			ids, err = fkClose(ids, p.DB, p.ForeignKeys())
 			if err != nil {
 				return nil, nil, err

@@ -75,6 +75,11 @@ func (c *checker) disagree(idSets [][]int) ([]bool, error) {
 	var batchSets [][]int
 	kept := map[relation.TupleID]bool{}
 	for i, ids := range idSets {
+		// Each iteration can run a full delta evaluation; honor the
+		// request budget between candidates.
+		if err := c.p.interrupted(); err != nil {
+			return nil, err
+		}
 		// Route on the deduplicated kept count: len(ids) over-counts
 		// duplicates, which would under-estimate the removed set and let an
 		// over-budget delta slip through to the delta path.

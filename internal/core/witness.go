@@ -46,6 +46,7 @@ func buildCNF(prov *boolexpr.Expr, db *relation.Database, fks []relation.Foreign
 			parentMaps[i] = m
 		}
 		processed := map[int]bool{}
+		//lint:budgeted monotone fixpoint: each pass marks >=1 unprocessed base var processed, bounded by the CNF's variable count
 		for {
 			var pending []int
 			for _, sv := range b.BaseVars() {

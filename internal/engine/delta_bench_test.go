@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"testing"
 
 	"repro/internal/course"
@@ -89,6 +90,7 @@ func BenchmarkPreparedDiff(b *testing.B) {
 				cand = append(cand, id)
 			}
 		}
+		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
 		d12, d21, err := engine.EvalBatchDiffs(q1, q2, db, nil, [][]relation.TupleID{cand}, engine.Options{})
 		if err != nil {
 			b.Fatal(err)

@@ -344,11 +344,11 @@ func TestDifferentialCountSemiring(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		db := randomDB(rng)
 		q := randomPlan(rng)
-		want, err := refEval[int64](Count, q, db, nil)
+		want, err := refEval[Count](Counting, q, db, nil)
 		if err != nil {
 			t.Fatalf("trial %d: ref: %v\n%s", trial, err, q)
 		}
-		got, err := Run[int64](Count, q, db, nil)
+		got, err := Run[Count](Counting, q, db, nil)
 		if err != nil {
 			t.Fatalf("trial %d: engine: %v\n%s", trial, err, q)
 		}
@@ -463,15 +463,15 @@ func TestIntersect(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 50; trial++ {
 		db := randomDB(rng)
-		l, err := Run[int64](Count, &ra.Rel{Name: "R"}, db, nil)
+		l, err := Run[Count](Counting, &ra.Rel{Name: "R"}, db, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := Run[int64](Count, &ra.Rel{Name: "S"}, db, nil)
+		r, err := Run[Count](Counting, &ra.Rel{Name: "S"}, db, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		both, err := Intersect[int64](Count, l, r)
+		both, err := Intersect[Count](Counting, l, r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -481,7 +481,7 @@ func TestIntersect(t *testing.T) {
 			if (j >= 0) != (k >= 0) {
 				t.Fatalf("trial %d: intersection membership wrong for %v", trial, tup)
 			}
-			if j >= 0 && both.Anns[k] != l.Anns[i]*r.Anns[j] {
+			if j >= 0 && both.Anns[k] != Counting.Times(l.Anns[i], r.Anns[j]) {
 				t.Fatalf("trial %d: intersection count wrong for %v", trial, tup)
 			}
 		}

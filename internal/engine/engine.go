@@ -137,7 +137,7 @@ func CountDistinct(q ra.Node, db *relation.Database, params map[string]relation.
 
 // CountDistinctOpts is CountDistinct with explicit evaluation options.
 func CountDistinctOpts(q ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (int, error) {
-	r, err := RunOpts[int64](Count, q, db, params, opts)
+	r, err := RunOpts[Count](Counting, q, db, params, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -52,11 +52,11 @@ func TestParallelMatchesSerialCount(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		db := randomDB(rng)
 		q := randomPlan(rng)
-		serial, err := Run[int64](Count, q, db, nil)
+		serial, err := Run[Count](Counting, q, db, nil)
 		if err != nil {
 			t.Fatalf("trial %d: serial: %v\n%s", trial, err, q)
 		}
-		par, err := RunOpts[int64](Count, q, db, nil, popts)
+		par, err := RunOpts[Count](Counting, q, db, nil, popts)
 		if err != nil {
 			t.Fatalf("trial %d: parallel: %v\n%s", trial, err, q)
 		}
@@ -128,11 +128,11 @@ func TestParallelDeterministic(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		db := randomDB(rng)
 		q := randomPlan(rng)
-		a, err := RunOpts[int64](Count, q, db, nil, popts)
+		a, err := RunOpts[Count](Counting, q, db, nil, popts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := RunOpts[int64](Count, q, db, nil, popts)
+		b, err := RunOpts[Count](Counting, q, db, nil, popts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,11 +159,11 @@ func TestParallelDiffMatchesSerial(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		db := randomDB(rng)
 		q := &ra.Diff{L: randomCompat(rng, 2), R: randomCompat(rng, 2)}
-		serial, err := Run[int64](Count, q, db, nil)
+		serial, err := Run[Count](Counting, q, db, nil)
 		if err != nil {
 			t.Fatalf("trial %d: serial: %v\n%s", trial, err, q)
 		}
-		par, err := RunOpts[int64](Count, q, db, nil, popts)
+		par, err := RunOpts[Count](Counting, q, db, nil, popts)
 		if err != nil {
 			t.Fatalf("trial %d: parallel: %v\n%s", trial, err, q)
 		}
@@ -246,19 +246,19 @@ func TestParallelJoinRowBudget(t *testing.T) {
 // TestCountSemiringSaturates: the counting semiring saturates instead of
 // wrapping (a wrapped-to-zero count would prune a live tuple).
 func TestCountSemiringSaturates(t *testing.T) {
-	if got := Count.Plus(math.MaxInt64, 5); got != math.MaxInt64 {
+	if got := Counting.Plus(math.MaxInt64, 5); got != math.MaxInt64 {
 		t.Errorf("Plus overflow: got %d", got)
 	}
-	if got := Count.Times(3<<40, 3<<40); got != math.MaxInt64 {
+	if got := Counting.Times(3<<40, 3<<40); got != math.MaxInt64 {
 		t.Errorf("Times overflow: got %d", got)
 	}
-	if got := Count.Times(0, math.MaxInt64); got != 0 {
+	if got := Counting.Times(0, math.MaxInt64); got != 0 {
 		t.Errorf("Times zero: got %d", got)
 	}
-	if got := Count.Plus(2, 3); got != 5 {
+	if got := Counting.Plus(2, 3); got != 5 {
 		t.Errorf("Plus small: got %d", got)
 	}
-	if got := Count.Times(6, 7); got != 42 {
+	if got := Counting.Times(6, 7); got != 42 {
 		t.Errorf("Times small: got %d", got)
 	}
 }
@@ -276,7 +276,7 @@ func TestCountOverflowKeepsSupport(t *testing.T) {
 	for i := 2; i <= 65; i++ {
 		q = &ra.Join{L: q, R: &ra.Rename{As: fmt.Sprintf("r%d", i), In: &ra.Rel{Name: "R"}}}
 	}
-	r, err := Run[int64](Count, q, db, nil)
+	r, err := Run[Count](Counting, q, db, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,9 +293,9 @@ func TestCountOverflowKeepsSupport(t *testing.T) {
 // its hash index, so an Add on the renamed relation could scribble on the
 // input's backing arrays and corrupt its index under a different schema.
 func TestRenameCopyOnWrite(t *testing.T) {
-	in := NewRel[int64](relation.NewSchema(relation.Attr("a", relation.KindInt)))
-	in.Add(Count, relation.NewTuple(relation.Int(1)), 1)
-	in.Add(Count, relation.NewTuple(relation.Int(2)), 1)
+	in := NewRel[Count](relation.NewSchema(relation.Attr("a", relation.KindInt)))
+	in.Add(Counting, relation.NewTuple(relation.Int(1)), 1)
+	in.Add(Counting, relation.NewTuple(relation.Int(2)), 1)
 
 	out := renameRel(in, "x")
 	if got := out.Schema.Attrs[0].Name; got != "x.a" {
@@ -303,11 +303,11 @@ func TestRenameCopyOnWrite(t *testing.T) {
 	}
 	// ⊕-merge first: Add overwrites the annotation slot in place, so this
 	// must not write through to the input's annotation array.
-	out.Add(Count, relation.NewTuple(relation.Int(2)), 5)
+	out.Add(Counting, relation.NewTuple(relation.Int(2)), 5)
 	if i := in.Lookup(relation.NewTuple(relation.Int(2))); in.Anns[i] != 1 {
 		t.Errorf("merge on the renamed relation mutated the input's annotation: %v", in.Anns)
 	}
-	out.Add(Count, relation.NewTuple(relation.Int(3)), 1)
+	out.Add(Counting, relation.NewTuple(relation.Int(3)), 1)
 
 	if in.Len() != 2 {
 		t.Fatalf("input length changed to %d after mutating the rename", in.Len())

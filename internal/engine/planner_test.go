@@ -143,7 +143,7 @@ func TestPlannerDifferentialCount(t *testing.T) {
 	for trial := 0; trial < 250; trial++ {
 		db := randomDB(rng)
 		q := randomPlannerPlan(rng, true)
-		on, off := planOnOff(t, trial, Count, q, db)
+		on, off := planOnOff(t, trial, Counting, q, db)
 		if on == nil {
 			continue
 		}

@@ -57,17 +57,33 @@ var ErrStaleDelta = errors.New("engine: delta result is stale: prepared state ha
 // base counts, and every delta magnitude is bounded by a base count.
 type zsumRing struct{}
 
-func (zsumRing) Zero() int64                          { return 0 }
-func (zsumRing) One() int64                           { return 1 }
-func (zsumRing) Plus(a, b int64) int64                { return a + b }
-func (zsumRing) Times(a, b int64) int64               { return a * b }
-func (zsumRing) Minus(l, r int64) int64               { return l - r }
-func (zsumRing) IsZero(a int64) bool                  { return a == 0 }
-func (zsumRing) Leaf(relation.TupleID) (int64, error) { return 1, nil }
+func (zsumRing) Zero() Count                          { return 0 }
+func (zsumRing) One() Count                           { return 1 }
+func (zsumRing) Plus(a, b Count) Count                { return exactAdd(a, b) }
+func (zsumRing) Times(a, b Count) Count               { return exactMul(a, b) }
+func (zsumRing) Minus(l, r Count) Count               { return l - r }
+func (zsumRing) IsZero(a Count) bool                  { return a == 0 }
+func (zsumRing) Leaf(relation.TupleID) (Count, error) { return 1, nil }
 func (zsumRing) Aggregates() bool                     { return false }
 func (zsumRing) Name() string                         { return "zsum" }
 
 var zsum zsumRing
+
+// exactAdd and exactMul are the delta subsystem's ℤ-ring count arithmetic.
+// Unlike Counting.Plus/Times they do not saturate — deliberately: signed
+// delta arithmetic must be invertible, and it cannot overflow because
+// PrepareDiff rejects plans whose base counts saturated and every delta
+// magnitude is bounded by a base count.
+
+func exactAdd(a, b Count) Count {
+	//lint:saturated exact ℤ-ring delta arithmetic; PrepareDiff rejects saturated base counts, so no overflow
+	return a + b
+}
+
+func exactMul(a, b Count) Count {
+	//lint:saturated exact ℤ-ring delta arithmetic; PrepareDiff rejects saturated base counts, so no overflow
+	return a * b
+}
 
 // deltaCtx carries one EvalDelta computation: the (sorted, deduplicated,
 // still-live) removed ids and the per-node memoized deltas. Nodes are shared
@@ -75,7 +91,7 @@ var zsum zsumRing
 // so memoization keeps every node's delta computed exactly once per call.
 type deltaCtx struct {
 	removed []relation.TupleID
-	memo    map[pnode]*Rel[int64]
+	memo    map[pnode]*Rel[Count]
 	aux     map[pnode][]groupChange
 }
 
@@ -84,16 +100,16 @@ type pnode interface {
 	// rel is the retained output on the current base instance. It may
 	// contain zombie entries (count 0) left behind by committed deletions;
 	// consumers must read counts, never assume presence implies membership.
-	rel() *Rel[int64]
+	rel() *Rel[Count]
 	// delta computes the signed count changes this operator's output
 	// undergoes for ctx's removed tuples, memoized in ctx.
-	delta(ctx *deltaCtx) (*Rel[int64], error)
+	delta(ctx *deltaCtx) (*Rel[Count], error)
 	// commit folds the memoized delta of ctx into the retained state.
 	commit(ctx *deltaCtx)
 }
 
 // countOf reads a tuple's retained count (0 when absent or zombie).
-func countOf(r *Rel[int64], t relation.Tuple) int64 {
+func countOf(r *Rel[Count], t relation.Tuple) Count {
 	if i := r.Lookup(t); i >= 0 {
 		return r.Anns[i]
 	}
@@ -101,7 +117,7 @@ func countOf(r *Rel[int64], t relation.Tuple) int64 {
 }
 
 // deltaOf reads a tuple's signed delta (0 when untouched).
-func deltaOf(d *Rel[int64], t relation.Tuple) int64 {
+func deltaOf(d *Rel[Count], t relation.Tuple) Count {
 	if d == nil {
 		return 0
 	}
@@ -115,14 +131,14 @@ func deltaOf(d *Rel[int64], t relation.Tuple) int64 {
 // count reaches zero stay as zombies (removing them would shift positions
 // out from under the retained join/group indexes); tuples entering the
 // output are appended and indexed.
-func applyDelta(base *Rel[int64], d *Rel[int64]) {
+func applyDelta(base *Rel[Count], d *Rel[Count]) {
 	for i, t := range d.Tuples {
 		c := d.Anns[i]
 		if c == 0 {
 			continue
 		}
 		if j := base.Lookup(t); j >= 0 {
-			base.Anns[j] += c
+			base.Anns[j] = exactAdd(base.Anns[j], c)
 			continue
 		}
 		base.Add(zsum, t, c)
@@ -132,17 +148,17 @@ func applyDelta(base *Rel[int64], d *Rel[int64]) {
 // pscan is a retained base-relation scan: the deduplicated annotated scan
 // output plus the id → output-position map deletions are translated through.
 type pscan struct {
-	out *Rel[int64]
+	out *Rel[Count]
 	pos map[relation.TupleID]int
 }
 
-func (n *pscan) rel() *Rel[int64] { return n.out }
+func (n *pscan) rel() *Rel[Count] { return n.out }
 
-func (n *pscan) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *pscan) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
-	d := NewRel[int64](n.out.Schema)
+	d := NewRel[Count](n.out.Schema)
 	for _, id := range ctx.removed {
 		p, ok := n.pos[id]
 		if !ok {
@@ -160,12 +176,12 @@ func (n *pscan) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
 type pselect struct {
 	in   pnode
 	pred ra.CompiledExpr
-	out  *Rel[int64]
+	out  *Rel[Count]
 }
 
-func (n *pselect) rel() *Rel[int64] { return n.out }
+func (n *pselect) rel() *Rel[Count] { return n.out }
 
-func (n *pselect) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *pselect) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
@@ -173,7 +189,7 @@ func (n *pselect) delta(ctx *deltaCtx) (*Rel[int64], error) {
 	if err != nil {
 		return nil, err
 	}
-	d := NewRel[int64](n.out.Schema)
+	d := NewRel[Count](n.out.Schema)
 	for i, t := range din.Tuples {
 		c := din.Anns[i]
 		if c == 0 {
@@ -197,12 +213,12 @@ func (n *pselect) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
 type pproject struct {
 	in   pnode
 	idxs []int
-	out  *Rel[int64]
+	out  *Rel[Count]
 }
 
-func (n *pproject) rel() *Rel[int64] { return n.out }
+func (n *pproject) rel() *Rel[Count] { return n.out }
 
-func (n *pproject) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *pproject) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
@@ -210,7 +226,7 @@ func (n *pproject) delta(ctx *deltaCtx) (*Rel[int64], error) {
 	if err != nil {
 		return nil, err
 	}
-	d := NewRel[int64](n.out.Schema)
+	d := NewRel[Count](n.out.Schema)
 	for i, t := range din.Tuples {
 		if c := din.Anns[i]; c != 0 {
 			d.Add(zsum, t.Project(n.idxs), c)
@@ -226,12 +242,12 @@ func (n *pproject) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
 // so the delta aliases the child's (deltas are read-only once built).
 type prename struct {
 	in  pnode
-	out *Rel[int64]
+	out *Rel[Count]
 }
 
-func (n *prename) rel() *Rel[int64] { return n.out }
+func (n *prename) rel() *Rel[Count] { return n.out }
 
-func (n *prename) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *prename) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
@@ -239,7 +255,7 @@ func (n *prename) delta(ctx *deltaCtx) (*Rel[int64], error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Rel[int64]{Schema: n.out.Schema, Tuples: din.Tuples, Anns: din.Anns, index: din.index}
+	d := &Rel[Count]{Schema: n.out.Schema, Tuples: din.Tuples, Anns: din.Anns, index: din.index}
 	ctx.memo[n] = d
 	return d, nil
 }
@@ -249,12 +265,12 @@ func (n *prename) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
 // punion adds the two child deltas.
 type punion struct {
 	l, r pnode
-	out  *Rel[int64]
+	out  *Rel[Count]
 }
 
-func (n *punion) rel() *Rel[int64] { return n.out }
+func (n *punion) rel() *Rel[Count] { return n.out }
 
-func (n *punion) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *punion) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
@@ -266,7 +282,7 @@ func (n *punion) delta(ctx *deltaCtx) (*Rel[int64], error) {
 	if err != nil {
 		return nil, err
 	}
-	d := NewRel[int64](n.out.Schema)
+	d := NewRel[Count](n.out.Schema)
 	for i, t := range dl.Tuples {
 		if c := dl.Anns[i]; c != 0 {
 			d.Add(zsum, t, c)
@@ -295,13 +311,13 @@ type pjoin struct {
 	natural      bool
 	rOnly        []int           // natural join: right-side columns appended
 	pred         ra.CompiledExpr // residual θ-condition over the concat, or nil
-	out          *Rel[int64]
+	out          *Rel[Count]
 	lIdx, rIdx   map[string][]int
 	lSynced      int // child output positions already indexed
 	rSynced      int
 }
 
-func (n *pjoin) rel() *Rel[int64] { return n.out }
+func (n *pjoin) rel() *Rel[Count] { return n.out }
 
 // sync indexes child output positions appended by commits since the last
 // delta (tuples resurrected through a Diff keep their old, already-indexed
@@ -337,7 +353,7 @@ func (n *pjoin) outTuple(lt, rt relation.Tuple) relation.Tuple {
 
 // emitDelta adds one pair's signed contribution, applying the residual
 // θ-condition.
-func (n *pjoin) emitDelta(d *Rel[int64], lt, rt relation.Tuple, c int64) error {
+func (n *pjoin) emitDelta(d *Rel[Count], lt, rt relation.Tuple, c Count) error {
 	if c == 0 {
 		return nil
 	}
@@ -354,7 +370,7 @@ func (n *pjoin) emitDelta(d *Rel[int64], lt, rt relation.Tuple, c int64) error {
 	return nil
 }
 
-func (n *pjoin) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *pjoin) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
@@ -367,7 +383,7 @@ func (n *pjoin) delta(ctx *deltaCtx) (*Rel[int64], error) {
 		return nil, err
 	}
 	n.sync()
-	d := NewRel[int64](n.out.Schema)
+	d := NewRel[Count](n.out.Schema)
 	lrel, rrel := n.l.rel(), n.r.rel()
 	keyed := len(n.lKeys) > 0
 	// ΔL ⋈ R (retained right state).
@@ -382,14 +398,14 @@ func (n *pjoin) delta(ctx *deltaCtx) (*Rel[int64], error) {
 				continue
 			}
 			for _, ri := range n.rIdx[k.Key()] {
-				if err := n.emitDelta(d, lt, rrel.Tuples[ri], c*rrel.Anns[ri]); err != nil {
+				if err := n.emitDelta(d, lt, rrel.Tuples[ri], exactMul(c, rrel.Anns[ri])); err != nil {
 					return nil, err
 				}
 			}
 			continue
 		}
 		for ri := range rrel.Tuples {
-			if err := n.emitDelta(d, lt, rrel.Tuples[ri], c*rrel.Anns[ri]); err != nil {
+			if err := n.emitDelta(d, lt, rrel.Tuples[ri], exactMul(c, rrel.Anns[ri])); err != nil {
 				return nil, err
 			}
 		}
@@ -406,14 +422,14 @@ func (n *pjoin) delta(ctx *deltaCtx) (*Rel[int64], error) {
 				continue
 			}
 			for _, li := range n.lIdx[k.Key()] {
-				if err := n.emitDelta(d, lrel.Tuples[li], rt, lrel.Anns[li]*c); err != nil {
+				if err := n.emitDelta(d, lrel.Tuples[li], rt, exactMul(lrel.Anns[li], c)); err != nil {
 					return nil, err
 				}
 			}
 			continue
 		}
 		for li := range lrel.Tuples {
-			if err := n.emitDelta(d, lrel.Tuples[li], rt, lrel.Anns[li]*c); err != nil {
+			if err := n.emitDelta(d, lrel.Tuples[li], rt, exactMul(lrel.Anns[li], c)); err != nil {
 				return nil, err
 			}
 		}
@@ -443,7 +459,7 @@ func (n *pjoin) delta(ctx *deltaCtx) (*Rel[int64], error) {
 					continue
 				}
 			}
-			if err := n.emitDelta(d, lt, rt, ci*cj); err != nil {
+			if err := n.emitDelta(d, lt, rt, exactMul(ci, cj)); err != nil {
 				return nil, err
 			}
 		}
@@ -461,13 +477,13 @@ func (n *pjoin) commit(ctx *deltaCtx) { applyDelta(n.out, ctx.memo[n]) }
 // so emptiness checks are O(1).
 type pdiff struct {
 	l, r pnode
-	out  *Rel[int64]
+	out  *Rel[Count]
 	live int
 }
 
-func (n *pdiff) rel() *Rel[int64] { return n.out }
+func (n *pdiff) rel() *Rel[Count] { return n.out }
 
-func (n *pdiff) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *pdiff) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
@@ -479,7 +495,7 @@ func (n *pdiff) delta(ctx *deltaCtx) (*Rel[int64], error) {
 	if err != nil {
 		return nil, err
 	}
-	d := NewRel[int64](n.out.Schema)
+	d := NewRel[Count](n.out.Schema)
 	lrel, rrel := n.l.rel(), n.r.rel()
 	seen := map[string]bool{}
 	process := func(t relation.Tuple) {
@@ -490,8 +506,8 @@ func (n *pdiff) delta(ctx *deltaCtx) (*Rel[int64], error) {
 		seen[k] = true
 		oldL := countOf(lrel, t)
 		oldR := countOf(rrel, t)
-		newL := oldL + deltaOf(dl, t)
-		newR := oldR + deltaOf(dr, t)
+		newL := exactAdd(oldL, deltaOf(dl, t))
+		newR := exactAdd(oldR, deltaOf(dr, t))
 		oldOut, newOut := oldL, newL
 		if oldR != 0 {
 			oldOut = 0
@@ -521,10 +537,11 @@ func (n *pdiff) commit(ctx *deltaCtx) {
 			continue
 		}
 		old := countOf(n.out, t)
+		now := exactAdd(old, ch)
 		switch {
-		case old == 0 && old+ch != 0:
+		case old == 0 && now != 0:
 			n.live++
-		case old != 0 && old+ch == 0:
+		case old != 0 && now == 0:
 			n.live--
 		}
 	}
@@ -547,14 +564,14 @@ type pgroup struct {
 	aggs      []ra.AggSpec
 	gIdx      []int
 	aIdx      []int
-	out       *Rel[int64]
+	out       *Rel[Count]
 	groups    map[string][]int
 	keyTuples map[string]relation.Tuple
 	rows      map[string]relation.Tuple
 	inSynced  int
 }
 
-func (n *pgroup) rel() *Rel[int64] { return n.out }
+func (n *pgroup) rel() *Rel[Count] { return n.out }
 
 // sync assigns input positions appended since the last delta to groups.
 func (n *pgroup) sync() {
@@ -570,7 +587,7 @@ func (n *pgroup) sync() {
 	n.inSynced = inrel.Len()
 }
 
-func (n *pgroup) delta(ctx *deltaCtx) (*Rel[int64], error) {
+func (n *pgroup) delta(ctx *deltaCtx) (*Rel[Count], error) {
 	if d, ok := ctx.memo[n]; ok {
 		return d, nil
 	}
@@ -580,7 +597,7 @@ func (n *pgroup) delta(ctx *deltaCtx) (*Rel[int64], error) {
 	}
 	n.sync()
 	inrel := n.in.rel()
-	d := NewRel[int64](n.out.Schema)
+	d := NewRel[Count](n.out.Schema)
 	var changes []groupChange
 	var affected []string
 	seenKey := map[string]bool{}
@@ -610,7 +627,7 @@ func (n *pgroup) delta(ctx *deltaCtx) (*Rel[int64], error) {
 		var members []relation.Tuple
 		for _, p := range n.groups[ks] {
 			t := inrel.Tuples[p]
-			if inrel.Anns[p]+deltaOf(din, t) > 0 {
+			if exactAdd(inrel.Anns[p], deltaOf(din, t)) > 0 {
 				members = append(members, t)
 			}
 		}
@@ -723,12 +740,12 @@ func (b *pbuilder) build(q ra.Node) (pnode, error) {
 		if !l.rel().Schema.UnionCompatible(r.rel().Schema) {
 			return nil, fmt.Errorf("engine: union of incompatible schemas %s, %s", l.rel().Schema, r.rel().Schema)
 		}
-		n := &punion{l: l, r: r, out: NewRel[int64](l.rel().Schema)}
+		n := &punion{l: l, r: r, out: NewRel[Count](l.rel().Schema)}
 		for i, t := range l.rel().Tuples {
-			n.out.Add(Count, t, l.rel().Anns[i])
+			n.out.Add(Counting, t, l.rel().Anns[i])
 		}
 		for i, t := range r.rel().Tuples {
-			n.out.Add(Count, t, r.rel().Anns[i])
+			n.out.Add(Counting, t, r.rel().Anns[i])
 		}
 		return b.add(n), nil
 	case *ra.Diff:
@@ -767,9 +784,9 @@ func (b *pbuilder) build(q ra.Node) (pnode, error) {
 		}
 		// A positional permutation is a pproject whose indices were never
 		// resolved by name.
-		n := &pproject{in: in, idxs: x.Idxs, out: NewRel[int64](in.rel().Schema.Project(x.Idxs))}
+		n := &pproject{in: in, idxs: x.Idxs, out: NewRel[Count](in.rel().Schema.Project(x.Idxs))}
 		for i, t := range in.rel().Tuples {
-			n.out.Add(Count, t.Project(x.Idxs), in.rel().Anns[i])
+			n.out.Add(Counting, t.Project(x.Idxs), in.rel().Anns[i])
 		}
 		return b.add(n), nil
 	}
@@ -784,9 +801,9 @@ func (b *pbuilder) buildScan(x *ra.Rel) (pnode, error) {
 	if r == nil {
 		return nil, fmt.Errorf("engine: unknown relation %q", x.Name)
 	}
-	n := &pscan{out: NewRel[int64](r.Schema), pos: make(map[relation.TupleID]int, r.Len())}
+	n := &pscan{out: NewRel[Count](r.Schema), pos: make(map[relation.TupleID]int, r.Len())}
 	for i, t := range r.Tuples {
-		n.out.Add(Count, t, 1)
+		n.out.Add(Counting, t, 1)
 		n.pos[r.ID(i)] = n.out.Lookup(t)
 	}
 	b.scans[x.Name] = n
@@ -799,7 +816,7 @@ func (b *pbuilder) buildSelect(x *ra.Select, in pnode) (pnode, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &pselect{in: in, pred: pred, out: NewRelCap[int64](in.rel().Schema, in.rel().Len())}
+	n := &pselect{in: in, pred: pred, out: NewRelCap[Count](in.rel().Schema, in.rel().Len())}
 	for i, t := range in.rel().Tuples {
 		v, err := pred(t)
 		if err != nil {
@@ -817,9 +834,9 @@ func (b *pbuilder) buildProject(x *ra.Project, in pnode) (pnode, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &pproject{in: in, idxs: idxs, out: NewRel[int64](outSchema)}
+	n := &pproject{in: in, idxs: idxs, out: NewRel[Count](outSchema)}
 	for i, t := range in.rel().Tuples {
-		n.out.Add(Count, t.Project(idxs), in.rel().Anns[i])
+		n.out.Add(Counting, t.Project(idxs), in.rel().Anns[i])
 	}
 	return b.add(n), nil
 }
@@ -858,7 +875,7 @@ func (b *pbuilder) buildJoin(x *ra.Join, l, r pnode) (pnode, error) {
 			n.pred = pred
 		}
 	}
-	n.out = NewRel[int64](outSchema)
+	n.out = NewRel[Count](outSchema)
 	n.sync()
 	// Base evaluation: probe the retained right table in left order (the
 	// serial hash join's order) or fall back to nested loops.
@@ -869,7 +886,7 @@ func (b *pbuilder) buildJoin(x *ra.Join, l, r pnode) (pnode, error) {
 				return err
 			}
 		}
-		c := Count.Times(lrel.Anns[li], rrel.Anns[ri])
+		c := Counting.Times(lrel.Anns[li], rrel.Anns[ri])
 		if c == 0 {
 			return nil
 		}
@@ -922,7 +939,7 @@ func (b *pbuilder) buildEquiJoin(x *ra.EquiJoin, l, r pnode) (pnode, error) {
 		lKeys: append([]int(nil), x.LKeys...),
 		rKeys: append([]int(nil), x.RKeys...),
 	}
-	n.out = NewRel[int64](lrel.Schema.Concat(rrel.Schema))
+	n.out = NewRel[Count](lrel.Schema.Concat(rrel.Schema))
 	n.sync()
 	var pairs int
 	emit := func(li, ri int) error {
@@ -931,7 +948,7 @@ func (b *pbuilder) buildEquiJoin(x *ra.EquiJoin, l, r pnode) (pnode, error) {
 				return err
 			}
 		}
-		c := Count.Times(lrel.Anns[li], rrel.Anns[ri])
+		c := Counting.Times(lrel.Anns[li], rrel.Anns[ri])
 		if c == 0 {
 			return nil
 		}
@@ -957,9 +974,9 @@ func (b *pbuilder) buildEquiJoin(x *ra.EquiJoin, l, r pnode) (pnode, error) {
 
 func (b *pbuilder) buildDiff(l, r pnode) pnode {
 	lrel, rrel := l.rel(), r.rel()
-	n := &pdiff{l: l, r: r, out: NewRelCap[int64](lrel.Schema, lrel.Len())}
+	n := &pdiff{l: l, r: r, out: NewRelCap[Count](lrel.Schema, lrel.Len())}
 	for i, t := range lrel.Tuples {
-		ann := Count.Minus(lrel.Anns[i], countOf(rrel, t))
+		ann := Counting.Minus(lrel.Anns[i], countOf(rrel, t))
 		if ann == 0 {
 			continue
 		}
@@ -977,7 +994,7 @@ func (b *pbuilder) buildGroupBy(x *ra.GroupBy, in pnode) (pnode, error) {
 	}
 	n := &pgroup{
 		in: in, aggs: x.Aggs, gIdx: gIdx, aIdx: aIdx,
-		out:    NewRel[int64](outSchema),
+		out:    NewRel[Count](outSchema),
 		groups: map[string][]int{}, keyTuples: map[string]relation.Tuple{},
 		rows: map[string]relation.Tuple{},
 	}
@@ -1104,10 +1121,10 @@ func (p *PreparedDiff) Diffs() (*relation.Relation, *relation.Relation) {
 	return materializeDiff(p.d12.out, nil), materializeDiff(p.d21.out, nil)
 }
 
-func materializeDiff(base *Rel[int64], d *Rel[int64]) *relation.Relation {
+func materializeDiff(base *Rel[Count], d *Rel[Count]) *relation.Relation {
 	out := relation.NewRelation("−", base.Schema)
 	for i, t := range base.Tuples {
-		if base.Anns[i]+deltaOf(d, t) > 0 {
+		if exactAdd(base.Anns[i], deltaOf(d, t)) > 0 {
 			out.Append(t)
 		}
 	}
@@ -1156,7 +1173,7 @@ func (p *PreparedDiff) EvalDelta(removed []relation.TupleID) (*DeltaResult, erro
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	ctx := &deltaCtx{
 		removed: ids,
-		memo:    make(map[pnode]*Rel[int64], len(p.nodes)),
+		memo:    make(map[pnode]*Rel[Count], len(p.nodes)),
 		aux:     map[pnode][]groupChange{},
 	}
 	d12, err := p.d12.delta(ctx)
@@ -1176,7 +1193,7 @@ func (p *PreparedDiff) EvalDelta(removed []relation.TupleID) (*DeltaResult, erro
 
 // supportShift counts how many tuples enter minus leave a retained output
 // under a signed delta.
-func supportShift(base *Rel[int64], d *Rel[int64]) int {
+func supportShift(base *Rel[Count], d *Rel[Count]) int {
 	shift := 0
 	for i, t := range d.Tuples {
 		ch := d.Anns[i]
@@ -1184,10 +1201,11 @@ func supportShift(base *Rel[int64], d *Rel[int64]) int {
 			continue
 		}
 		old := countOf(base, t)
+		now := exactAdd(old, ch)
 		switch {
-		case old == 0 && old+ch != 0:
+		case old == 0 && now != 0:
 			shift++
-		case old != 0 && old+ch == 0:
+		case old != 0 && now == 0:
 			shift--
 		}
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/ra"
@@ -267,6 +268,7 @@ func TestPreparedDiffInterleavedWithBatch(t *testing.T) {
 		for id := range keep {
 			cand = append(cand, id)
 		}
+		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
 		d12b, d21b, err := EvalBatchDiffs(q1, q2, db, nil, [][]relation.TupleID{cand}, Options{})
 		batchOK := err == nil
 		after, err := p.EvalDelta(removed)

@@ -81,6 +81,18 @@ func (SetSemiring) Aggregates() bool { return true }
 // Name implements Semiring.
 func (SetSemiring) Name() string { return "set" }
 
+// Count is a derivation count: the annotation domain of the counting
+// semiring. It is a defined type (not a bare int64) so that raw arithmetic
+// on counts is visible to review and to the saturatedarith analyzer: counts
+// saturate at math.MaxInt64, so `+`/`*` on Count values belongs inside
+// Counting.Plus/Times (or another guarded helper), never inline — a count
+// wrapped to zero by overflow would prune a live tuple from the support.
+type Count int64
+
+// Saturated reports whether the count hit the saturation ceiling and no
+// longer carries a precise value (its nonzero-ness is still exact).
+func (c Count) Saturated() bool { return c == math.MaxInt64 }
+
 // CountSemiring counts derivations: the natural-numbers semiring (ℕ, +, ×).
 // The count of an output tuple is its number of derivations from base
 // tuples; the support (tuples with nonzero count) equals the set-semantics
@@ -93,14 +105,14 @@ func (SetSemiring) Name() string { return "set" }
 type CountSemiring struct{}
 
 // Zero implements Semiring.
-func (CountSemiring) Zero() int64 { return 0 }
+func (CountSemiring) Zero() Count { return 0 }
 
 // One implements Semiring.
-func (CountSemiring) One() int64 { return 1 }
+func (CountSemiring) One() Count { return 1 }
 
 // Plus implements Semiring. Counts are nonnegative; the sum saturates at
 // math.MaxInt64.
-func (CountSemiring) Plus(a, b int64) int64 {
+func (CountSemiring) Plus(a, b Count) Count {
 	if a > math.MaxInt64-b {
 		return math.MaxInt64
 	}
@@ -109,7 +121,7 @@ func (CountSemiring) Plus(a, b int64) int64 {
 
 // Times implements Semiring. Counts are nonnegative; the product saturates
 // at math.MaxInt64.
-func (CountSemiring) Times(a, b int64) int64 {
+func (CountSemiring) Times(a, b Count) Count {
 	if a == 0 || b == 0 {
 		return 0
 	}
@@ -121,7 +133,7 @@ func (CountSemiring) Times(a, b int64) int64 {
 
 // Minus implements Semiring: presence on the right annihilates the tuple
 // (set-semantics difference on the support).
-func (CountSemiring) Minus(l, r int64) int64 {
+func (CountSemiring) Minus(l, r Count) Count {
 	if r != 0 {
 		return 0
 	}
@@ -129,10 +141,10 @@ func (CountSemiring) Minus(l, r int64) int64 {
 }
 
 // IsZero implements Semiring.
-func (CountSemiring) IsZero(a int64) bool { return a == 0 }
+func (CountSemiring) IsZero(a Count) bool { return a == 0 }
 
 // Leaf implements Semiring.
-func (CountSemiring) Leaf(relation.TupleID) (int64, error) { return 1, nil }
+func (CountSemiring) Leaf(relation.TupleID) (Count, error) { return 1, nil }
 
 // Aggregates implements Semiring.
 func (CountSemiring) Aggregates() bool { return true }
@@ -186,7 +198,7 @@ func (WhySemiring) Name() string { return "why" }
 
 // The canonical semiring instances.
 var (
-	Set   SetSemiring
-	Count CountSemiring
-	Why   WhySemiring
+	Set      SetSemiring
+	Counting CountSemiring
+	Why      WhySemiring
 )

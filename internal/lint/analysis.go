@@ -1,0 +1,206 @@
+// Package lint is a stdlib-only reimplementation of the subset of
+// golang.org/x/tools/go/analysis that the ratestlint suite needs: an
+// Analyzer/Pass API, a typechecking loader driven by the cmd/go vet
+// protocol (see unitchecker.go), and suppression directives.
+//
+// The container this repo builds in has no module proxy access and the
+// module deliberately has zero third-party dependencies, so vendoring
+// x/tools is not an option; the API below mirrors x/tools closely enough
+// that the analyzers would port to the real framework mechanically.
+//
+// # Suppression directives
+//
+// A diagnostic is suppressed by a comment directive
+//
+//	//lint:<name> <reason>
+//
+// where <name> is the analyzer's Directive (e.g. "ordered" for
+// mapdeterminism) and <reason> is a mandatory free-text justification.
+// The directive applies to diagnostics reported on its own source line or
+// on the line immediately below (so it can sit at the end of a `for`
+// line or on its own line above one). A directive with no reason is
+// itself reported as a diagnostic: every suppression in the repo must be
+// explained. See docs/LINTING.md for the catalogue of analyzers.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Mirrors x/tools go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and JSON output.
+	Name string
+	// Doc is the analyzer's help text; the first line is a summary.
+	Doc string
+	// Directive is the suppression directive suffix recognized in
+	// "//lint:<Directive> <reason>" comments. Empty means the analyzer
+	// cannot be suppressed.
+	Directive string
+	// SkipTests excludes _test.go files from the analysis (budget polls
+	// and saturating arithmetic are production-code invariants; test
+	// fixtures legitimately run unbudgeted loops and raw arithmetic).
+	SkipTests bool
+	// Run performs the analysis on one package and reports diagnostics
+	// through the pass.
+	Run func(*Pass)
+}
+
+// A Pass is one (analyzer, package) analysis unit. Mirrors
+// x/tools go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	directives []directive
+}
+
+// A Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// directive is one parsed //lint:<name> <reason> comment.
+type directive struct {
+	name   string // analyzer Directive suffix
+	reason string
+	line   int    // line the comment ends on
+	file   string // filename
+	pos    token.Position
+	used   bool
+}
+
+var directiveRE = regexp.MustCompile(`^//lint:([a-z]+)(?:\s+(.*))?$`)
+
+// newPass builds a pass and collects its files' suppression directives.
+func newPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.End())
+				p.directives = append(p.directives, directive{
+					name:   m[1],
+					reason: strings.TrimSpace(m[2]),
+					line:   pos.Line,
+					file:   pos.Filename,
+					pos:    fset.Position(c.Pos()),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// TypeOf returns the static type of e, or nil if the typechecker did not
+// record one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj, ok := p.TypesInfo.Uses[id]; ok {
+			return obj.Type()
+		}
+		if obj, ok := p.TypesInfo.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Reportf reports a diagnostic at pos unless a matching suppression
+// directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for i := range p.directives {
+		d := &p.directives[i]
+		if d.name != p.Analyzer.Directive || d.file != position.Filename {
+			continue
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			d.used = true
+			return // suppressed (reason checked in finish)
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// finish returns the pass's diagnostics plus one diagnostic per matching
+// directive that lacks a reason: suppressions must be justified.
+func (p *Pass) finish() []Diagnostic {
+	out := p.diags
+	for _, d := range p.directives {
+		if d.name != p.Analyzer.Directive {
+			continue
+		}
+		if d.used && d.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf("//lint:%s directive needs a reason (\"//lint:%s why it is safe\")", d.name, d.name),
+			})
+		}
+	}
+	return out
+}
+
+// RunForTest applies one analyzer to an already-typechecked package and
+// returns its diagnostics; it exists for the linttest harness.
+func RunForTest(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	return runAnalyzers([]*Analyzer{a}, fset, files, pkg, info)
+}
+
+// runAnalyzers applies each analyzer to the package and returns the
+// combined diagnostics sorted by position.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		afiles := files
+		if a.SkipTests {
+			afiles = nil
+			for _, f := range files {
+				if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+					afiles = append(afiles, f)
+				}
+			}
+		}
+		p := newPass(a, fset, afiles, pkg, info)
+		a.Run(p)
+		out = append(out, p.finish()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

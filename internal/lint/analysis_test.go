@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// runSrc typechecks one source string and runs a through RunForTest.
+func runSrc(t *testing.T, a *Analyzer, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunForTest(a, fset, []*ast.File{f}, pkg, info)
+}
+
+// flagReturns reports a diagnostic on every return statement; the tests
+// below exercise the suppression machinery around it.
+var flagReturns = &Analyzer{
+	Name:      "flagreturns",
+	Directive: "flagged",
+	Doc:       "test analyzer: flags every return",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return reported")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestDirectiveSuppresses(t *testing.T) {
+	diags := runSrc(t, flagReturns, `package p
+func f() int {
+	//lint:flagged a good reason
+	return 1
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("expected suppression, got %v", diags)
+	}
+}
+
+func TestDirectiveSameLine(t *testing.T) {
+	diags := runSrc(t, flagReturns, `package p
+func f() int {
+	return 1 //lint:flagged a good reason
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("expected same-line suppression, got %v", diags)
+	}
+}
+
+func TestUsedDirectiveWithoutReasonIsReported(t *testing.T) {
+	diags := runSrc(t, flagReturns, `package p
+func f() int {
+	//lint:flagged
+	return 1
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("expected exactly the needs-a-reason diagnostic, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("unexpected message %q", diags[0].Message)
+	}
+	if diags[0].Pos.Line != 3 {
+		t.Fatalf("diagnostic at line %d, want the directive line 3", diags[0].Pos.Line)
+	}
+}
+
+func TestWrongDirectiveNameDoesNotSuppress(t *testing.T) {
+	diags := runSrc(t, flagReturns, `package p
+func f() int {
+	//lint:ordered not this analyzer's directive
+	return 1
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "return reported") {
+		t.Fatalf("expected the diagnostic to survive, got %v", diags)
+	}
+}
+
+func TestDistantDirectiveDoesNotSuppress(t *testing.T) {
+	diags := runSrc(t, flagReturns, `package p
+//lint:flagged too far from the report line
+func f() int {
+	x := 1
+	return x
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "return reported") {
+		t.Fatalf("expected the diagnostic to survive, got %v", diags)
+	}
+}

@@ -1,0 +1,11 @@
+package budgetpoll
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestBudgetPoll(t *testing.T) {
+	linttest.Run(t, Analyzer, "core")
+}

@@ -1,0 +1,114 @@
+// Package core is the budgetpoll golden corpus. It is named "core" so the
+// analyzer's package scope applies. The flagged cases reproduce the PR 5
+// class: evaluation loops that outlive their request budget because
+// nothing in the loop polls Ctx/Stop.
+package core
+
+type problem struct{ stop func() bool }
+
+func (p *problem) interrupted() bool { return p.stop != nil && p.stop() }
+
+func evalStep(i int) int { return i * 2 }
+
+// The missed-poll bug class: a shrink loop that evaluates candidates but
+// never checks the budget.
+func shrinkNoPoll(p *problem, n int) int {
+	best := 0
+	for i := 0; i < n; i++ { // want `loop calls evaluation/solver work but no budget poll`
+		best += evalStep(i)
+	}
+	return best
+}
+
+// Polling in the loop body satisfies the analyzer.
+func shrinkPolled(p *problem, n int) int {
+	best := 0
+	for i := 0; i < n; i++ {
+		if p.interrupted() {
+			return best
+		}
+		best += evalStep(i)
+	}
+	return best
+}
+
+// evalCand polls one level down; the loop over it is satisfied too.
+func evalCand(p *problem, i int) bool {
+	if p.interrupted() {
+		return false
+	}
+	return i%2 == 0
+}
+
+func shrinkPollInCallee(p *problem, n int) int {
+	best := 0
+	for i := 0; i < n; i++ {
+		if evalCand(p, i) {
+			best++
+		}
+	}
+	return best
+}
+
+type solver struct {
+	Stop      func() bool
+	conflicts int
+}
+
+func (s *solver) step() bool { return s.conflicts < 100 }
+
+func (s *solver) solveOne() bool { return s.step() }
+
+// An unbounded loop performing calls needs a poll even when no callee
+// name looks like evaluation.
+func (s *solver) run() {
+	for { // want `loop is unbounded but no budget poll`
+		if !s.step() {
+			break
+		}
+	}
+}
+
+// newSolver wires the budget into the solver; loops over its methods are
+// covered by that configuration (the minones pattern).
+func newSolver(stop func() bool) *solver {
+	s := &solver{}
+	s.Stop = stop
+	return s
+}
+
+func solveAll(stop func() bool, n int) int {
+	s := newSolver(stop)
+	total := 0
+	for i := 0; i < n; i++ {
+		if s.solveOne() {
+			total++
+		}
+	}
+	return total
+}
+
+// Suppressed: bounded by construction.
+func fixpoint(n int) int {
+	x := 0
+	//lint:budgeted monotone fixpoint: x strictly grows toward n each pass
+	for {
+		x = evalStep(x) + 1
+		if x >= n {
+			return x
+		}
+	}
+}
+
+// Structural self-recursion is not heavy work; the recursion's driver is
+// responsible for polling.
+func evalTree(depth int) int {
+	if depth == 0 {
+		return 1
+	}
+	total := 0
+	for i := 0; i < 2; i++ {
+		total += evalTree(depth - 1)
+	}
+	return total
+}

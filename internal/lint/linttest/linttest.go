@@ -1,0 +1,142 @@
+// Package linttest is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it typechecks a testdata
+// package, runs one analyzer over it, and compares the diagnostics
+// against `// want "regexp"` comments in the sources.
+//
+// Layout follows analysistest: Run(t, a, "foo") analyzes every .go file
+// under <analyzer package>/testdata/src/foo as one package. Testdata
+// packages may import only the standard library (they are typechecked
+// with the source importer, which has no module awareness).
+//
+// Expectations are written at the end of the line the diagnostic is
+// reported on:
+//
+//	for k := range m { // want `non-deterministic map iteration`
+//
+// Each want regexp must match exactly one diagnostic on its line and
+// every diagnostic must be matched by a want.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var wantRE = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+// Run analyzes each named testdata package with a and checks the
+// diagnostics against the // want expectations in its sources.
+func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, a, filepath.Join("testdata", "src", pkg))
+	}
+}
+
+func runOne(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tcfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := tcfg.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", dir, err)
+	}
+
+	diags := lint.RunForTest(a, fset, files, pkg, info)
+
+	// Collect want expectations: file:line -> regexps.
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(lineText, -1) {
+				pat := m[1][1 : len(m[1])-1] // strip quotes/backquotes
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+				}
+				k := key{name, i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	// Match diagnostics against wants, 1:1 per line.
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, k.file+":"+strconv.Itoa(k.line)+": "+re.String())
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Errorf("%s: expected diagnostic not reported", l)
+	}
+}

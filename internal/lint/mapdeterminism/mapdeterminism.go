@@ -1,0 +1,287 @@
+// Package mapdeterminism flags range-over-map loops whose iteration order
+// leaks into an order-sensitive result: appending to a slice that outlives
+// the loop, concatenating onto a string, writing into a strings.Builder /
+// bytes.Buffer, or returning the iteration variable itself. PR 2's
+// boolexpr.BaseVars and Counterexample.IDs incidents are the motivating
+// bug class: map-order clause emission made witness search nondeterministic
+// run-to-run, which breaks the paper's determinism guarantee and any
+// reenactment-style audit of grading decisions.
+//
+// A loop is not flagged when the accumulated value is demonstrably
+// re-ordered afterwards — a later statement in the same block passes it to
+// a sort (sort.*, slices.Sort*, or any callee whose name contains "Sort").
+// Order-insensitive sinks (maps, numeric sums, min/max tracking) are never
+// flagged. Everything else needs "//lint:ordered <reason>".
+package mapdeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the mapdeterminism analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "mapdeterminism",
+	Directive: "ordered",
+	Doc: `flag map iteration whose order escapes into slices, strings or returns
+
+Go randomizes map iteration order; accumulating it into an ordered result
+makes output nondeterministic run-to-run (the PR 2 boolexpr.BaseVars bug).
+Sort the result afterwards, emit into an order-insensitive sink, or
+suppress with "//lint:ordered <reason>".`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		// Walk every block so a range statement can see its following
+		// statements (for the sorted-afterwards exemption).
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkRange(pass, rs, block.List[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// checkRange analyzes one range statement; rest is the statement tail of
+// the enclosing block after the loop.
+func checkRange(pass *lint.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	iterVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				iterVars[obj] = true // k, v = range (assignment form)
+			}
+		}
+	}
+
+	// outer reports whether obj is declared outside the range statement.
+	outer := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End())
+	}
+
+	reported := false
+	// report emits the diagnostic (once per loop) unless a later
+	// statement in the same block feeds obj into a sort.
+	report := func(what string, obj types.Object) {
+		if reported || sortedAfter(pass, obj, rest) {
+			return
+		}
+		reported = true
+		pass.Reportf(rs.For, "map iteration "+what+" without sorting afterwards; iteration order is nondeterministic", obj.Name())
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				obj := lhsObject(pass, lhs)
+				if !outer(obj) {
+					continue
+				}
+				if i < len(x.Rhs) && isAppendTo(pass, x.Rhs[i], obj) {
+					report("appends to %q", obj)
+					return true
+				}
+				if x.Tok == token.ADD_ASSIGN && isStringType(pass.TypeOf(lhs)) {
+					report("concatenates onto string %q", obj)
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			// builder.WriteString(...) / fmt.Fprintf(&buf, ...) on an
+			// outer strings.Builder or bytes.Buffer.
+			if obj := writerTarget(pass, x); outer(obj) {
+				report("writes into %q", obj)
+				return true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				used := false
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && iterVars[pass.TypesInfo.Uses[id]] {
+						used = true
+						return false
+					}
+					return true
+				})
+				if used && !reported {
+					reported = true
+					pass.Reportf(rs.For, "return inside map iteration yields an arbitrary element; iteration order is nondeterministic")
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether any statement after the loop calls a
+// sort-like function with obj among (or inside) its arguments.
+func sortedAfter(pass *lint.Pass, obj types.Object, rest []ast.Stmt) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						found = true
+						return false
+					}
+					return true
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// lhsObject resolves an assignment target to the variable being mutated:
+// the ident itself, or the base variable of a selector/index chain.
+func lhsObject(pass *lint.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			// m[k] = v: writing through an index. A map write is
+			// order-insensitive; a slice write at a loop-derived index is
+			// not, but the repo has no such idiom — treat as insensitive.
+			return nil
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isAppendTo reports whether rhs is append(dst-or-anything...) growing obj.
+func isAppendTo(pass *lint.Pass, rhs ast.Expr, obj types.Object) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_ = obj
+	return true
+}
+
+// writerTarget returns the variable behind an ordered write call —
+// x.WriteString/WriteByte/WriteRune/Write/WriteTo on a strings.Builder or
+// bytes.Buffer, or fmt.Fprint*(x, ...) — or nil.
+func writerTarget(pass *lint.Pass, call *ast.CallExpr) types.Object {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if strings.HasPrefix(sel.Sel.Name, "Write") && isBuilderType(pass.TypeOf(sel.X)) {
+			return lhsObject(pass, sel.X)
+		}
+		if strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+			arg := call.Args[0]
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				arg = u.X
+			}
+			if isBuilderType(pass.TypeOf(arg)) {
+				return lhsObject(pass, arg)
+			}
+		}
+	}
+	return nil
+}
+
+func isBuilderType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isSortCall reports whether the call re-orders its argument: anything in
+// package sort or slices, or a callee whose name mentions Sort/sort.
+func isSortCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort")
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "sort", "slices":
+					return true
+				}
+			}
+		}
+		return strings.Contains(strings.ToLower(f.Sel.Name), "sort")
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package mapdeterminism
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	linttest.Run(t, Analyzer, "mapdet")
+}

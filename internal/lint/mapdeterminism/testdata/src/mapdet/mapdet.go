@@ -1,0 +1,96 @@
+// Package mapdet is the mapdeterminism golden corpus. The flagged cases
+// reproduce the PR 2 boolexpr.BaseVars incident: SAT variables collected
+// in map order fed the solver's branching heuristics, so witness search
+// was nondeterministic run-to-run.
+package mapdet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CNFBuilder mirrors boolexpr.CNFBuilder's id → SAT-variable map.
+type CNFBuilder struct {
+	varOf map[int]int
+}
+
+// BaseVars is the PR 2 bug, verbatim (before the fix added sort.Ints).
+func (b *CNFBuilder) BaseVars() []int {
+	out := make([]int, 0, len(b.varOf))
+	for _, v := range b.varOf { // want `map iteration appends to "out" without sorting afterwards`
+		out = append(out, v)
+	}
+	return out
+}
+
+// BaseVarsSorted is the PR 2 fix: sorting afterwards exempts the loop.
+func (b *CNFBuilder) BaseVarsSorted() []int {
+	out := make([]int, 0, len(b.varOf))
+	for _, v := range b.varOf {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func concatKeys(m map[string]string) string {
+	s := ""
+	for k := range m { // want `map iteration concatenates onto string "s" without sorting afterwards`
+		s += k
+	}
+	return s
+}
+
+func describe(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m { // want `map iteration writes into "sb" without sorting afterwards`
+		fmt.Fprintf(&sb, "%s=%d;", k, v)
+	}
+	return sb.String()
+}
+
+func anyKey(m map[string]bool) string {
+	for k := range m { // want `return inside map iteration yields an arbitrary element`
+		return k
+	}
+	return ""
+}
+
+// Suppressed: the consumer treats the result as an unordered set.
+func shardNames(m map[string]int) []string {
+	var out []string
+	//lint:ordered consumer treats shard names as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Order-insensitive sinks are never flagged: commutative accumulation.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Order-insensitive sinks are never flagged: map-to-map transfer.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Sorting via sort.Slice (a different sort.* entry point) also exempts.
+func pairs(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

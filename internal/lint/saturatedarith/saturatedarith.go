@@ -1,0 +1,138 @@
+// Package saturatedarith flags raw +, *, += and *= on counting-annotation
+// values — any value of a defined integer type named Count (the engine's
+// counting-semiring payload, engine.Count). PR 2's overflow incident is
+// the motivating bug class: a 2^65-derivation cross product wrapped an
+// int64 count to 0 and pruned a live tuple from a provenance support.
+// Counts must go through the semiring's saturating helpers
+// (CountSemiring.Plus/Times) or an equivalently guarded expression.
+//
+// A function whose body compares against a math.MaxInt*/MaxUint* bound is
+// treated as a saturating helper itself and may use raw arithmetic — that
+// is exactly the guard the helpers use, and deleting the guard makes the
+// raw op visible to the analyzer again.
+package saturatedarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the saturatedarith analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "saturatedarith",
+	Directive: "saturated",
+	Doc: `flag raw +/*/+=/*= on counting-annotation values (engine.Count)
+
+Derivation counts saturate at math.MaxInt64 (a wrapped count of 0 prunes a
+live tuple from the support). Use CountSemiring.Plus/Times, or guard the
+raw op against math.MaxInt64 in the same function, or suppress with
+"//lint:saturated <reason>" where overflow is impossible by construction.`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) {
+	isCount := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		return t != nil && isCountType(t)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if saturating(fd.Body) {
+				continue // the guard itself lives here; raw ops are the point
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					if x.Op != token.ADD && x.Op != token.MUL {
+						return true
+					}
+					if isCount(x.X) || isCount(x.Y) {
+						pass.Reportf(x.Pos(), "raw %s on counting value can wrap (PR 2 overflow class); use the saturating semiring helpers", x.Op)
+					}
+				case *ast.AssignStmt:
+					if x.Tok != token.ADD_ASSIGN && x.Tok != token.MUL_ASSIGN {
+						return true
+					}
+					for _, lhs := range x.Lhs {
+						if isCount(lhs) {
+							pass.Reportf(x.Pos(), "raw %s on counting value can wrap (PR 2 overflow class); use the saturating semiring helpers", x.Tok)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// saturating reports whether the function body contains a comparison
+// against a math.MaxInt*/MaxUint* bound — the overflow guard that makes
+// raw count arithmetic safe.
+func saturating(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.GTR, token.LSS, token.GEQ, token.LEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if mentionsMaxBound(side) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsMaxBound reports whether the expression mentions a selector or
+// identifier named MaxInt*/MaxUint* (math.MaxInt64, local maxCount, ...).
+func mentionsMaxBound(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var name string
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			name = x.Sel.Name
+		case *ast.Ident:
+			name = x.Name
+		default:
+			return true
+		}
+		if strings.HasPrefix(name, "MaxInt") || strings.HasPrefix(name, "MaxUint") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isCountType reports whether t (or the element behind one level of
+// pointer) is a defined integer type named Count — the counting-semiring
+// payload type.
+func isCountType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Count" {
+		return false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,11 @@
+package saturatedarith
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestSaturatedArith(t *testing.T) {
+	linttest.Run(t, Analyzer, "satarith")
+}

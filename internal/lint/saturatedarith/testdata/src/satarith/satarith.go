@@ -1,0 +1,57 @@
+// Package satarith is the saturatedarith golden corpus. The flagged cases
+// reproduce the PR 2 overflow incident: a deep cross product wrapped an
+// int64 derivation count to zero, which pruned a live tuple from a
+// provenance support.
+package satarith
+
+import "math"
+
+// Count is a derivation count (the engine's counting-semiring payload).
+type Count int64
+
+// The PR 2 overflow class, verbatim: plain + and × on counts wrap.
+func plus(a, b Count) Count {
+	return a + b // want `raw \+ on counting value can wrap`
+}
+
+func times(a, b Count) Count {
+	return a * b // want `raw \* on counting value can wrap`
+}
+
+func accumulate(counts []Count) Count {
+	var total Count
+	for _, c := range counts {
+		total += c // want `raw \+= on counting value can wrap`
+	}
+	return total
+}
+
+// satPlus guards against math.MaxInt64, which marks the whole function as
+// a saturating helper: its raw arithmetic is the implementation of the
+// guard, not a violation.
+func satPlus(a, b Count) Count {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// Suppressed: exact ring arithmetic justified at the site.
+func exactDelta(a, b Count) Count {
+	//lint:saturated delta arithmetic is exact; callers reject saturated inputs first
+	return a + b
+}
+
+// Plain integers that are not the Count type are never flagged.
+func plainInts(a, b int64) int64 {
+	return a + b
+}
+
+// Comparisons and subtraction on counts are fine: only + and * can
+// silently wrap a nonnegative count past the ceiling.
+func consume(a, b Count) Count {
+	if a == b {
+		return 0
+	}
+	return a - b
+}

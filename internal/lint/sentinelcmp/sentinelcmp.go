@@ -1,0 +1,110 @@
+// Package sentinelcmp flags identity comparisons (== / != / switch-case)
+// against package-level Err* sentinel errors. The repo wraps errors —
+// core.ErrBudget arrives as fmt.Errorf("%w: %w", ErrBudget, ctxErr),
+// engine.ErrRowBudget gains operator context, and so on — so identity
+// comparison silently stops matching the moment anyone adds context.
+// errors.Is is required.
+package sentinelcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the sentinelcmp analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "sentinelcmp",
+	Directive: "sentinelcmp",
+	Doc: `flag ==/!= and switch-case comparisons against Err* sentinel errors
+
+The repo wraps sentinel errors (core.ErrBudget, engine.ErrStaleDelta, ...)
+with fmt.Errorf("%w", ...), so identity comparison misses wrapped values.
+Use errors.Is(err, ErrX). Suppress with "//lint:sentinelcmp <reason>" only
+where the value is known to be the sentinel itself (e.g. it was just
+assigned from the package-level var in the same function).`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	// isSentinel reports whether e denotes a package-level error variable
+	// whose name starts with "Err".
+	isSentinel := func(e ast.Expr) (string, bool) {
+		var id *ast.Ident
+		switch x := e.(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return "", false
+		}
+		obj, ok := pass.TypesInfo.Uses[id]
+		if !ok {
+			return "", false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !strings.HasPrefix(v.Name(), "Err") {
+			return "", false
+		}
+		// Package-level: the var's scope is a package scope (its parent
+		// is the universe scope).
+		if v.Parent() == nil || v.Parent().Parent() != types.Universe {
+			return "", false
+		}
+		if !types.Implements(v.Type(), errType) {
+			return "", false
+		}
+		return name(e), true
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if s, ok := isSentinel(side); ok {
+						pass.Reportf(x.Pos(), "%s comparison with sentinel %s misses wrapped errors; use errors.Is", x.Op, s)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } is the same identity test.
+				if x.Tag == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[x.Tag]
+				if !ok || !types.Implements(tv.Type, errType) {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc := stmt.(*ast.CaseClause)
+					for _, e := range cc.List {
+						if s, ok := isSentinel(e); ok {
+							pass.Reportf(e.Pos(), "switch-case comparison with sentinel %s misses wrapped errors; use errors.Is", s)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func name(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return name(x.X) + "." + x.Sel.Name
+	}
+	return "?"
+}

@@ -1,0 +1,11 @@
+package sentinelcmp
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestSentinelCmp(t *testing.T) {
+	linttest.Run(t, Analyzer, "sentinel")
+}

@@ -1,0 +1,54 @@
+// Package sentinel is the sentinelcmp golden corpus. The flagged cases
+// reproduce the PR 2 sentinel-comparison incident: the repo wraps its
+// sentinels with %w (budget errors gain the context error, engine errors
+// gain operator context), so identity comparison silently stops matching.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels in the repo's style.
+var (
+	ErrBudget       = errors.New("budget exhausted")
+	ErrQueriesAgree = errors.New("queries agree")
+)
+
+func wrapped() error { return fmt.Errorf("solving: %w", ErrBudget) }
+
+// The PR 2 bug, verbatim: == misses the wrapped sentinel.
+func isBudget(err error) bool {
+	return err == ErrBudget // want `== comparison with sentinel ErrBudget misses wrapped errors`
+}
+
+func notAgree(err error) bool {
+	return err != ErrQueriesAgree // want `!= comparison with sentinel ErrQueriesAgree misses wrapped errors`
+}
+
+// switch err { case ErrX: } is the same identity test.
+func classify(err error) string {
+	switch err {
+	case ErrBudget: // want `switch-case comparison with sentinel ErrBudget misses wrapped errors`
+		return "budget"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// errors.Is is the required form.
+func isBudgetRight(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// Suppressed: identity is intended on this path.
+func isExactly(err error) bool {
+	//lint:sentinelcmp err was assigned from the package var two lines up and is never wrapped
+	return err == ErrBudget
+}
+
+// Non-sentinel comparisons are never flagged.
+func sameError(a, b error) bool {
+	return a == b
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for each package when
+// it invokes a -vettool. Field names and semantics follow
+// cmd/go/internal/work (and x/tools' unitchecker, which consumes the same
+// file).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the cmd/go vet tool protocol for a set of analyzers:
+//
+//	ratestlint -V=full           print a version/fingerprint line (cache key)
+//	ratestlint -flags            print the supported flags as JSON
+//	ratestlint [-json] foo.cfg   analyze the package described by foo.cfg
+//	ratestlint ./...             convenience: re-exec via go vet -vettool
+//
+// In cfg mode it parses and typechecks the package (using the compiler
+// export data cmd/go recorded in the cfg), runs the analyzers, prints
+// diagnostics to stderr as "file:line:col: analyzer: message" lines (or a
+// JSON object on stdout with -json), and exits 2 if any were reported —
+// the contract go vet expects.
+func Main(analyzers ...*Analyzer) {
+	// cmd/go probes the tool's identity before any package run.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion()
+		return
+	}
+
+	fs := flag.NewFlagSet(progName(), flag.ExitOnError)
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] package.cfg\n       %s ./...\n\nAnalyzers:\n", progName(), progName())
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+
+	// cmd/go asks for the flag inventory once per vet invocation.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		printFlags(fs)
+		return
+	}
+
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
+	args := fs.Args()
+	if len(args) != 1 {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	// Convenience mode: "ratestlint ./..." re-execs through go vet with
+	// itself as the vettool, so local runs use the exact CI code path.
+	if !strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(execGoVet(args))
+	}
+
+	diags, err := runConfig(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progName(), err)
+		os.Exit(1)
+	}
+	if *jsonFlag {
+		emitJSON(diags)
+		return // JSON mode always exits 0, like unitchecker
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// runConfig analyzes the single package described by a vet cfg file.
+func runConfig(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// cmd/go expects the output file to exist even for fact-only runs;
+	// this suite computes no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil // dependency pass: facts only, no diagnostics
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the compiler export data cmd/go recorded:
+	// source import path -> canonical path (ImportMap) -> export file
+	// (PackageFile). The unified export format is transitively closed, so
+	// direct imports' files suffice.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, "-fips140"), // tolerate experiment suffixes
+		Sizes:     types.SizesFor(cfg.Compiler, goarch()),
+		Error:     func(error) {}, // collect all errors via the returned err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+	return runAnalyzers(analyzers, fset, files, pkg, info), nil
+}
+
+// execGoVet re-runs the current binary through go vet -vettool over the
+// given package patterns and returns the exit code to propagate.
+func execGoVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progName(), err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progName(), err)
+		return 1
+	}
+	return 0
+}
+
+// printVersion prints the "-V=full" line cmd/go uses as a cache key. The
+// fingerprint hashes the executable so a rebuilt tool invalidates cached
+// vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progName(), h.Sum(nil)[:12])
+}
+
+// printFlags prints the tool's flags in the JSON shape cmd/go parses.
+func printFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, _ := json.Marshal(out)
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// emitJSON prints diagnostics in the go vet -json page shape:
+// {"pkgid": {"analyzer": [{posn, message}, ...]}}.
+func emitJSON(diags []Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+	}
+	data, _ := json.MarshalIndent(byAnalyzer, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func progName() string {
+	return "ratestlint"
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

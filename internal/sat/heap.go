@@ -68,6 +68,7 @@ func (h *varHeap) up(i int) {
 }
 
 func (h *varHeap) down(i int) {
+	//lint:budgeted sift-down descends a finite binary heap, at most log(n) steps
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i

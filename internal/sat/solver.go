@@ -354,6 +354,7 @@ func (s *Solver) analyze(confl *clause) ([]int32, int) {
 	var p int32 = -1
 	idx := len(s.trail) - 1
 	var toClear []int
+	//lint:budgeted 1-UIP resolution walks the finite trail once; search() polls Stop per conflict
 	for {
 		s.bumpClause(confl)
 		for _, q := range confl.lits {
@@ -472,6 +473,7 @@ func (s *Solver) decayActivities() {
 }
 
 func (s *Solver) pickBranchVar() int {
+	//lint:budgeted pops the finite activity heap until an unassigned var or empty; search() polls Stop per conflict
 	for {
 		v, ok := s.heap.removeMin()
 		if !ok {
@@ -505,6 +507,7 @@ func (s *Solver) locked(c *clause) bool {
 
 // luby computes the Luby restart sequence value for index i (1-based).
 func luby(i int64) int64 {
+	//lint:budgeted k grows until 2^k-1 >= i, so at most 63 iterations; pure arithmetic
 	for k := int64(1); ; k++ {
 		if i == (int64(1)<<k)-1 {
 			return int64(1) << (k - 1)

@@ -14,6 +14,7 @@ package smt
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/boolexpr"
@@ -39,6 +40,7 @@ type AggValue struct {
 func (a *AggValue) Eval(assign func(int) bool) (float64, bool) {
 	sum, cnt := 0.0, 0
 	mn, mx := math.Inf(1), math.Inf(-1)
+	//lint:budgeted leaf evaluation over the aggregate's fixed term list; the search loop polls Stop per node (solve.go eval)
 	for _, t := range a.Terms {
 		if !t.Guard.Eval(assign) {
 			continue
@@ -90,6 +92,7 @@ func (a *AggValue) Bounds(assign func(int) boolexpr.TriState) Interval {
 	posMaybe, negMaybe := 0.0, 0.0
 	sureMin, sureMax := math.Inf(1), math.Inf(-1)
 	allMin, allMax := math.Inf(1), math.Inf(-1)
+	//lint:budgeted leaf bounds pass over the aggregate's fixed term list; the search loop polls Stop per node (solve.go eval)
 	for _, t := range a.Terms {
 		v := t.Guard.EvalTri(assign)
 		if v == boolexpr.TriFalse {
@@ -150,7 +153,9 @@ func (a *AggValue) Bounds(assign func(int) boolexpr.TriState) Interval {
 	return iv
 }
 
-// Vars returns the tuple variables referenced by the aggregate's guards.
+// Vars returns the tuple variables referenced by the aggregate's guards,
+// sorted. Callers feed the order into search heuristics (Solve's
+// frequency tie-break), so it must not depend on map iteration order.
 func (a *AggValue) Vars() []int {
 	set := map[int]bool{}
 	for _, t := range a.Terms {
@@ -162,6 +167,7 @@ func (a *AggValue) Vars() []int {
 	for v := range set {
 		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -333,7 +339,10 @@ func Not(f Formula) Formula {
 }
 
 // FormulaVars returns the distinct tuple variables referenced anywhere in
-// the formula.
+// the formula, sorted. Solve orders its branching variables by frequency
+// with a stable sort over this slice, so an unsorted (map-order) result
+// made tie-broken search paths — and budget-bounded outcomes —
+// nondeterministic run-to-run.
 func FormulaVars(f Formula) []int {
 	set := map[int]bool{}
 	collectVars(f, set)
@@ -341,6 +350,7 @@ func FormulaVars(f Formula) []int {
 	for v := range set {
 		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -1,0 +1,52 @@
+package smt
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/boolexpr"
+	"repro/internal/ra"
+)
+
+// Solve orders its branching variables with a stable frequency sort over
+// FormulaVars, so ties keep the slice's order. These are the regressions
+// for the bug where FormulaVars and AggValue.Vars returned map-iteration
+// order, which made tie-broken search paths — and with them
+// budget-bounded outcomes — differ run-to-run.
+
+func TestFormulaVarsSorted(t *testing.T) {
+	// Enough variables that map-iteration order is essentially never
+	// ascending by accident, across several trials.
+	for trial := 0; trial < 20; trial++ {
+		var kids []Formula
+		for i := 40; i > 0; i-- {
+			kids = append(kids, &FProv{E: boolexpr.Var(i * 3)})
+		}
+		agg := &AggValue{Func: ra.Sum, Terms: []AggTerm{
+			{Guard: boolexpr.And(boolexpr.Var(7), boolexpr.Var(2)), Value: 1},
+			{Guard: boolexpr.Var(121), Value: 2},
+		}}
+		kids = append(kids, &FCmp{Op: ra.GE, L: AggOp(agg), R: ConstOp(0)})
+		vars := FormulaVars(Or(kids...))
+		if !sort.IntsAreSorted(vars) {
+			t.Fatalf("trial %d: FormulaVars not sorted: %v", trial, vars)
+		}
+	}
+}
+
+func TestAggValueVarsSorted(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		var terms []AggTerm
+		for i := 50; i > 0; i-- {
+			terms = append(terms, AggTerm{Guard: boolexpr.Var(i * 2), Value: float64(i)})
+		}
+		a := &AggValue{Func: ra.Count, Terms: terms}
+		vars := a.Vars()
+		if !sort.IntsAreSorted(vars) {
+			t.Fatalf("trial %d: AggValue.Vars not sorted: %v", trial, vars)
+		}
+		if len(vars) != 50 {
+			t.Fatalf("trial %d: expected 50 distinct vars, got %d", trial, len(vars))
+		}
+	}
+}

@@ -9,11 +9,24 @@
 //
 //	ratestd [-addr :8080] [-default-timeout 10s] [-max-timeout 60s]
 //	        [-plan-cache 256] [-instance-cache 8] [-max-concurrent N]
-//	        [-max-instance-tuples 200000]
+//	        [-max-instance-tuples 200000] [-shutdown-grace 30s]
+//	        [-audit-log FILE] [-tenant-rate R] [-tenant-burst B]
+//	        [-faults SPEC] [-fault-seed N]
+//	ratestd -replay FILE [server flags]
 //
 // Endpoints: POST /explain, POST /grade, GET /healthz, GET /stats. See
-// internal/server and the README's "Running the server" section for the
-// request/response formats.
+// internal/server, docs/OPERATIONS.md and the README's "Running the server"
+// section for the request/response formats and the operational runbook.
+//
+// Lifecycle: SIGTERM/SIGINT puts the server into drain mode — new requests
+// get 503 + Retry-After while in-flight ones finish under their budgets.
+// When -shutdown-grace is nearly spent, stragglers are budget-cancelled so
+// they still return structured responses; the audit log is flushed and the
+// process exits 0.
+//
+// -replay re-runs an audit-log JSONL file through an in-process server
+// (no HTTP) and verifies that every deterministic outcome reproduces
+// byte-for-byte; it exits non-zero on any mismatch.
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -38,24 +52,52 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request sets none")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "largest per-request budget a request may ask for")
 	maxTuples := flag.Int("max-instance-tuples", 200_000, "largest instance the server will generate or accept")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "drain window after SIGTERM/SIGINT before stragglers are budget-cancelled")
+	auditPath := flag.String("audit-log", "", "append a JSONL audit record per request outcome to this file")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained requests/second (0 disables rate limiting)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst capacity")
+	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. panic:pool.worker:100,stall:engine.eval:50:10ms (testing only)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-injection schedule")
+	replayPath := flag.String("replay", "", "replay an audit-log file against a fresh server and verify deterministic outcomes, then exit")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		PlanCacheSize:     *planCache,
 		InstanceCacheSize: *instanceCache,
 		MaxConcurrent:     *maxConcurrent,
 		DefaultTimeout:    *defaultTimeout,
 		MaxTimeout:        *maxTimeout,
 		MaxInstanceTuples: *maxTuples,
-	})
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		AuditPath:         *auditPath,
+	}
+
+	if *replayPath != "" {
+		os.Exit(replay(*replayPath, cfg))
+	}
+
+	if *faultSpec != "" {
+		plan, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratestd: -faults:", err)
+			os.Exit(2)
+		}
+		faults.Enable(plan)
+		fmt.Fprintf(os.Stderr, "ratestd: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratestd:", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests for up to
-	// the maximum request budget before exiting.
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "ratestd: listening on %s\n", *addr)
@@ -69,12 +111,63 @@ func main() {
 			os.Exit(1)
 		}
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "ratestd: %v, draining\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
+		// Drain sequence: stop admitting (503 + Retry-After, readiness probe
+		// fails), let in-flight requests finish under their budgets, and
+		// shortly before the grace window closes budget-cancel stragglers so
+		// they still produce structured responses before the listener shuts.
+		fmt.Fprintf(os.Stderr, "ratestd: %v, draining (grace %v)\n", s, *shutdownGrace)
+		srv.BeginDrain()
+		grace := *shutdownGrace
+		hardAt := grace - grace/10 // leave ~10% for cancelled requests to respond
+		timer := time.AfterFunc(hardAt, srv.CancelInFlight)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		err := httpSrv.Shutdown(ctx)
+		cancel()
+		timer.Stop()
+		if err != nil {
+			// The grace window closed with connections still open; cancel
+			// everything and report the dirty shutdown.
+			srv.CancelInFlight()
 			fmt.Fprintln(os.Stderr, "ratestd: shutdown:", err)
+			_ = srv.Close()
 			os.Exit(1)
 		}
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ratestd: audit close:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "ratestd: drained cleanly")
 	}
+}
+
+// replay re-runs an audit log against a fresh in-process server and reports
+// whether the deterministic outcomes reproduce. The replay server runs
+// without rate limiting or auditing: replay is sequential and must not be
+// shed, and re-auditing the replay would double the log.
+func replay(path string, cfg server.Config) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratestd: -replay:", err)
+		return 2
+	}
+	defer f.Close()
+	cfg.TenantRate = 0
+	cfg.AuditPath = ""
+	cfg.AuditWriter = nil
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratestd: -replay:", err)
+		return 2
+	}
+	rep, err := server.Replay(f, srv, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratestd: -replay:", err)
+		return 2
+	}
+	fmt.Printf("replayed %d/%d entries (%d skipped as non-deterministic): %d matched, %d mismatched\n",
+		rep.Replayed, rep.Total, rep.Skipped, rep.Matched, rep.Mismatched)
+	if rep.Mismatched > 0 {
+		return 1
+	}
+	return 0
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"repro/internal/lint"
 	"repro/internal/lint/budgetpoll"
+	"repro/internal/lint/gorecover"
 	"repro/internal/lint/mapdeterminism"
 	"repro/internal/lint/saturatedarith"
 	"repro/internal/lint/sentinelcmp"
@@ -22,6 +23,7 @@ import (
 func main() {
 	lint.Main(
 		budgetpoll.Analyzer,
+		gorecover.Analyzer,
 		mapdeterminism.Analyzer,
 		saturatedarith.Analyzer,
 		sentinelcmp.Analyzer,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/boolexpr"
+	"repro/internal/faults"
 	"repro/internal/ra"
 	"repro/internal/relation"
 )
@@ -152,6 +153,7 @@ func Run[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[stri
 
 // RunOpts is Run with explicit evaluation options.
 func RunOpts[T any](s Semiring[T], q ra.Node, db *relation.Database, params map[string]relation.Value, opts Options) (*Rel[T], error) {
+	faults.Inject(faults.EngineEval)
 	e := newExec(s, db, params, opts)
 	if !opts.NoOptimize {
 		q = Optimize(q, Catalog{DB: db})

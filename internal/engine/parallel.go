@@ -92,10 +92,16 @@ func parallelRanges(workers, n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	_ = pool.ForEach(workers, workers, func(w int) error {
+	// fn never errors, so a non-nil result can only be a recovered worker
+	// panic; swallowing it would return partial shards as if complete, so
+	// resurface it in the calling goroutine (the request-level recovery
+	// boundary handles it there).
+	if err := pool.ForEach(workers, workers, func(w int) error {
 		fn(w*n/workers, (w+1)*n/workers)
 		return nil
-	})
+	}); err != nil {
+		panic(err)
+	}
 }
 
 // parallelHashJoin joins l and r on the given key columns across `workers`
@@ -242,9 +248,10 @@ func parallelDiff[T any](s Semiring[T], l, r *Rel[T], workers int) *Rel[T] {
 	}
 	out := NewRel[T](l.Schema)
 	locals := make([]*Rel[T], workers)
-	// Shards share no mutable state and annAt never fails, so neither does
-	// the fan-out.
-	_ = pool.ForEach(workers, workers, func(w int) error {
+	// Shards share no mutable state and annAt never fails, so a non-nil
+	// result can only be a recovered worker panic; resurface it rather
+	// than concatenate partial shards (see parallelRanges).
+	err := pool.ForEach(workers, workers, func(w int) error {
 		idx := make(map[string]int, len(rPos[w]))
 		for _, ri := range rPos[w] {
 			idx[rKeys[ri]] = ri // right tuples are distinct: no collisions
@@ -264,6 +271,9 @@ func parallelDiff[T any](s Semiring[T], l, r *Rel[T], workers int) *Rel[T] {
 		locals[w] = local
 		return nil
 	})
+	if err != nil {
+		panic(err)
+	}
 	concatShards(locals, out)
 	return out
 }

@@ -1,0 +1,244 @@
+// Package faults is the repo's deterministic fault-injection harness: a
+// seeded plan of panics and stalls fired at named injection points compiled
+// permanently into the hot layers (no build tags — the disabled fast path
+// is one atomic pointer load). The chaos test suite and the CI chaos-smoke
+// job enable a plan, drive the server, and assert the fault-tolerance
+// invariants: the process survives every injected panic with its caches
+// intact, never returns an unverified counterexample, and never hangs.
+//
+// Determinism: every point keeps a hit counter, and whether hit n fires is
+// a pure function of (seed, point, n) — a splitmix64 hash — so a fixed
+// workload replays the same fault set run after run. Under concurrency the
+// hit numbers are claimed atomically; the set of firing hits is fixed even
+// though which request draws a firing hit may vary with scheduling.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Point names an injection site.
+type Point string
+
+// The compiled-in injection points.
+const (
+	// PoolWorker fires inside every pool.ForEach iteration, in the worker
+	// goroutine, under the pool's panic isolation.
+	PoolWorker Point = "pool.worker"
+	// EngineEval fires at every engine evaluation entry (RunOpts), i.e.
+	// once per (sub)query evaluation.
+	EngineEval Point = "engine.eval"
+	// SATSolve fires at every SAT restart boundary (sat.Solver.Solve).
+	SATSolve Point = "sat.solve"
+	// SMTSolve fires before every SMT parameter-combo search (smt.Solve).
+	SMTSolve Point = "smt.solve"
+	// InstanceGen fires before the server generates a course/TPC-H
+	// instance (cache misses only), modeling slow or crashing generation.
+	InstanceGen Point = "server.instance"
+	// Handler fires at the top of every wrapped server HTTP handler.
+	Handler Point = "server.handler"
+)
+
+// Points lists every compiled-in injection point, for spec validation.
+var Points = []Point{PoolWorker, EngineEval, SATSolve, SMTSolve, InstanceGen, Handler}
+
+// Rule configures one point's faults. A zero rule never fires.
+type Rule struct {
+	// PanicEvery > 0 makes ~1/PanicEvery of the point's hits panic with an
+	// InjectedPanic value (PanicEvery == 1 panics on every hit).
+	PanicEvery int64
+	// StallEvery > 0 makes ~1/StallEvery of the point's hits sleep for
+	// Stall before continuing.
+	StallEvery int64
+	// Stall is the stall duration (default 10ms when StallEvery fires).
+	Stall time.Duration
+}
+
+// InjectedPanic is the value every injected panic carries, so recovery
+// layers and tests can tell injected faults from real bugs.
+type InjectedPanic struct {
+	Point Point
+	N     int64 // 1-based hit number at the point
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic at %s (hit %d)", p.Point, p.N)
+}
+
+// Plan is an enabled fault plan: a seed plus per-point rules. Construct
+// with NewPlan or ParseSpec, then Enable it.
+type Plan struct {
+	seed  int64
+	rules map[Point]Rule
+	hits  map[Point]*atomic.Int64
+	fired map[Point]*atomic.Int64
+}
+
+// NewPlan builds a plan from per-point rules.
+func NewPlan(seed int64, rules map[Point]Rule) *Plan {
+	p := &Plan{
+		seed:  seed,
+		rules: make(map[Point]Rule, len(rules)),
+		hits:  make(map[Point]*atomic.Int64, len(rules)),
+		fired: make(map[Point]*atomic.Int64, len(rules)),
+	}
+	for pt, r := range rules {
+		if r.StallEvery > 0 && r.Stall <= 0 {
+			r.Stall = 10 * time.Millisecond
+		}
+		p.rules[pt] = r
+		p.hits[pt] = new(atomic.Int64)
+		p.fired[pt] = new(atomic.Int64)
+	}
+	return p
+}
+
+// Hits returns how many times the point has been reached since Enable.
+func (p *Plan) Hits(pt Point) int64 {
+	if c := p.hits[pt]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// Fired returns how many faults (panics + stalls) the point has fired.
+func (p *Plan) Fired(pt Point) int64 {
+	if c := p.fired[pt]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// active is the enabled plan; nil means fault injection is off (the
+// default, and the only state production processes run in).
+var active atomic.Pointer[Plan]
+
+// Enable installs the plan at every injection point. Passing nil disables.
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable turns fault injection off.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Inject is the injection point: a no-op unless a plan with a rule for pt
+// is enabled, in which case the seeded schedule may panic (with an
+// InjectedPanic value) or stall. Callers place it where a real fault could
+// strike: worker loops, evaluation entries, solver restart boundaries.
+func Inject(pt Point) {
+	p := active.Load()
+	if p == nil {
+		return
+	}
+	r, ok := p.rules[pt]
+	if !ok {
+		return
+	}
+	n := p.hits[pt].Add(1)
+	if r.StallEvery > 0 && fires(p.seed, pt, n, r.StallEvery, 0x5741) {
+		p.fired[pt].Add(1)
+		time.Sleep(r.Stall)
+	}
+	if r.PanicEvery > 0 && fires(p.seed, pt, n, r.PanicEvery, 0x9e3779) {
+		p.fired[pt].Add(1)
+		panic(InjectedPanic{Point: pt, N: n})
+	}
+}
+
+// fires decides hit n at pt deterministically: hash(seed, pt, n, kind)
+// lands in the 1/every acceptance band. every == 1 always fires.
+func fires(seed int64, pt Point, n, every, kind int64) bool {
+	if every == 1 {
+		return true
+	}
+	h := uint64(seed) ^ fnv64(string(pt)) ^ uint64(kind)
+	h = splitmix64(h + uint64(n))
+	return h%uint64(every) == 0
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ParseSpec parses the CLI fault specification: comma-separated directives
+//
+//	panic:<point>:<every>
+//	stall:<point>:<every>[:<duration>]
+//
+// e.g. "panic:pool.worker:7,stall:engine.eval:13:20ms". Empty spec means
+// no plan (nil, nil).
+func ParseSpec(spec string, seed int64) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	valid := make(map[Point]bool, len(Points))
+	for _, pt := range Points {
+		valid[pt] = true
+	}
+	rules := map[Point]Rule{}
+	for _, dir := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(dir), ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("faults: directive %q: want kind:point:every[:duration]", dir)
+		}
+		kind, pt := parts[0], Point(parts[1])
+		if !valid[pt] {
+			return nil, fmt.Errorf("faults: unknown point %q (want one of %s)", parts[1], pointList())
+		}
+		every, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil || every < 1 {
+			return nil, fmt.Errorf("faults: directive %q: every must be a positive integer", dir)
+		}
+		r := rules[pt]
+		switch kind {
+		case "panic":
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("faults: directive %q: panic takes no duration", dir)
+			}
+			r.PanicEvery = every
+		case "stall":
+			r.StallEvery = every
+			if len(parts) == 4 {
+				d, err := time.ParseDuration(parts[3])
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("faults: directive %q: bad stall duration", dir)
+				}
+				r.Stall = d
+			} else if len(parts) != 3 {
+				return nil, fmt.Errorf("faults: directive %q: want stall:point:every[:duration]", dir)
+			}
+		default:
+			return nil, fmt.Errorf("faults: unknown fault kind %q (want panic or stall)", kind)
+		}
+		rules[pt] = r
+	}
+	return NewPlan(seed, rules), nil
+}
+
+func pointList() string {
+	names := make([]string, len(Points))
+	for i, pt := range Points {
+		names[i] = string(pt)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

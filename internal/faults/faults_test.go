@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The firing schedule is a pure function of (seed, point, hit number):
+// replaying the same number of hits fires the same set.
+func TestDeterministicSchedule(t *testing.T) {
+	const n = 10_000
+	run := func(seed int64) []int64 {
+		var fired []int64
+		for i := int64(1); i <= n; i++ {
+			if fires(seed, PoolWorker, i, 7, 0x9e3779) {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("schedule with every=7 fired nothing over 10k hits")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Rough rate check: every=7 should fire within 3x of n/7 either way.
+	if len(a) < n/21 || len(a) > 3*n/7 {
+		t.Fatalf("every=7 fired %d of %d hits", len(a), n)
+	}
+	if c := run(43); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical schedule")
+		}
+	}
+}
+
+func TestInjectPanicsCarryInjectedPanic(t *testing.T) {
+	Enable(NewPlan(1, map[Point]Rule{EngineEval: {PanicEvery: 1}}))
+	defer Disable()
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want InjectedPanic", r, r)
+		}
+		if ip.Point != EngineEval || ip.N != 1 {
+			t.Fatalf("InjectedPanic = %+v", ip)
+		}
+	}()
+	Inject(EngineEval)
+	t.Fatal("Inject with PanicEvery=1 did not panic")
+}
+
+func TestInjectStalls(t *testing.T) {
+	p := NewPlan(1, map[Point]Rule{SATSolve: {StallEvery: 1, Stall: 30 * time.Millisecond}})
+	Enable(p)
+	defer Disable()
+	start := time.Now()
+	Inject(SATSolve)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("stall slept %v, want ~30ms", d)
+	}
+	if p.Fired(SATSolve) != 1 || p.Hits(SATSolve) != 1 {
+		t.Fatalf("fired=%d hits=%d", p.Fired(SATSolve), p.Hits(SATSolve))
+	}
+}
+
+// Disabled injection must be safe from every goroutine and points without
+// rules must not count.
+func TestDisabledAndUnruledPoints(t *testing.T) {
+	Disable()
+	Inject(PoolWorker) // no plan: no-op
+	p := NewPlan(1, map[Point]Rule{PoolWorker: {PanicEvery: 100000}})
+	Enable(p)
+	defer Disable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Inject(EngineEval) // unruled: no-op
+				Inject(PoolWorker)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Hits(PoolWorker); got != 800 {
+		t.Fatalf("hits = %d, want 800", got)
+	}
+	if got := p.Hits(EngineEval); got != 0 {
+		t.Fatalf("unruled point counted %d hits", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("panic:pool.worker:7,stall:engine.eval:13:20ms,stall:sat.solve:3", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := p.rules[PoolWorker]; r.PanicEvery != 7 {
+		t.Fatalf("pool.worker rule = %+v", r)
+	}
+	if r := p.rules[EngineEval]; r.StallEvery != 13 || r.Stall != 20*time.Millisecond {
+		t.Fatalf("engine.eval rule = %+v", r)
+	}
+	if r := p.rules[SATSolve]; r.StallEvery != 3 || r.Stall != 10*time.Millisecond {
+		t.Fatalf("sat.solve default stall = %+v", r)
+	}
+	if p, err := ParseSpec("", 1); p != nil || err != nil {
+		t.Fatalf("empty spec = %v, %v", p, err)
+	}
+	for _, bad := range []string{
+		"panic:pool.worker", "panic:nosuch.point:3", "explode:pool.worker:3",
+		"panic:pool.worker:0", "panic:pool.worker:3:10ms", "stall:pool.worker:3:bogus",
+	} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

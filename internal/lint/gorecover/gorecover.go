@@ -1,0 +1,54 @@
+// Package gorecover flags raw go statements in the serving and pool
+// packages (internal/server, internal/pool). Those packages are the
+// process's panic-isolation boundary: a goroutine spawned outside the
+// recover-wrapping helper (pool.Go) that panics kills the whole server —
+// caches, in-flight requests and all — which is exactly the failure mode
+// the fault-tolerance work removed. Every goroutine there must route
+// through pool.Go (or an http.Handler, which net/http recovers per
+// connection); the lone raw go statement inside pool.Go itself carries the
+// suppression.
+package gorecover
+
+import (
+	"go/ast"
+	"path"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the gorecover analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "gorecover",
+	Directive: "gorecover",
+	SkipTests: true,
+	Doc: `flag raw go statements in the panic-isolated packages
+
+internal/server and internal/pool promise that a panic anywhere in a
+request becomes a structured error, never a process crash. A raw go
+statement breaks that promise: an unrecovered panic on any goroutine is
+fatal to the process. Spawn through pool.Go (which recovers and converts
+panics to *pool.PanicError) or suppress with "//lint:gorecover <reason>"
+when the goroutine body provably cannot panic.`,
+	Run: run,
+}
+
+// scopePkgs are the package basenames the analyzer applies to: the
+// packages that promise panic isolation.
+var scopePkgs = map[string]bool{
+	"server": true,
+	"pool":   true,
+}
+
+func run(pass *lint.Pass) {
+	if !scopePkgs[path.Base(pass.Pkg.Path())] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "raw go statement in a panic-isolated package; spawn through pool.Go so a panic becomes a *pool.PanicError instead of killing the process")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,11 @@
+package gorecover
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestGoRecover(t *testing.T) {
+	linttest.Run(t, Analyzer, "pool", "other")
+}

@@ -1,0 +1,7 @@
+// Package other is outside the gorecover scope (not server or pool): raw
+// go statements are someone else's problem here.
+package other
+
+func spawn(fn func()) {
+	go fn()
+}

@@ -1,0 +1,53 @@
+// Package pool is gorecover testdata modelled on the real internal/pool:
+// the spawn helper's own go statement is suppressed with a reason; every
+// other raw go statement is a diagnostic.
+package pool
+
+import "sync"
+
+// Go is the recover-wrapping spawn helper; its raw go statement is the one
+// legitimate use and carries the suppression.
+func Go(fn func(), onPanic func(any)) {
+	//lint:gorecover the spawn helper itself; the deferred recover below is the wrapper everything else routes through
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && onPanic != nil {
+				onPanic(r)
+			}
+		}()
+		fn()
+	}()
+}
+
+// fanOut routes through the helper: no diagnostic.
+func fanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		Go(func() { defer wg.Done(); fn(i) }, nil)
+	}
+	wg.Wait()
+}
+
+// leak spawns raw goroutines: both forms are flagged even when the body
+// looks harmless — "cannot panic" is a suppression reason, not a static
+// fact.
+func leak(ch chan int) {
+	go func() { ch <- 1 }() // want `raw go statement in a panic-isolated package`
+	go drain(ch)            // want `raw go statement in a panic-isolated package`
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// inlineRecover still flags: recovery must live in the shared helper, not
+// be re-derived (and subtly mis-scoped) at each spawn site.
+func inlineRecover(fn func()) {
+	go func() { // want `raw go statement in a panic-isolated package`
+		defer func() { recover() }()
+		fn()
+	}()
+}

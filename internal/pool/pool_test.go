@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachRunsAllIndices(t *testing.T) {
@@ -73,5 +74,101 @@ func TestForEachStopsAfterFailure(t *testing.T) {
 	}
 	if ran != 4 {
 		t.Fatalf("ran %d calls, want 4", ran)
+	}
+}
+
+// A panicking worker must not deadlock the fan-out or kill the process:
+// the first panic comes back as a *PanicError carrying the index, all
+// workers wind down, and ForEach returns.
+func TestForEachPanicPropagatesAsError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var ran int32
+		err := ForEach(workers, 50, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 7 {
+				panic(fmt.Sprintf("worker %d exploded", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 7 {
+			t.Fatalf("workers=%d: panic index = %d, want 7", workers, pe.Index)
+		}
+		if pe.Value != "worker 7 exploded" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// With several panicking indices the reported error is the lowest-indexed
+// one among the calls that ran, like ordinary errors.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	err := ForEach(1, 100, func(i int) error {
+		if i == 20 || i == 60 {
+			panic(i)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 20 {
+		t.Fatalf("err = %v, want *PanicError at index 20", err)
+	}
+}
+
+// A panic must not strand the remaining workers: a full-width fan-out
+// where one index panics still terminates with every worker accounted for
+// (this test hangs, not fails, on a deadlock).
+func TestForEachPanicNoDeadlock(t *testing.T) {
+	done := make(chan error, 1)
+	Go(func() {
+		done <- ForEach(4, 200, func(i int) error {
+			if i%37 == 3 {
+				panic("boom")
+			}
+			return nil
+		})
+	}, nil)
+	select {
+	case err := <-done:
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PanicError", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ForEach deadlocked after a worker panic")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	if err := Protect(3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := errors.New("plain")
+	if err := Protect(3, func(i int) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	err := Protect(3, func(i int) error { panic("bang") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 3 || pe.Value != "bang" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGoDeliversPanic(t *testing.T) {
+	ch := make(chan *PanicError, 1)
+	Go(func() { panic("in goroutine") }, func(pe *PanicError) { ch <- pe })
+	select {
+	case pe := <-ch:
+		if pe.Value != "in goroutine" || pe.Index != -1 {
+			t.Fatalf("PanicError = %+v", pe)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panic never delivered")
 	}
 }

@@ -15,6 +15,8 @@ package sat
 import (
 	"errors"
 	"sort"
+
+	"repro/internal/faults"
 )
 
 // Status is the result of a Solve call.
@@ -541,6 +543,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 
 	for {
 		restartN++
+		faults.Inject(faults.SATSolve)
 		budget := luby(restartN) * 100
 		st := s.search(assume, budget, &maxLearnts)
 		if st != Unknown {

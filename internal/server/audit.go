@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The audit log is an append-only JSONL record of every /explain and
+// /grade outcome — including recovered panics with their stacks — so a
+// crash, a dispute, or a regression can be replayed from what the server
+// actually served (the reenactment idea of Arab et al.): feed the file
+// back through Replay (cmd/ratestd -replay) and the deterministic fields
+// of each outcome must reproduce byte-for-byte.
+//
+// Deterministic fields: status, grade, counterexample size/ids, witness.
+// Non-deterministic fields (timings, seq, time, cache hits, degraded
+// level, queue-position-dependent outcomes like budget_exceeded / shed /
+// draining and recovered panics) are recorded for forensics but excluded
+// from replay comparison.
+
+// AuditEntry is one JSONL record.
+type AuditEntry struct {
+	Seq      int64     `json:"seq"`
+	Time     time.Time `json:"time"`
+	Endpoint string    `json:"endpoint"`
+	Tenant   string    `json:"tenant,omitempty"`
+
+	// The replayable request payload (exactly one is set, matching
+	// Endpoint).
+	Request      *ExplainRequest `json:"request,omitempty"`
+	GradeRequest *GradeRequest   `json:"grade_request,omitempty"`
+
+	// Outcome.
+	HTTPStatus int      `json:"http_status"`
+	Status     string   `json:"status"`
+	Grade      string   `json:"grade,omitempty"`
+	Degraded   string   `json:"degraded,omitempty"`
+	CESize     int      `json:"ce_size,omitempty"`
+	CEIDs      []int    `json:"ce_ids,omitempty"`
+	Witness    []string `json:"witness,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Panic      string   `json:"panic,omitempty"`
+	Stack      string   `json:"stack,omitempty"`
+	ElapsedMS  float64  `json:"elapsed_ms"`
+}
+
+// auditLog serializes entries to one writer. A nil *auditLog is valid and
+// discards everything, so the hot path never branches on configuration.
+type auditLog struct {
+	mu      sync.Mutex
+	w       io.Writer
+	f       *os.File // non-nil when we own the file (Sync/Close)
+	seq     atomic.Int64
+	dropped atomic.Int64 // entries lost to write errors
+}
+
+// newAuditLog builds the logger from the config: an explicit writer wins
+// (tests), else a path is opened append-only, else logging is off.
+func newAuditLog(cfg Config) (*auditLog, error) {
+	if cfg.AuditWriter != nil {
+		return &auditLog{w: cfg.AuditWriter}, nil
+	}
+	if cfg.AuditPath == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(cfg.AuditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening audit log: %w", err)
+	}
+	return &auditLog{w: f, f: f}, nil
+}
+
+// append writes one entry, stamping seq and time. Write failures drop the
+// entry (and count it) rather than failing the request: the audit log is
+// an observer, not a participant.
+func (a *auditLog) append(e *AuditEntry) {
+	if a == nil {
+		return
+	}
+	e.Seq = a.seq.Add(1)
+	e.Time = time.Now().UTC()
+	line, err := json.Marshal(e)
+	if err != nil {
+		a.dropped.Add(1)
+		return
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.w.Write(line); err != nil {
+		a.dropped.Add(1)
+	}
+}
+
+// Flush forces the log to stable storage (no-op for non-file writers).
+func (a *auditLog) Flush() error {
+	if a == nil || a.f == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (a *auditLog) Close() error {
+	if a == nil {
+		return nil
+	}
+	if err := a.Flush(); err != nil {
+		return err
+	}
+	if a.f != nil {
+		return a.f.Close()
+	}
+	return nil
+}
+
+func (a *auditLog) counters() (seq, dropped int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.seq.Load(), a.dropped.Load()
+}
+
+// replayOutcome is the deterministic projection of an entry that a replay
+// must reproduce byte-for-byte.
+type replayOutcome struct {
+	Status  string   `json:"status"`
+	Grade   string   `json:"grade,omitempty"`
+	CESize  int      `json:"ce_size,omitempty"`
+	CEIDs   []int    `json:"ce_ids,omitempty"`
+	Witness []string `json:"witness,omitempty"`
+}
+
+func outcomeOf(e *AuditEntry) replayOutcome {
+	return replayOutcome{Status: e.Status, Grade: e.Grade, CESize: e.CESize, CEIDs: e.CEIDs, Witness: e.Witness}
+}
+
+// replayable reports whether an entry's outcome is deterministic enough to
+// assert on: load-dependent outcomes (budget exhaustion, shedding,
+// draining refusals), injected/recovered panics and malformed requests
+// replay as whatever they replay as.
+func replayable(e *AuditEntry) bool {
+	if e.Request == nil && e.GradeRequest == nil {
+		return false
+	}
+	if e.Panic != "" || e.Stack != "" {
+		return false
+	}
+	// A degraded outcome ran a different (clamped / solver-free) pipeline
+	// than the recorded request describes; an unloaded replay server would
+	// run the full one.
+	if e.Degraded != "" {
+		return false
+	}
+	switch e.Status {
+	case StatusOK, StatusAgree:
+		return true
+	}
+	return false
+}
+
+// ReplayReport summarizes a Replay run.
+type ReplayReport struct {
+	Total      int // entries read
+	Replayed   int // deterministic entries re-run
+	Matched    int
+	Mismatched int
+	Skipped    int // non-deterministic or non-request entries
+	Errors     []string
+}
+
+// Replay re-runs an audit-log corpus against srv and compares each
+// deterministic outcome byte-for-byte with the logged one. The server
+// should be configured like the original (same instance caps; budgets
+// only matter for entries that exhausted them, which are skipped). Returns
+// an error only for corpus-level problems; per-entry mismatches are
+// reported in the report.
+func Replay(r io.Reader, srv *Server, progress io.Writer) (*ReplayReport, error) {
+	rep := &ReplayReport{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		rep.Total++
+		var e AuditEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return rep, fmt.Errorf("audit line %d: %w", line, err)
+		}
+		if !replayable(&e) {
+			rep.Skipped++
+			continue
+		}
+		rep.Replayed++
+		got := srv.replayEntry(&e)
+		want := outcomeOf(&e)
+		if reflect.DeepEqual(got, want) {
+			rep.Matched++
+			continue
+		}
+		rep.Mismatched++
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		rep.Errors = append(rep.Errors, fmt.Sprintf("seq %d (%s): got %s, want %s", e.Seq, e.Endpoint, gb, wb))
+		if progress != nil {
+			fmt.Fprintf(progress, "MISMATCH seq %d (%s):\n  got  %s\n  want %s\n", e.Seq, e.Endpoint, gb, wb)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, fmt.Errorf("reading audit log: %w", err)
+	}
+	return rep, nil
+}
+
+// replayEntry re-runs one logged request through the same pipeline the
+// handlers use (without HTTP or re-audit) and projects its outcome.
+func (srv *Server) replayEntry(e *AuditEntry) replayOutcome {
+	ctx := context.Background()
+	var resp *ExplainResponse
+	var grade string
+	if e.GradeRequest != nil {
+		_, g := srv.grade(ctx, e.GradeRequest, e.Tenant)
+		resp, grade = &g.ExplainResponse, g.Grade
+	} else {
+		_, resp = srv.explain(ctx, e.Request, e.Tenant)
+	}
+	out := replayOutcome{Status: resp.Status, Grade: grade}
+	if ce := resp.Counterexample; ce != nil {
+		out.CESize = ce.Size
+		out.CEIDs = ce.IDs
+		out.Witness = ce.Witness
+	}
+	return out
+}

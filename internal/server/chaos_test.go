@@ -1,0 +1,289 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/course"
+	"repro/internal/faults"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while the audit logger writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// Every explain/grade outcome lands in the audit log, and replaying the
+// log against a fresh server reproduces the deterministic outcomes
+// byte-for-byte.
+func TestAuditAndReplay(t *testing.T) {
+	var log syncBuffer
+	_, ts := newTestServer(t, Config{AuditWriter: &log})
+
+	var ok ExplainResponse
+	postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: refQ, Q2: wrongQ, Instance: courseSpec(500), Tenant: "alice"}, &ok)
+	if ok.Status != StatusOK {
+		t.Fatalf("seed request = %q (%s)", ok.Status, ok.Error)
+	}
+	var agree ExplainResponse
+	postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: refQ, Q2: refQ, Instance: courseSpec(500)}, &agree)
+	if agree.Status != StatusAgree {
+		t.Fatalf("agree request = %q (%s)", agree.Status, agree.Error)
+	}
+	var graded GradeResponse
+	postJSON(t, ts.URL+"/grade", GradeRequest{Question: "q1", Q: wrongQ, Instance: courseSpec(500), Tenant: "bob"}, &graded)
+	if graded.Grade != "fail" {
+		t.Fatalf("grade = %q (%s)", graded.Grade, graded.Error)
+	}
+	var bad ExplainResponse
+	postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: "nonsense((", Q2: refQ, Instance: courseSpec(300)}, &bad)
+	if bad.Status != StatusError {
+		t.Fatalf("malformed request = %q", bad.Status)
+	}
+
+	lines := strings.Count(string(log.Bytes()), "\n")
+	if lines != 4 {
+		t.Fatalf("audit log has %d entries, want 4", lines)
+	}
+
+	replaySrv := mustNew(t, Config{})
+	rep, err := Replay(bytes.NewReader(log.Bytes()), replaySrv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 4 || rep.Replayed != 3 || rep.Skipped != 1 {
+		t.Fatalf("replay = %+v, want 3 of 4 replayed (the parse error is skipped)", rep)
+	}
+	if rep.Mismatched != 0 || rep.Matched != 3 {
+		t.Fatalf("replay mismatches: %+v\n%v", rep, rep.Errors)
+	}
+}
+
+// A panic recovered at the handler boundary must be fully recorded: the
+// audit entry carries the panic value and stack, the client gets a
+// structured 500, and the server keeps serving.
+func TestAuditRecordsRecoveredPanic(t *testing.T) {
+	var log syncBuffer
+	_, ts := newTestServer(t, Config{AuditWriter: &log})
+	withFaults(t, 1, map[faults.Point]faults.Rule{
+		faults.Handler: {PanicEvery: 1},
+	})
+
+	var resp ExplainResponse
+	code := postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: refQ, Q2: refQ, Instance: courseSpec(300)}, &resp)
+	if code != http.StatusInternalServerError || resp.Status != StatusError {
+		t.Fatalf("panicking handler = %d / %q, want 500 / error", code, resp.Status)
+	}
+	faults.Disable()
+
+	entry := string(log.Bytes())
+	if !strings.Contains(entry, `"panic":"faults: injected panic at server.handler`) {
+		t.Fatalf("audit entry has no panic value: %s", entry)
+	}
+	if !strings.Contains(entry, `"stack":"goroutine`) {
+		t.Fatalf("audit entry has no stack: %s", entry)
+	}
+	// Panic entries are forensic only: a replay must skip them.
+	rep, err := Replay(bytes.NewReader(log.Bytes()), mustNew(t, Config{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != 0 || rep.Skipped != 1 {
+		t.Fatalf("panic entry was replayed: %+v", rep)
+	}
+}
+
+// The chaos suite: drive the server concurrently under a seeded fault plan
+// that panics and stalls across every layer (pool workers, engine entry,
+// SAT restarts, instance generation, handlers) and assert the
+// fault-tolerance invariants:
+//
+//   - the server answers every request with a structured response (no
+//     hangs, no dropped connections, the process obviously survives),
+//   - every "ok" response carries a counterexample that independently
+//     verifies against the instance — faults never corrupt an answer,
+//   - after the storm the caches still serve and the audit log replays
+//     clean on a fresh server.
+func TestChaos(t *testing.T) {
+	plan := withFaults(t, 42, map[faults.Point]faults.Rule{
+		faults.PoolWorker:  {PanicEvery: 50},
+		faults.EngineEval:  {PanicEvery: 40, StallEvery: 97, Stall: 2 * time.Millisecond},
+		faults.SATSolve:    {StallEvery: 5, Stall: time.Millisecond},
+		faults.InstanceGen: {PanicEvery: 3},
+		faults.Handler:     {PanicEvery: 17},
+	})
+	var log syncBuffer
+	srv, ts := newTestServer(t, Config{AuditWriter: &log, MaxConcurrent: 4})
+
+	const (
+		workers      = 8
+		perGoroutine = 8
+	)
+	type outcome struct {
+		code int
+		size int
+		resp ExplainResponse
+	}
+	outcomes := make(chan outcome, workers*perGoroutine)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				q2 := wrongQ
+				if (g+i)%3 == 0 {
+					q2 = refQ
+				}
+				// Both sizes are instances on which refQ and wrongQ actually
+				// disagree (small seeds can generate all-CS registrations,
+				// on which the queries coincide).
+				size := 500 + 100*(i%2)
+				req := ExplainRequest{
+					Q1: refQ, Q2: q2,
+					Instance:  courseSpec(size),
+					Tenant:    fmt.Sprintf("t%d", g%3),
+					TimeoutMS: 20_000,
+				}
+				var o outcome
+				o.size = size
+				o.code = postJSON(t, ts.URL+"/explain", req, &o.resp)
+				outcomes <- o
+			}
+		}(g)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("chaos workload hung")
+	}
+	close(outcomes)
+	faults.Disable()
+
+	known := map[string]bool{
+		StatusOK: true, StatusAgree: true, StatusBudgetExceeded: true,
+		StatusError: true, StatusShed: true,
+	}
+	type okResult struct {
+		size int
+		resp ExplainResponse
+	}
+	var oks []okResult
+	for o := range outcomes {
+		if !known[o.resp.Status] {
+			t.Fatalf("unknown response status %q (code %d, error %s)", o.resp.Status, o.code, o.resp.Error)
+		}
+		if o.resp.Status == StatusOK {
+			if o.resp.Counterexample == nil || o.resp.Counterexample.Size == 0 {
+				t.Fatalf("ok response without a counterexample under faults")
+			}
+			oks = append(oks, okResult{size: o.size, resp: o.resp})
+		}
+	}
+	if len(oks) == 0 {
+		t.Fatal("chaos run produced no successful explanations; the fault plan is too aggressive to test anything")
+	}
+	if plan.Fired(faults.EngineEval) == 0 && plan.Fired(faults.Handler) == 0 {
+		t.Fatal("no faults fired; the chaos plan did not exercise the recovery paths")
+	}
+	if srv.panicsRecovered.Load() == 0 {
+		t.Fatal("no panics were recovered")
+	}
+
+	// Never an unverified counterexample: check every ok answer against a
+	// locally generated copy of its instance (faults are off now, so the
+	// verification itself runs clean).
+	q1 := ratest.MustParseQuery(refQ)
+	q2w := ratest.MustParseQuery(wrongQ)
+	dbs := map[int]*ratest.Database{}
+	for _, o := range oks {
+		db, ok := dbs[o.size]
+		if !ok {
+			db = course.GenerateDB(o.size, 1)
+			dbs[o.size] = db
+		}
+		keep := map[ratest.TupleID]bool{}
+		for _, id := range o.resp.Counterexample.IDs {
+			keep[ratest.TupleID(id)] = true
+		}
+		sub := db.Subinstance(keep)
+		eq, err := ratest.Equivalent(q1, q2w, sub, nil)
+		if err != nil {
+			t.Fatalf("verifying chaos counterexample: %v", err)
+		}
+		if eq {
+			t.Fatalf("unverified counterexample survived the chaos run: ids %v verify as agreement on the size-%d instance",
+				o.resp.Counterexample.IDs, o.size)
+		}
+	}
+
+	// The server is still fully serviceable afterwards.
+	var after ExplainResponse
+	if code := postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: refQ, Q2: wrongQ, Instance: courseSpec(500)}, &after); code != http.StatusOK || after.Status != StatusOK {
+		t.Fatalf("post-chaos request = %d / %q (%s)", code, after.Status, after.Error)
+	}
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("post-chaos healthz = %d", code)
+	}
+
+	// And the audit log of the whole storm replays clean.
+	rep, err := Replay(bytes.NewReader(log.Bytes()), mustNew(t, Config{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("chaos audit log does not replay: %+v\n%v", rep, rep.Errors)
+	}
+}
+
+// Regression for torn counter reads: hammer /stats while requests are in
+// flight. Under -race this fails if any counter the handlers write is read
+// without synchronization.
+func TestStatsConcurrentWithRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				var resp ExplainResponse
+				postJSON(t, ts.URL+"/explain", ExplainRequest{Q1: refQ, Q2: refQ, Instance: courseSpec(300)}, &resp)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var stats map[string]any
+		if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+			t.Errorf("stats = %d", code)
+			break
+		}
+	}
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"math"
+	"time"
+)
+
+// The degradation ladder: under overload the server steps requests down
+// instead of refusing them outright. Levels are decided per request from
+// two signals — the admission queue depth and an EWMA of recent request
+// latency — against thresholds scaled off MaxConcurrent:
+//
+//	level 0  normal        full explain under the requested budgets
+//	level 1  clamped       wall-clock budget clamped to DegradedTimeout,
+//	                       SAT conflicts clamped to DegradedMaxConflicts
+//	level 2  solver_free   level 1 clamps plus the solver-free path:
+//	                       agree-check + greedy shrink (core.ShrinkGreedy),
+//	                       which still yields a verified counterexample,
+//	                       just not a guaranteed-minimal one
+//	level 3  shed          429 with Retry-After — the queue is past saving
+//
+// Responses carry the applied level in the "degraded" field so clients and
+// the audit log can tell a full answer from a degraded one.
+const (
+	degradeNone = iota
+	degradeClamped
+	degradeSolverFree
+	degradeShed
+)
+
+// degradeName maps a ladder level to its response/docs name.
+func degradeName(level int) string {
+	switch level {
+	case degradeClamped:
+		return "clamped"
+	case degradeSolverFree:
+		return "solver_free"
+	case degradeShed:
+		return "shed"
+	}
+	return ""
+}
+
+// degradeLevel reads the overload signals and picks the ladder level for a
+// newly arrived request.
+func (srv *Server) degradeLevel() int {
+	waiting := int(srv.waiting.Load())
+	switch {
+	case waiting >= srv.cfg.DegradeShedQueue:
+		return degradeShed
+	case waiting >= srv.cfg.DegradeSolverFreeQueue:
+		return degradeSolverFree
+	case waiting >= srv.cfg.DegradeClampQueue:
+		return degradeClamped
+	}
+	// Latency signal: when recent requests are chewing most of the default
+	// budget the server is compute-bound even if the queue is short (a few
+	// heavy tenants rather than many light ones); start clamping early.
+	if ewma := srv.latency(); ewma > 0.75*float64(srv.cfg.DefaultTimeout.Milliseconds()) {
+		return degradeClamped
+	}
+	return degradeNone
+}
+
+// observeLatency folds one finished request's total latency into the EWMA
+// (α = 0.1, i.e. roughly the last 10 requests dominate).
+func (srv *Server) observeLatency(ms float64) {
+	for {
+		old := srv.latEWMA.Load()
+		cur := math.Float64frombits(old)
+		next := cur*0.9 + ms*0.1
+		if srv.latEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// latency returns the current latency EWMA in milliseconds.
+func (srv *Server) latency() float64 {
+	return math.Float64frombits(srv.latEWMA.Load())
+}
+
+// clampBudgets applies the level-1+ budget clamps to a request's effective
+// budget and conflict cap.
+func (srv *Server) clampBudgets(budget time.Duration, maxConflicts int64) (time.Duration, int64) {
+	if budget > srv.cfg.DegradedTimeout {
+		budget = srv.cfg.DegradedTimeout
+	}
+	if maxConflicts <= 0 || maxConflicts > srv.cfg.DegradedMaxConflicts {
+		maxConflicts = srv.cfg.DegradedMaxConflicts
+	}
+	return budget, maxConflicts
+}

@@ -11,9 +11,10 @@
 //   - POST /grade — grade a submitted query against a course assignment
 //     question: "pass" when it agrees with the reference on the instance,
 //     "fail" with a counterexample otherwise; see [GradeRequest].
-//   - GET /healthz — liveness.
+//   - GET /healthz — liveness (?probe=live) and readiness probes;
+//     readiness fails once the server is draining.
 //   - GET /stats — request counters, cache sizes and hit rates, admission
-//     gauges.
+//     gauges, recovered-panic and shed counts, the latency EWMA.
 //
 // # Caching
 //
@@ -48,5 +49,24 @@
 // request-level concurrency multiplied by the engine's worker-pool
 // parallelism cannot oversubscribe the machine; the budget clock covers
 // queueing, so a request that spends its budget waiting is refused rather
-// than run late.
+// than run late. Admission is fair-queued per tenant (round-robin across
+// tenants with waiters) with optional per-tenant token-bucket rate limits
+// in front.
+//
+// # Fault tolerance
+//
+// The server is the process's fault boundary (docs/OPERATIONS.md is the
+// runbook). Panics anywhere in a request — handler code, engine
+// evaluation, pool workers (surfaced by pool.ForEach as *pool.PanicError
+// values) — become structured 500s with the stack captured in the audit
+// log; the process and its caches keep serving. BeginDrain /
+// CancelInFlight implement graceful shutdown: new requests get 503 +
+// Retry-After while in-flight ones finish under their budgets, then
+// stragglers are budget-cancelled into structured 200s. Overload walks a
+// degradation ladder (clamped budgets → solver-free greedy shrink →
+// shed) decided per request from queue depth and a latency EWMA. Every
+// outcome can be recorded to an append-only JSONL audit log whose
+// deterministic fields must reproduce byte-for-byte under Replay; the
+// internal/faults harness injects seeded panics and stalls across all of
+// these layers for the chaos suite.
 package server

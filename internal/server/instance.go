@@ -7,6 +7,7 @@ import (
 
 	"repro"
 	"repro/internal/course"
+	"repro/internal/faults"
 	"repro/internal/relation"
 	"repro/internal/tpch"
 )
@@ -83,6 +84,7 @@ func (srv *Server) resolve(spec InstanceSpec) (*instance, bool, error) {
 		if inst, ok := srv.instances.Get(key); ok {
 			return inst, true, nil
 		}
+		faults.Inject(faults.InstanceGen)
 		inst := &instance{db: course.GenerateDB(n, spec.Seed), constraints: course.Constraints()}
 		srv.instances.Add(key, inst)
 		return inst, false, nil
@@ -99,6 +101,7 @@ func (srv *Server) resolve(spec InstanceSpec) (*instance, bool, error) {
 		if inst, ok := srv.instances.Get(key); ok {
 			return inst, true, nil
 		}
+		faults.Inject(faults.InstanceGen)
 		inst := &instance{db: tpch.Generate(sf, spec.Seed)}
 		srv.instances.Add(key, inst)
 		return inst, false, nil

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Lifecycle states. A server is born ready; BeginDrain moves it to
+// draining, from which it never returns (drain is for process shutdown).
+const (
+	stateReady int32 = iota
+	stateDraining
+)
+
+// StateName reports the lifecycle state for /healthz and /stats.
+func (srv *Server) StateName() string {
+	if srv.state.Load() == stateDraining {
+		return "draining"
+	}
+	return "ready"
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (srv *Server) Draining() bool { return srv.state.Load() == stateDraining }
+
+// BeginDrain stops admitting new explain/grade requests (they get 503 +
+// Retry-After) while in-flight requests keep their budgets and finish
+// normally. Readiness probes start failing so load balancers stop routing
+// here. Safe to call more than once.
+func (srv *Server) BeginDrain() { srv.state.Store(stateDraining) }
+
+// CancelInFlight budget-cancels every in-flight request: each one's
+// context is canceled, so searches abort at their next poll and report a
+// structured budget_exceeded response (HTTP 200), exactly like an expired
+// per-request budget. The shutdown sequence calls it when the grace window
+// is nearly spent so stragglers still produce well-formed responses before
+// the listener closes.
+func (srv *Server) CancelInFlight() { srv.hardCancel() }
+
+// Close flushes and closes the audit log. Call after the HTTP listener has
+// shut down; the server must not take requests afterwards.
+func (srv *Server) Close() error { return srv.audit.Close() }
+
+// handleHealthz distinguishes liveness from readiness:
+//
+//	GET /healthz?probe=live  → 200 while the process runs (even draining)
+//	GET /healthz (or ?probe=ready) → 200 ready, 503 once draining
+//
+// The body always carries the lifecycle state.
+func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := srv.StateName()
+	body := map[string]any{
+		"status":   "ok",
+		"state":    state,
+		"uptime_s": time.Since(srv.started).Seconds(),
+	}
+	code := http.StatusOK
+	if state == "draining" {
+		body["status"] = "draining"
+		if r.URL.Query().Get("probe") != "live" {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, body)
+}
+
+// bindLifecycle attaches a request's cancel func to the in-flight hard-
+// cancel signal; the returned stop must be deferred.
+func (srv *Server) bindLifecycle(cancel context.CancelFunc) func() bool {
+	return context.AfterFunc(srv.hardCtx, cancel)
+}

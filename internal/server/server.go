@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/course"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/pool"
 	"repro/internal/ra"
 	"repro/internal/raparser"
@@ -48,6 +51,31 @@ type Config struct {
 	// MaxBodyBytes caps a request body (default 8 MiB — inline instances
 	// can be large).
 	MaxBodyBytes int64
+
+	// Degradation ladder thresholds (see degrade.go). The queue depths are
+	// absolute waiting-request counts; Normalize defaults them to 2×, 4×
+	// and 8× MaxConcurrent.
+	DegradeClampQueue      int
+	DegradeSolverFreeQueue int
+	DegradeShedQueue       int
+	// DegradedTimeout is the wall-clock budget cap applied at ladder level
+	// 1+ (default DefaultTimeout/4).
+	DegradedTimeout time.Duration
+	// DegradedMaxConflicts is the per-SAT-call conflict cap applied at
+	// ladder level 1+ (default 20000).
+	DegradedMaxConflicts int64
+
+	// TenantRate enables per-tenant token-bucket rate limiting: sustained
+	// requests/second per tenant (0 disables). TenantBurst is the bucket
+	// capacity (default 1 when rate limiting is on).
+	TenantRate  float64
+	TenantBurst int
+
+	// AuditPath appends a JSONL audit record per /explain//grade outcome
+	// to this file (see audit.go). AuditWriter overrides it with an
+	// arbitrary writer (tests); empty/nil disables auditing.
+	AuditPath   string
+	AuditWriter io.Writer
 }
 
 // Normalize fills unset fields with their defaults.
@@ -73,6 +101,21 @@ func (c Config) Normalize() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.DegradeClampQueue <= 0 {
+		c.DegradeClampQueue = 2 * c.MaxConcurrent
+	}
+	if c.DegradeSolverFreeQueue <= 0 {
+		c.DegradeSolverFreeQueue = 4 * c.MaxConcurrent
+	}
+	if c.DegradeShedQueue <= 0 {
+		c.DegradeShedQueue = 8 * c.MaxConcurrent
+	}
+	if c.DegradedTimeout <= 0 {
+		c.DegradedTimeout = c.DefaultTimeout / 4
+	}
+	if c.DegradedMaxConflicts <= 0 {
+		c.DegradedMaxConflicts = 20_000
+	}
 	return c
 }
 
@@ -86,40 +129,97 @@ type Server struct {
 	cfg       Config
 	plans     *lru[string, *plannedQuery]
 	instances *lru[string, *instance]
-	admission chan struct{}
+	admission *fairQueue
+	limiter   *tenantLimiter
+	audit     *auditLog
 	started   time.Time
 
-	// Counters, all atomic.
-	explainReqs    int64
-	gradeReqs      int64
-	okResponses    int64
-	agreeResponses int64
-	budgetExceeded int64
-	errorResponses int64
-	inFlight       int64
-	waiting        int64
+	// Lifecycle: ready/draining state plus the hard-cancel signal fanned
+	// out to every in-flight request context (see lifecycle.go).
+	state      atomic.Int32
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	// latEWMA holds math.Float64bits of the request-latency EWMA (ms).
+	latEWMA atomic.Uint64
+
+	// Counters. Typed atomics: /stats reads them while handlers write, so
+	// plain ints would tear under -race (and on 32-bit, in fact).
+	explainReqs     atomic.Int64
+	gradeReqs       atomic.Int64
+	okResponses     atomic.Int64
+	agreeResponses  atomic.Int64
+	budgetExceeded  atomic.Int64
+	errorResponses  atomic.Int64
+	shedResponses   atomic.Int64
+	drainRefused    atomic.Int64
+	panicsRecovered atomic.Int64
+	rateLimited     atomic.Int64
+	inFlight        atomic.Int64
+	waiting         atomic.Int64
 }
 
-// New builds a Server from the configuration.
-func New(cfg Config) *Server {
+// New builds a Server from the configuration. It fails only on audit-log
+// setup (an unopenable path).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.Normalize()
-	return &Server{
-		cfg:       cfg,
-		plans:     newLRU[string, *plannedQuery](cfg.PlanCacheSize),
-		instances: newLRU[string, *instance](cfg.InstanceCacheSize),
-		admission: make(chan struct{}, cfg.MaxConcurrent),
-		started:   time.Now(),
+	audit, err := newAuditLog(cfg)
+	if err != nil {
+		return nil, err
 	}
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		plans:      newLRU[string, *plannedQuery](cfg.PlanCacheSize),
+		instances:  newLRU[string, *instance](cfg.InstanceCacheSize),
+		admission:  newFairQueue(cfg.MaxConcurrent),
+		limiter:    newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
+		audit:      audit,
+		started:    time.Now(),
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+	}, nil
 }
 
-// Handler returns the server's HTTP routing table.
+// Handler returns the server's HTTP routing table. Every handler runs
+// under the panic-isolation wrapper: a panic anywhere in the request path
+// becomes a structured 500 with the stack in the audit log, and the
+// process — with its caches — stays up.
 func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/explain", srv.handleExplain)
-	mux.HandleFunc("/grade", srv.handleGrade)
-	mux.HandleFunc("/healthz", srv.handleHealthz)
-	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/explain", srv.wrap("/explain", srv.handleExplain))
+	mux.HandleFunc("/grade", srv.wrap("/grade", srv.handleGrade))
+	mux.HandleFunc("/healthz", srv.wrap("/healthz", srv.handleHealthz))
+	mux.HandleFunc("/stats", srv.wrap("/stats", srv.handleStats))
 	return mux
+}
+
+// wrap is the per-request panic-isolation boundary for everything the
+// handler goroutine runs directly (the pool recovers its own workers and
+// surfaces their panics as *pool.PanicError returns instead).
+func (srv *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				srv.panicsRecovered.Add(1)
+				srv.errorResponses.Add(1)
+				srv.audit.append(&AuditEntry{
+					Endpoint:   endpoint,
+					HTTPStatus: http.StatusInternalServerError,
+					Status:     StatusError,
+					Error:      "panic recovered in handler",
+					Panic:      fmt.Sprint(rec),
+					Stack:      string(debug.Stack()),
+				})
+				writeJSON(w, http.StatusInternalServerError, &ExplainResponse{
+					Status: StatusError,
+					Error:  fmt.Sprintf("internal error (recovered): %v", rec),
+				})
+			}
+		}()
+		faults.Inject(faults.Handler)
+		h(w, r)
+	}
 }
 
 // Request statuses.
@@ -128,6 +228,8 @@ const (
 	StatusAgree          = "agree"           // queries agree on the instance
 	StatusBudgetExceeded = "budget_exceeded" // wall-clock budget ran out
 	StatusError          = "error"           // malformed request or failed search
+	StatusShed           = "shed"            // 429: overload shed or tenant over rate limit
+	StatusDraining       = "draining"        // 503: server is shutting down
 )
 
 // ExplainRequest is the body of POST /explain.
@@ -156,6 +258,10 @@ type ExplainRequest struct {
 	// ExplainPlan opts into the "plan" response field: what the cost-based
 	// join planner decided for each query against this instance.
 	ExplainPlan bool `json:"explain_plan,omitempty"`
+	// Tenant identifies the requesting tenant for rate limiting and fair
+	// queueing (the X-Tenant header is the fallback; empty means the
+	// shared anonymous bucket).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // PlanJoinJSON is one join of a planned region: the subtree it computes and
@@ -235,8 +341,19 @@ type ExplainResponse struct {
 	Stats          *StatsJSON `json:"stats,omitempty"`
 	Cache          *CacheJSON `json:"cache,omitempty"`
 	Plan           *PlanJSON  `json:"plan,omitempty"`
-	ElapsedMS      float64    `json:"elapsed_ms"`
-	Error          string     `json:"error,omitempty"`
+	// Degraded names the overload-ladder level applied to this request
+	// ("clamped", "solver_free"); empty means a full-fidelity answer.
+	Degraded string `json:"degraded,omitempty"`
+	// RetryAfterS, when > 0, is mirrored into the Retry-After header (shed
+	// and draining responses).
+	RetryAfterS int     `json:"retry_after_s,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Error       string  `json:"error,omitempty"`
+
+	// Recovered-panic forensics for the audit log; never serialized to
+	// clients.
+	panicValue string
+	panicStack string
 }
 
 // GradeRequest is the body of POST /grade: grade a submitted query against
@@ -247,6 +364,9 @@ type GradeRequest struct {
 	Question string `json:"question"`
 	// Q is the submitted query in the textual RA syntax.
 	Q string `json:"q"`
+	// Tenant identifies the requesting student for rate limiting and fair
+	// queueing (X-Tenant header is the fallback).
+	Tenant string `json:"tenant,omitempty"`
 	// Instance defaults to {kind: course, size: 1000, seed: 1}.
 	Instance     InstanceSpec      `json:"instance,omitempty"`
 	Params       map[string]string `json:"params,omitempty"`
@@ -265,10 +385,6 @@ type GradeResponse struct {
 	Grade    string `json:"grade,omitempty"`
 }
 
-func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(srv.started).Seconds()})
-}
-
 // cacheStats is one cache's /stats entry.
 type cacheStats struct {
 	Len    int   `json:"len"`
@@ -283,43 +399,79 @@ func statsFor[K comparable, V any](c *lru[K, V], cap int) cacheStats {
 }
 
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	auditSeq, auditDropped := srv.audit.counters()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": time.Since(srv.started).Seconds(),
+		"state":    srv.StateName(),
 		"requests": map[string]int64{
-			"explain": atomic.LoadInt64(&srv.explainReqs),
-			"grade":   atomic.LoadInt64(&srv.gradeReqs),
+			"explain": srv.explainReqs.Load(),
+			"grade":   srv.gradeReqs.Load(),
 		},
 		"responses": map[string]int64{
-			"ok":              atomic.LoadInt64(&srv.okResponses),
-			"agree":           atomic.LoadInt64(&srv.agreeResponses),
-			"budget_exceeded": atomic.LoadInt64(&srv.budgetExceeded),
-			"error":           atomic.LoadInt64(&srv.errorResponses),
+			"ok":              srv.okResponses.Load(),
+			"agree":           srv.agreeResponses.Load(),
+			"budget_exceeded": srv.budgetExceeded.Load(),
+			"error":           srv.errorResponses.Load(),
+			"shed":            srv.shedResponses.Load(),
+			"draining":        srv.drainRefused.Load(),
 		},
 		"plan_cache":     statsFor(srv.plans, srv.cfg.PlanCacheSize),
 		"instance_cache": statsFor(srv.instances, srv.cfg.InstanceCacheSize),
 		"admission": map[string]int64{
 			"limit":     int64(srv.cfg.MaxConcurrent),
-			"in_flight": atomic.LoadInt64(&srv.inFlight),
-			"waiting":   atomic.LoadInt64(&srv.waiting),
+			"in_flight": srv.inFlight.Load(),
+			"waiting":   srv.waiting.Load(),
+		},
+		"faults": map[string]int64{
+			"panics_recovered": srv.panicsRecovered.Load(),
+			"rate_limited":     srv.rateLimited.Load(),
+		},
+		"latency_ewma_ms": srv.latency(),
+		"audit": map[string]int64{
+			"entries": auditSeq,
+			"dropped": auditDropped,
 		},
 	})
 }
 
 func (srv *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	atomic.AddInt64(&srv.explainReqs, 1)
+	srv.explainReqs.Add(1)
 	var req ExplainRequest
 	if !srv.decode(w, r, &req) {
 		return
 	}
-	status, resp := srv.explain(r.Context(), &req)
-	writeJSON(w, status, resp)
+	tenant := tenantOf(req.Tenant, r.Header.Get("X-Tenant"))
+	status, resp := srv.explain(r.Context(), &req, tenant)
+	e := auditOf("/explain", tenant, status, resp)
+	e.Request = &req
+	srv.audit.append(e)
+	writeResponse(w, status, resp.RetryAfterS, resp)
 }
 
 func (srv *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
-	atomic.AddInt64(&srv.gradeReqs, 1)
+	srv.gradeReqs.Add(1)
 	var req GradeRequest
 	if !srv.decode(w, r, &req) {
 		return
+	}
+	tenant := tenantOf(req.Tenant, r.Header.Get("X-Tenant"))
+	status, out := srv.grade(r.Context(), &req, tenant)
+	e := auditOf("/grade", tenant, status, &out.ExplainResponse)
+	e.GradeRequest = &req
+	e.Grade = out.Grade
+	srv.audit.append(e)
+	writeResponse(w, status, out.RetryAfterS, out)
+}
+
+// grade runs a course-question grading request: resolve the reference
+// query and delegate to the explain pipeline.
+func (srv *Server) grade(ctx context.Context, req *GradeRequest, tenant string) (int, *GradeResponse) {
+	fail := func(err error) (int, *GradeResponse) {
+		srv.errorResponses.Add(1)
+		return http.StatusBadRequest, &GradeResponse{
+			ExplainResponse: ExplainResponse{Status: StatusError, Error: err.Error()},
+			Question:        req.Question,
+		}
 	}
 	var reference string
 	for _, q := range course.Questions() {
@@ -328,22 +480,20 @@ func (srv *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if reference == "" {
-		srv.fail(w, http.StatusBadRequest, fmt.Errorf("unknown course question %q (want q1..q8)", req.Question))
-		return
+		return fail(fmt.Errorf("unknown course question %q (want q1..q8)", req.Question))
 	}
 	inst := req.Instance
 	if inst.Kind == "" {
 		inst = InstanceSpec{Kind: "course", Size: 1000, Seed: 1}
 	}
 	if inst.Kind == "tpch" {
-		srv.fail(w, http.StatusBadRequest, fmt.Errorf("grading runs on the course schema; instance kind %q does not carry it", inst.Kind))
-		return
+		return fail(fmt.Errorf("grading runs on the course schema; instance kind %q does not carry it", inst.Kind))
 	}
-	status, resp := srv.explain(r.Context(), &ExplainRequest{
+	status, resp := srv.explain(ctx, &ExplainRequest{
 		Q1: reference, Q2: req.Q, Instance: inst, Params: req.Params,
 		TimeoutMS: req.TimeoutMS, MaxRows: req.MaxRows, MaxConflicts: req.MaxConflicts,
-	})
-	out := GradeResponse{ExplainResponse: *resp, Question: req.Question}
+	}, tenant)
+	out := &GradeResponse{ExplainResponse: *resp, Question: req.Question}
 	switch resp.Status {
 	case StatusOK:
 		out.Grade = "fail"
@@ -352,30 +502,103 @@ func (srv *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 	case StatusBudgetExceeded:
 		out.Grade = "unknown"
 	}
-	writeJSON(w, status, out)
+	return status, out
 }
 
-// explain runs the full pipeline for one request: resolve the instance,
-// look up or parse the plans, admit the request, and run the search under
-// its budgets. It returns the HTTP status plus the response body.
-func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *ExplainResponse) {
+// auditOf projects a response into an audit entry (request payload and
+// grade filled in by the caller).
+func auditOf(endpoint, tenant string, status int, resp *ExplainResponse) *AuditEntry {
+	e := &AuditEntry{
+		Endpoint:   endpoint,
+		Tenant:     tenant,
+		HTTPStatus: status,
+		Status:     resp.Status,
+		Degraded:   resp.Degraded,
+		Error:      resp.Error,
+		Panic:      resp.panicValue,
+		Stack:      resp.panicStack,
+		ElapsedMS:  resp.ElapsedMS,
+	}
+	if ce := resp.Counterexample; ce != nil {
+		e.CESize = ce.Size
+		e.CEIDs = ce.IDs
+		e.Witness = ce.Witness
+	}
+	return e
+}
+
+// explain runs the full pipeline for one request: lifecycle and overload
+// gates first (drain refusal, tenant rate limit, degradation ladder), then
+// resolve the instance, look up or parse the plans, admit the request
+// through the fair queue, and run the search under its (possibly clamped)
+// budgets. It returns the HTTP status plus the response body.
+func (srv *Server) explain(ctx context.Context, req *ExplainRequest, tenant string) (int, *ExplainResponse) {
 	start := time.Now()
 	finish := func(status int, resp *ExplainResponse) (int, *ExplainResponse) {
 		resp.ElapsedMS = msSince(start)
 		switch resp.Status {
 		case StatusOK:
-			atomic.AddInt64(&srv.okResponses, 1)
+			srv.okResponses.Add(1)
 		case StatusAgree:
-			atomic.AddInt64(&srv.agreeResponses, 1)
+			srv.agreeResponses.Add(1)
 		case StatusBudgetExceeded:
-			atomic.AddInt64(&srv.budgetExceeded, 1)
+			srv.budgetExceeded.Add(1)
+		case StatusShed:
+			srv.shedResponses.Add(1)
+		case StatusDraining:
+			srv.drainRefused.Add(1)
 		default:
-			atomic.AddInt64(&srv.errorResponses, 1)
+			srv.errorResponses.Add(1)
+		}
+		// Refusals are cheap and would drag the latency signal down right
+		// when it matters; only served requests feed the EWMA.
+		if resp.Status != StatusShed && resp.Status != StatusDraining {
+			srv.observeLatency(resp.ElapsedMS)
 		}
 		return status, resp
 	}
 	errResp := func(status int, err error) (int, *ExplainResponse) {
 		return finish(status, &ExplainResponse{Status: StatusError, Error: err.Error()})
+	}
+
+	// Lifecycle gate: a draining server admits nothing new.
+	if srv.Draining() {
+		return finish(http.StatusServiceUnavailable, &ExplainResponse{
+			Status:      StatusDraining,
+			RetryAfterS: 5,
+			Error:       "server is draining; retry against another replica",
+		})
+	}
+	// Per-tenant rate limit.
+	if ok, wait := srv.limiter.allow(tenant, time.Now()); !ok {
+		srv.rateLimited.Add(1)
+		return finish(http.StatusTooManyRequests, &ExplainResponse{
+			Status:      StatusShed,
+			RetryAfterS: int(wait/time.Second) + 1,
+			Error:       fmt.Sprintf("tenant %q is over its request rate; retry later", tenant),
+		})
+	}
+	// Degradation ladder (see degrade.go).
+	level := srv.degradeLevel()
+	if level == degradeShed {
+		return finish(http.StatusTooManyRequests, &ExplainResponse{
+			Status:      StatusShed,
+			Degraded:    degradeName(level),
+			RetryAfterS: 1,
+			Error:       "server overloaded; request shed",
+		})
+	}
+	budget := srv.budget(req.TimeoutMS)
+	maxConflicts := req.MaxConflicts
+	algorithm := req.Algorithm
+	degraded := degradeName(level)
+	if level >= degradeClamped {
+		budget, maxConflicts = srv.clampBudgets(budget, maxConflicts)
+	}
+	if level >= degradeSolverFree {
+		// Solver-free service: agree-check plus greedy shrink. Still a
+		// verified counterexample, just not guaranteed minimal.
+		algorithm = "shrinkgreedy"
 	}
 
 	// The budget clock starts immediately and admission comes first: cold-
@@ -384,14 +607,18 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *Expl
 	// limit, not run unadmitted. A request that spends its whole budget
 	// queued reports budget_exceeded rather than occupying a slot it can
 	// no longer use.
-	budget := srv.budget(req.TimeoutMS)
 	ctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
-	if ok := srv.admit(ctx); !ok {
+	// Drain's hard-cancel signal reaches this request through its cancel
+	// func: CancelInFlight turns stragglers into budget responses.
+	unbind := srv.bindLifecycle(cancel)
+	defer unbind()
+	if ok := srv.admit(ctx, tenant); !ok {
 		return finish(http.StatusOK, &ExplainResponse{
-			Status: StatusBudgetExceeded,
-			Stats:  &StatsJSON{SolverStatus: "unknown"},
-			Error:  fmt.Sprintf("request spent its %v budget queued for admission", budget),
+			Status:   StatusBudgetExceeded,
+			Degraded: degraded,
+			Stats:    &StatsJSON{SolverStatus: "unknown"},
+			Error:    fmt.Sprintf("request spent its %v budget queued for admission", budget),
 		})
 	}
 	defer srv.release()
@@ -425,14 +652,15 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *Expl
 
 	opts := &ratest.Options{
 		Params:       params,
-		Algorithm:    req.Algorithm,
+		Algorithm:    algorithm,
 		MaxRows:      req.MaxRows,
-		MaxConflicts: req.MaxConflicts,
+		MaxConflicts: maxConflicts,
 	}
 	if !req.NoConstraints {
 		opts.Constraints = inst.constraints
 	}
 	ce, stats, err := ratest.ExplainContext(ctx, q1, q2, inst.db, opts)
+	var pe *pool.PanicError
 	switch {
 	case err == nil:
 		return finish(http.StatusOK, &ExplainResponse{
@@ -441,14 +669,28 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest) (int, *Expl
 			Stats:          renderStats(stats, "model"),
 			Cache:          cache,
 			Plan:           plan,
+			Degraded:       degraded,
 		})
 	case errors.Is(err, core.ErrQueriesAgree):
-		return finish(http.StatusOK, &ExplainResponse{Status: StatusAgree, Cache: cache, Plan: plan})
+		return finish(http.StatusOK, &ExplainResponse{Status: StatusAgree, Cache: cache, Plan: plan, Degraded: degraded})
+	case errors.As(err, &pe):
+		// A worker panicked mid-search (possibly injected). The pool
+		// recovered it and ForEach surfaced it as an error; the request
+		// fails structurally but the process and its caches stay up.
+		srv.panicsRecovered.Add(1)
+		return finish(http.StatusInternalServerError, &ExplainResponse{
+			Status:     StatusError,
+			Cache:      cache,
+			Degraded:   degraded,
+			Error:      fmt.Sprintf("internal panic (isolated): %v", pe.Value),
+			panicValue: fmt.Sprint(pe.Value),
+			panicStack: string(pe.Stack),
+		})
 	case errors.Is(err, core.ErrBudget) || ctx.Err() != nil:
 		// Partial stats with an unknown solver status, not a 500: the
 		// search was cut off, nothing is known about the problem.
 		return finish(http.StatusOK, &ExplainResponse{
-			Status: StatusBudgetExceeded, Cache: cache, Plan: plan,
+			Status: StatusBudgetExceeded, Cache: cache, Plan: plan, Degraded: degraded,
 			Stats: &StatsJSON{
 				Algorithm:    core.AlgorithmFor(core.Problem{Q1: q1, Q2: q2, DB: inst.db}),
 				TotalMS:      msSince(start),
@@ -562,23 +804,21 @@ func (srv *Server) budget(timeoutMS int64) time.Duration {
 	return d
 }
 
-// admit blocks until an execution slot frees or the context expires,
-// reporting whether the request was admitted.
-func (srv *Server) admit(ctx context.Context) bool {
-	atomic.AddInt64(&srv.waiting, 1)
-	defer atomic.AddInt64(&srv.waiting, -1)
-	select {
-	case srv.admission <- struct{}{}:
-		atomic.AddInt64(&srv.inFlight, 1)
-		return true
-	case <-ctx.Done():
-		return false
+// admit blocks until the fair queue grants an execution slot or the
+// context expires, reporting whether the request was admitted.
+func (srv *Server) admit(ctx context.Context, tenant string) bool {
+	srv.waiting.Add(1)
+	ok := srv.admission.acquire(ctx, tenant)
+	srv.waiting.Add(-1)
+	if ok {
+		srv.inFlight.Add(1)
 	}
+	return ok
 }
 
 func (srv *Server) release() {
-	atomic.AddInt64(&srv.inFlight, -1)
-	<-srv.admission
+	srv.inFlight.Add(-1)
+	srv.admission.release()
 }
 
 // decode reads a JSON request body, enforcing method and size limits.
@@ -597,8 +837,17 @@ func (srv *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool
 }
 
 func (srv *Server) fail(w http.ResponseWriter, status int, err error) {
-	atomic.AddInt64(&srv.errorResponses, 1)
+	srv.errorResponses.Add(1)
 	writeJSON(w, status, &ExplainResponse{Status: StatusError, Error: err.Error()})
+}
+
+// writeResponse mirrors a response's retry_after_s into the Retry-After
+// header (shed/draining) before writing the JSON body.
+func writeResponse(w http.ResponseWriter, status, retryAfterS int, body any) {
+	if retryAfterS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterS))
+	}
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -21,9 +21,18 @@ const (
 	wrongQ = `project[name, major](Student join Registration)`
 )
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -61,6 +70,24 @@ func getJSON(t *testing.T, url string, into any) int {
 
 func courseSpec(size int) InstanceSpec {
 	return InstanceSpec{Kind: "course", Size: size, Seed: 1}
+}
+
+// jsonBody marshals a request body for tests that need the raw
+// *http.Response (headers, status line).
+func jsonBody(t *testing.T, body any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func decodeBody(t *testing.T, resp *http.Response, into any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
 }
 
 func TestHealthz(t *testing.T) {
@@ -270,7 +297,7 @@ func TestBudgetExceeded(t *testing.T) {
 }
 
 func srvBudgetCount(srv *Server) int64 {
-	return srv.budgetExceeded
+	return srv.budgetExceeded.Load()
 }
 
 func TestGrade(t *testing.T) {
@@ -355,26 +382,31 @@ func TestConcurrentClients(t *testing.T) {
 // Admission must refuse a request whose budget expires while queued, and
 // release slots exactly once.
 func TestAdmission(t *testing.T) {
-	srv := New(Config{MaxConcurrent: 1})
+	srv := mustNew(t, Config{MaxConcurrent: 1})
 	// Occupy the only slot.
-	srv.admission <- struct{}{}
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
-	if srv.admit(ctx) {
-		t.Fatal("admit succeeded with the slot occupied and the deadline expiring")
-	}
-	<-srv.admission
-	if !srv.admit(context.Background()) {
+	if !srv.admit(context.Background(), "a") {
 		t.Fatal("admit failed with a free slot")
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if srv.admit(ctx, "b") {
+		t.Fatal("admit succeeded with the slot occupied and the deadline expiring")
+	}
 	srv.release()
-	if n := len(srv.admission); n != 0 {
-		t.Fatalf("semaphore leaked: %d", n)
+	if !srv.admit(context.Background(), "b") {
+		t.Fatal("admit failed after release")
+	}
+	srv.release()
+	if n := srv.inFlight.Load(); n != 0 {
+		t.Fatalf("in-flight leaked: %d", n)
+	}
+	if n := srv.waiting.Load(); n != 0 {
+		t.Fatalf("waiting leaked: %d", n)
 	}
 }
 
 func TestBudgetClamp(t *testing.T) {
-	srv := New(Config{DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second})
+	srv := mustNew(t, Config{DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second})
 	if d := srv.budget(0); d != 10*time.Second {
 		t.Fatalf("default budget = %v", d)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/boolexpr"
+	"repro/internal/faults"
 	"repro/internal/ra"
 )
 
@@ -102,6 +103,7 @@ func Solve(p Problem) Result {
 	complete := true
 	var nodes int64
 	for _, combo := range combos {
+		faults.Inject(faults.SMTSolve)
 		s := &searcher{
 			formula:  p.Formula,
 			vars:     vars,

@@ -174,6 +174,11 @@ func ExplainContext(ctx context.Context, q1, q2 Query, db *Database, opts *Optio
 		return core.AggBasic(p, core.AggOptions{Parameterize: true})
 	case "aggopt":
 		return core.AggOpt(p, core.AggOptions{})
+	case "shrinkgreedy":
+		// Solver-free: agree-check plus greedy shrink. Used by the serving
+		// layer's degradation ladder; yields a verified (not necessarily
+		// minimal) counterexample without any SAT/SMT work.
+		return core.ShrinkGreedy(p)
 	}
 	return nil, nil, fmt.Errorf("ratest: unknown algorithm %q", opts.Algorithm)
 }

@@ -12,21 +12,33 @@
 //	        [-max-instance-tuples 200000] [-shutdown-grace 30s]
 //	        [-audit-log FILE] [-tenant-rate R] [-tenant-burst B]
 //	        [-faults SPEC] [-fault-seed N]
-//	ratestd -replay FILE [server flags]
+//	ratestd -frontend -workers host:port,host:port,... [frontend flags]
+//	ratestd -replay FILE[,FILE...] [server flags]
 //
 // Endpoints: POST /explain, POST /grade, GET /healthz, GET /stats. See
 // internal/server, docs/OPERATIONS.md and the README's "Running the server"
 // section for the request/response formats and the operational runbook.
 //
-// Lifecycle: SIGTERM/SIGINT puts the server into drain mode — new requests
-// get 503 + Retry-After while in-flight ones finish under their budgets.
-// When -shutdown-grace is nearly spent, stragglers are budget-cancelled so
-// they still return structured responses; the audit log is flushed and the
-// process exits 0.
+// Cluster mode: -frontend turns the process into a stateless routing tier
+// (internal/cluster) in front of the worker replicas named by -workers.
+// The frontend shards requests by instance cache key, retries safe
+// failures with backoff across replicas, hedges stragglers, circuit-breaks
+// and health-ejects bad workers, and enforces tenant fairness exactly once
+// for the whole cluster (run workers with -tenant-rate 0). See
+// docs/OPERATIONS.md's "Cluster topology" runbook.
 //
-// -replay re-runs an audit-log JSONL file through an in-process server
-// (no HTTP) and verifies that every deterministic outcome reproduces
-// byte-for-byte; it exits non-zero on any mismatch.
+// Lifecycle: SIGTERM/SIGINT puts the process (server or frontend) into
+// drain mode — new requests get 503 + Retry-After while in-flight ones
+// finish under their budgets. When -shutdown-grace is nearly spent,
+// stragglers are budget-cancelled so they still return structured
+// responses; the audit log is flushed and the process exits 0.
+//
+// -replay re-runs audit-log JSONL files through an in-process server (no
+// HTTP) and verifies that every deterministic outcome reproduces
+// byte-for-byte; it exits non-zero on any mismatch. Give it one file for a
+// standalone log, or a comma-separated list (the frontend's log plus its
+// workers' logs) to additionally join-verify each frontend outcome against
+// the worker entry sharing its request id.
 package main
 
 import (
@@ -34,12 +46,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/server"
 )
@@ -58,7 +73,15 @@ func main() {
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst capacity")
 	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. panic:pool.worker:100,stall:engine.eval:50:10ms (testing only)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-injection schedule")
-	replayPath := flag.String("replay", "", "replay an audit-log file against a fresh server and verify deterministic outcomes, then exit")
+	replayPath := flag.String("replay", "", "replay audit-log file(s) (comma-separated: frontend log + worker logs join-verify) against a fresh server, then exit")
+	frontend := flag.Bool("frontend", false, "run as a stateless cluster frontend routing to -workers instead of serving locally")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (host:port) for -frontend mode")
+	maxAttempts := flag.Int("max-attempts", 3, "frontend: tries (incl. first + hedge) per request across replicas")
+	tryTimeout := flag.Duration("try-timeout", 0, "frontend: per-attempt cap (0 = remaining request budget)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "frontend: straggler delay before a hedged second attempt (0 = adaptive 2x latency EWMA, negative disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "frontend: consecutive failures opening a worker's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "frontend: open-breaker cooldown before a half-open probe")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "frontend: readiness-probe period (negative disables health checking)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -87,20 +110,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ratestd: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 
-	srv, err := server.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ratestd:", err)
-		os.Exit(1)
+	var svc service
+	role := "server"
+	if *frontend {
+		role = "frontend"
+		fe, err := cluster.New(cluster.Config{
+			Workers:          splitList(*workers),
+			MaxAttempts:      *maxAttempts,
+			MaxConcurrent:    *maxConcurrent,
+			DefaultTimeout:   *defaultTimeout,
+			MaxTimeout:       *maxTimeout,
+			TryTimeout:       *tryTimeout,
+			HedgeAfter:       *hedgeAfter,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			HealthInterval:   *healthInterval,
+			TenantRate:       *tenantRate,
+			TenantBurst:      *tenantBurst,
+			AuditPath:        *auditPath,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratestd: -frontend:", err)
+			os.Exit(1)
+		}
+		svc = fe
+	} else {
+		srv, err := server.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratestd:", err)
+			os.Exit(1)
+		}
+		svc = srv
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "ratestd: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "ratestd: %s listening on %s\n", role, *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -111,15 +161,16 @@ func main() {
 			os.Exit(1)
 		}
 	case s := <-sig:
-		// Drain sequence: stop admitting (503 + Retry-After, readiness probe
-		// fails), let in-flight requests finish under their budgets, and
-		// shortly before the grace window closes budget-cancel stragglers so
-		// they still produce structured responses before the listener shuts.
+		// Drain sequence (identical for server and frontend): stop admitting
+		// (503 + Retry-After, readiness probe fails), let in-flight requests
+		// finish under their budgets, and shortly before the grace window
+		// closes budget-cancel stragglers so they still produce structured
+		// responses before the listener shuts.
 		fmt.Fprintf(os.Stderr, "ratestd: %v, draining (grace %v)\n", s, *shutdownGrace)
-		srv.BeginDrain()
+		svc.BeginDrain()
 		grace := *shutdownGrace
 		hardAt := grace - grace/10 // leave ~10% for cancelled requests to respond
-		timer := time.AfterFunc(hardAt, srv.CancelInFlight)
+		timer := time.AfterFunc(hardAt, svc.CancelInFlight)
 		ctx, cancel := context.WithTimeout(context.Background(), grace)
 		err := httpSrv.Shutdown(ctx)
 		cancel()
@@ -127,12 +178,12 @@ func main() {
 		if err != nil {
 			// The grace window closed with connections still open; cancel
 			// everything and report the dirty shutdown.
-			srv.CancelInFlight()
+			svc.CancelInFlight()
 			fmt.Fprintln(os.Stderr, "ratestd: shutdown:", err)
-			_ = srv.Close()
+			_ = svc.Close()
 			os.Exit(1)
 		}
-		if err := srv.Close(); err != nil {
+		if err := svc.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "ratestd: audit close:", err)
 			os.Exit(1)
 		}
@@ -140,17 +191,47 @@ func main() {
 	}
 }
 
-// replay re-runs an audit log against a fresh in-process server and reports
-// whether the deterministic outcomes reproduce. The replay server runs
-// without rate limiting or auditing: replay is sequential and must not be
-// shed, and re-auditing the replay would double the log.
-func replay(path string, cfg server.Config) int {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ratestd: -replay:", err)
+// service is what main's serve/drain sequence needs from either role: the
+// worker server and the cluster frontend share the same lifecycle shape.
+type service interface {
+	Handler() http.Handler
+	BeginDrain()
+	CancelInFlight()
+	Close() error
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// replay re-runs one or more audit logs (comma-separated; typically the
+// cluster frontend's plus its workers') against a fresh in-process server
+// and reports whether the deterministic outcomes reproduce — worker
+// entries by re-execution, frontend entries by joining against the worker
+// entry sharing their request id. The replay server runs without rate
+// limiting or auditing: replay is sequential and must not be shed, and
+// re-auditing the replay would double the log.
+func replay(paths string, cfg server.Config) int {
+	var readers []io.Reader
+	for _, path := range splitList(paths) {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratestd: -replay:", err)
+			return 2
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	if len(readers) == 0 {
+		fmt.Fprintln(os.Stderr, "ratestd: -replay: no log files named")
 		return 2
 	}
-	defer f.Close()
 	cfg.TenantRate = 0
 	cfg.AuditPath = ""
 	cfg.AuditWriter = nil
@@ -159,13 +240,13 @@ func replay(path string, cfg server.Config) int {
 		fmt.Fprintln(os.Stderr, "ratestd: -replay:", err)
 		return 2
 	}
-	rep, err := server.Replay(f, srv, os.Stderr)
+	rep, err := server.ReplayLogs(readers, srv, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratestd: -replay:", err)
 		return 2
 	}
-	fmt.Printf("replayed %d/%d entries (%d skipped as non-deterministic): %d matched, %d mismatched\n",
-		rep.Replayed, rep.Total, rep.Skipped, rep.Matched, rep.Mismatched)
+	fmt.Printf("replayed %d/%d entries (%d skipped as non-deterministic, %d join-verified): %d matched, %d mismatched\n",
+		rep.Replayed, rep.Total, rep.Skipped, rep.Joined, rep.Matched, rep.Mismatched)
 	if rep.Mismatched > 0 {
 		return 1
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/lint/budgetpoll"
 	"repro/internal/lint/gorecover"
 	"repro/internal/lint/mapdeterminism"
+	"repro/internal/lint/nakedretry"
 	"repro/internal/lint/saturatedarith"
 	"repro/internal/lint/sentinelcmp"
 )
@@ -25,6 +26,7 @@ func main() {
 		budgetpoll.Analyzer,
 		gorecover.Analyzer,
 		mapdeterminism.Analyzer,
+		nakedretry.Analyzer,
 		saturatedarith.Analyzer,
 		sentinelcmp.Analyzer,
 	)

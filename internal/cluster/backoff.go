@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Retry pacing: exponential backoff with full jitter — the wait before
+// retry k is uniform in (0, min(cap, base·2^(k-1))]. Full jitter
+// decorrelates retry storms: when a worker crash fails many requests at
+// once, fixed or equal-jitter backoff re-synchronizes them into waves that
+// hammer the surviving replicas in lockstep, while full jitter spreads
+// them evenly over the window. This helper is the repo's only sanctioned
+// retry wait; the nakedretry analyzer bans raw time.Sleep everywhere else.
+type backoff struct {
+	base time.Duration
+	cap  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(base, cap time.Duration, seed int64) *backoff {
+	return &backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay returns the jittered wait before the attempt following `attempt`
+// completed tries (1-based).
+func (b *backoff) delay(attempt int) time.Duration {
+	ceil := b.base
+	for i := 1; i < attempt && ceil < b.cap; i++ {
+		ceil *= 2
+	}
+	if ceil > b.cap {
+		ceil = b.cap
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration(b.rng.Int63n(int64(ceil))) + 1
+}
+
+// sleep waits d or until ctx is done, whichever comes first, reporting the
+// context error if the wait was cut short. Timer-based so a canceled
+// request never sits out a backoff window.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-worker circuit breaker. Closed passes everything; Threshold
+// consecutive failures open it, and an open breaker rejects the worker
+// from routing for Cooldown. After the cooldown the breaker goes
+// half-open and admits exactly one probe request at a time: a success
+// closes it, a failure re-opens it for another cooldown. Breakers stop a
+// dead worker from eating one timeout per attempt out of every request's
+// budget; the active health checker (health.go) is the slower, cheaper
+// signal that re-admits it for good.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int // breakerClosed/Open/HalfOpen
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be routed to this worker now. In
+// half-open state the single probe slot is claimed by the caller that gets
+// true; it must report the outcome via success or failure.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// success records a served request: the breaker closes and forgets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a breaker-relevant failure (connection error, panic 500,
+// per-try timeout).
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = now
+		return
+	}
+	b.fails++
+	if b.state == breakerClosed && b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}
+
+// reset force-closes the breaker (health-check re-admission).
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// stateName reports the breaker state for /stats.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "closed"
+}

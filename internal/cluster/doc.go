@@ -1,0 +1,44 @@
+// Package cluster is the stateless frontend of a sharded ratestd
+// deployment: it terminates client requests, enforces tenant fairness
+// exactly once, and routes /explain and /grade to a fixed set of worker
+// replicas (plain ratestd processes) behind a resilience layer, so that
+// worker crashes, stalls and partitions never surface to students as
+// anything but a structured response.
+//
+// # Routing
+//
+// Requests naming a generated (course/TPC-H) instance are routed by
+// consistent hash of the instance cache key, so each instance — and the
+// plan-LRU entries keyed against it — stays hot on one stable owner
+// instead of being regenerated on every replica. Requests carrying inline
+// instances are request-private on any worker and route round-robin.
+// Failover follows the ring: attempt k goes to the k-th distinct successor
+// of the owner.
+//
+// # Resilience
+//
+// Every attempt runs under a per-try timeout derived from the request's
+// remaining budget. Safe failures — connection errors, 503 draining,
+// worker panic 500s, truncated/unparseable responses, per-try timeouts —
+// are retried on the next replica with exponential backoff and full
+// jitter; 200s (including budget_exceeded) and 429 shed are final and
+// never retried. Each worker has a circuit breaker (closed → open after
+// consecutive failures → half-open single-probe after a cooldown), an
+// active health checker probes readiness and ejects/readmits outliers,
+// and a budget-aware hedged second attempt covers stragglers: when the
+// first try exceeds a latency-EWMA-derived delay and enough budget
+// remains, a second try starts on another replica and the first result
+// wins.
+//
+// The frontend itself keeps the PR 8 serving guarantees: panic-isolated
+// handlers, drain on SIGTERM (503 + Retry-After, in-flight requests
+// finish, stragglers budget-cancel), structured errors for every outcome,
+// and an audit log whose entries join with the workers' logs on the
+// frontend-assigned X-Ratest-Request-Id for cluster-wide replay
+// verification (ratestd -replay frontend.jsonl,worker1.jsonl,...).
+//
+// Fault injection: the transport threads every proxied request through
+// the faults package's network points (cluster.dial, cluster.body,
+// cluster.truncate), so the seeded chaos machinery drives the whole
+// frontend→worker path. See docs/OPERATIONS.md for the topology runbook.
+package cluster

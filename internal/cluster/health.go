@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/pool"
+)
+
+// Active health checking: a background loop probes every worker's
+// readiness endpoint each HealthInterval. EjectAfter consecutive failures
+// eject the worker from routing entirely — unlike the breaker, which is
+// fed by (and costs) real requests, ejection is decided on probe traffic
+// alone, so a dead worker stops receiving even breaker half-open probes.
+// ReadmitAfter consecutive successes re-admit it and reset its breaker,
+// giving a restarted worker a clean slate. A draining worker fails its
+// readiness probe (503) by design, so drain leads to ejection and the
+// frontend stops routing there well before the process exits.
+func (f *Frontend) startHealth() {
+	if f.cfg.HealthInterval < 0 {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.healthCancel = cancel
+	f.healthDone = make(chan struct{})
+	pool.Go(func() {
+		defer close(f.healthDone)
+		t := time.NewTicker(f.cfg.HealthInterval)
+		defer t.Stop()
+		fails := make([]int, len(f.workers))
+		oks := make([]int, len(f.workers))
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			for i, wk := range f.workers {
+				if f.probe(ctx, wk.url) {
+					fails[i] = 0
+					oks[i]++
+					if wk.ejected.Load() && oks[i] >= f.cfg.ReadmitAfter {
+						wk.ejected.Store(false)
+						wk.breaker.reset()
+						f.readmissions.Add(1)
+					}
+				} else {
+					oks[i] = 0
+					fails[i]++
+					if !wk.ejected.Load() && fails[i] >= f.cfg.EjectAfter {
+						wk.ejected.Store(true)
+						f.ejections.Add(1)
+					}
+				}
+			}
+		}
+	}, nil)
+}
+
+// probe runs one readiness check: 200 from GET /healthz means the worker
+// is up and not draining.
+func (f *Frontend) probe(ctx context.Context, url string) bool {
+	pctx, cancel := context.WithTimeout(ctx, f.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

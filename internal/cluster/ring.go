@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash ring: each worker owns vnodesPerWorker points on a
+// uint64 circle, a key hashes to a point, and its owner is the first
+// worker clockwise. Adding or removing one worker moves only ~1/n of the
+// keyspace, so generated instances and their planned-query LRU entries
+// stay hot on a stable owner across most topology changes. successors()
+// additionally yields the failover order: the distinct workers clockwise
+// from the owner, which is what retry attempt k routes to.
+const vnodesPerWorker = 64
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int
+}
+
+func newRing(workers []string) *ring {
+	r := &ring{n: len(workers)}
+	for i, w := range workers {
+		for v := 0; v < vnodesPerWorker; v++ {
+			r.points = append(r.points, ringPoint{hash: fnv64(fmt.Sprintf("%s#%d", w, v)), worker: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r
+}
+
+// successors returns every worker index in ring order starting at the
+// key's owner: successors(key)[0] is the stable shard owner, [1:] the
+// failover order.
+func (r *ring) successors(key string) []int {
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for k := 0; k < len(r.points) && len(out) < r.n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// maxWorkerBody caps how much of a worker response the frontend will
+// buffer (counterexamples are bounded but can be large).
+const maxWorkerBody = 64 << 20
+
+// tryResult is one attempt's classified outcome. outcomeFinal results are
+// forwarded to the client verbatim; outcomeRetry results are safe to retry
+// on another replica because no worker can have served the request twice:
+// either it never ran (dial failure, drain refusal) or its answer was lost
+// (timeout, truncation, panic 500 — explain/grade are read-only, so a
+// duplicate execution is harmless).
+type tryOutcome int
+
+const (
+	outcomeRetry tryOutcome = iota
+	outcomeFinal
+)
+
+type tryResult struct {
+	worker     int
+	attempt    int
+	outcome    tryOutcome
+	status     int
+	body       []byte
+	degraded   string
+	retryAfter string
+	err        error
+}
+
+// faultReader threads a worker response body through the network fault
+// points: cluster.body stalls mid-read (a frozen worker holding the
+// connection open) and cluster.truncate kills the read mid-body (a
+// connection dying before the response completes).
+type faultReader struct{ r io.Reader }
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	faults.Inject(faults.ClusterBody)
+	if err := faults.InjectErr(faults.ClusterTruncate); err != nil {
+		return 0, err
+	}
+	return fr.r.Read(p)
+}
+
+// try runs one attempt against worker wi under a per-try deadline and
+// classifies the outcome. Breaker accounting happens here: worker faults
+// (connection errors, per-try timeouts, panic 500s, truncated bodies,
+// non-draining 503s) count as failures; any answer a healthy worker could
+// give — every 200 including budget_exceeded, every 4xx including 429
+// shed — counts as a success. Graceful drain 503s are retried without
+// punishing the breaker, and nothing is recorded once the parent request
+// context is done (a budget expiry or a hedge winner's cancel says nothing
+// about this worker).
+func (f *Frontend) try(ctx context.Context, wi int, path string, payload []byte, tenant, reqID string, attempt int, perTry time.Duration) tryResult {
+	w := f.workers[wi]
+	res := tryResult{worker: wi, attempt: attempt, outcome: outcomeRetry}
+	fail := func(err error, punish bool) tryResult {
+		res.err = err
+		if ctx.Err() != nil {
+			return res
+		}
+		if punish {
+			w.breaker.failure(time.Now())
+		}
+		return res
+	}
+
+	if err := faults.InjectErr(faults.ClusterDial); err != nil {
+		return fail(fmt.Errorf("dialing worker %s: %w", w.url, err), true)
+	}
+	tctx, cancel := context.WithTimeout(ctx, perTry)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, w.url+path, bytes.NewReader(payload))
+	if err != nil {
+		return fail(err, false)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.HeaderRequestID, reqID)
+	req.Header.Set(server.HeaderAttempt, strconv.Itoa(attempt))
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fail(fmt.Errorf("worker %s: %w", w.url, err), true)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(&faultReader{r: resp.Body}, maxWorkerBody))
+	if err != nil {
+		return fail(fmt.Errorf("reading worker %s response: %w", w.url, err), true)
+	}
+	res.status = resp.StatusCode
+	res.body = body
+	res.degraded = resp.Header.Get(server.HeaderDegraded)
+	res.retryAfter = resp.Header.Get("Retry-After")
+
+	switch {
+	case resp.StatusCode == http.StatusOK, resp.StatusCode/100 == 4:
+		// Every 200 (ok, agree, budget_exceeded) and every 4xx (malformed
+		// request, unknown question, 429 shed) is a deliberate answer from a
+		// live worker: final, never retried. A body that is not complete
+		// JSON, though, means the connection died mid-response — the answer
+		// is lost and the attempt retries.
+		if !json.Valid(body) {
+			return fail(fmt.Errorf("worker %s: truncated response body (%d bytes)", w.url, len(body)), true)
+		}
+		w.breaker.success()
+		res.outcome = outcomeFinal
+		return res
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		if workerStatusOf(body) == server.StatusDraining {
+			// Graceful shutdown refusal: exactly what failover exists for,
+			// and not a fault — the breaker is not punished, so the worker
+			// re-admits cleanly if it comes back.
+			res.err = fmt.Errorf("worker %s is draining", w.url)
+			return res
+		}
+		return fail(fmt.Errorf("worker %s: unexpected 503: %s", w.url, firstLine(body)), true)
+	case resp.StatusCode == http.StatusInternalServerError:
+		// A recovered worker panic. The worker stayed up (panic isolation)
+		// but this request crashed mid-search; rerunning it on another
+		// replica is safe and usually succeeds (seeded fault injection and
+		// data-independent panics don't follow the request).
+		return fail(fmt.Errorf("worker %s: panic 500: %s", w.url, firstLine(body)), true)
+	default:
+		return fail(fmt.Errorf("worker %s: unexpected status %d", w.url, resp.StatusCode), true)
+	}
+}
+
+// workerStatusOf extracts the structured status field from a worker
+// response body ("" when the body isn't a structured response).
+func workerStatusOf(body []byte) string {
+	var probe struct {
+		Status string `json:"status"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	return probe.Status
+}
+
+func firstLine(body []byte) string {
+	if i := bytes.IndexByte(body, '\n'); i >= 0 {
+		body = body[:i]
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(body)
+}

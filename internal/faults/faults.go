@@ -14,6 +14,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -42,10 +43,26 @@ const (
 	InstanceGen Point = "server.instance"
 	// Handler fires at the top of every wrapped server HTTP handler.
 	Handler Point = "server.handler"
+
+	// Network-level points, fired inside the cluster frontend's worker
+	// transport so the seeded chaos machinery can fault the frontend →
+	// worker path without real network damage.
+
+	// ClusterDial fires before each proxied worker request is sent; an
+	// error rule there models a refused/reset connection (the worker is
+	// gone before a byte moves).
+	ClusterDial Point = "cluster.dial"
+	// ClusterBody fires on every response-body read chunk; a stall rule
+	// there models a worker that freezes mid-response.
+	ClusterBody Point = "cluster.body"
+	// ClusterTruncate fires on every response-body read chunk; an error
+	// rule there models the connection dying mid-body (the frontend sees a
+	// truncated, unparseable response).
+	ClusterTruncate Point = "cluster.truncate"
 )
 
 // Points lists every compiled-in injection point, for spec validation.
-var Points = []Point{PoolWorker, EngineEval, SATSolve, SMTSolve, InstanceGen, Handler}
+var Points = []Point{PoolWorker, EngineEval, SATSolve, SMTSolve, InstanceGen, Handler, ClusterDial, ClusterBody, ClusterTruncate}
 
 // Rule configures one point's faults. A zero rule never fires.
 type Rule struct {
@@ -57,6 +74,10 @@ type Rule struct {
 	StallEvery int64
 	// Stall is the stall duration (default 10ms when StallEvery fires).
 	Stall time.Duration
+	// ErrorEvery > 0 makes ~1/ErrorEvery of the point's hits return an
+	// ErrInjected-wrapped error from InjectErr (points whose callers use
+	// plain Inject never observe it).
+	ErrorEvery int64
 }
 
 // InjectedPanic is the value every injected panic carries, so recovery
@@ -143,12 +164,46 @@ func Inject(pt Point) {
 	n := p.hits[pt].Add(1)
 	if r.StallEvery > 0 && fires(p.seed, pt, n, r.StallEvery, 0x5741) {
 		p.fired[pt].Add(1)
-		time.Sleep(r.Stall)
+		time.Sleep(r.Stall) //lint:nakedretry deliberate injected stall; bounded by the rule's Stall duration, not a retry wait
 	}
 	if r.PanicEvery > 0 && fires(p.seed, pt, n, r.PanicEvery, 0x9e3779) {
 		p.fired[pt].Add(1)
 		panic(InjectedPanic{Point: pt, N: n})
 	}
+}
+
+// ErrInjected marks every error returned by InjectErr, so transport layers
+// and tests can tell injected network faults from real ones with errors.Is.
+var ErrInjected = errors.New("faults: injected network fault")
+
+// InjectErr is the injection point for layers that fail with an error
+// rather than a panic — the cluster transport's network faults. Stall and
+// panic rules apply exactly as in Inject; an error rule may then make the
+// hit return a synthetic ErrInjected-wrapped failure that the caller
+// surfaces as it would a real connection error.
+func InjectErr(pt Point) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	r, ok := p.rules[pt]
+	if !ok {
+		return nil
+	}
+	n := p.hits[pt].Add(1)
+	if r.StallEvery > 0 && fires(p.seed, pt, n, r.StallEvery, 0x5741) {
+		p.fired[pt].Add(1)
+		time.Sleep(r.Stall) //lint:nakedretry deliberate injected stall; bounded by the rule's Stall duration, not a retry wait
+	}
+	if r.PanicEvery > 0 && fires(p.seed, pt, n, r.PanicEvery, 0x9e3779) {
+		p.fired[pt].Add(1)
+		panic(InjectedPanic{Point: pt, N: n})
+	}
+	if r.ErrorEvery > 0 && fires(p.seed, pt, n, r.ErrorEvery, 0x77a1) {
+		p.fired[pt].Add(1)
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, pt, n)
+	}
+	return nil
 }
 
 // fires decides hit n at pt deterministically: hash(seed, pt, n, kind)
@@ -182,9 +237,10 @@ func splitmix64(x uint64) uint64 {
 //
 //	panic:<point>:<every>
 //	stall:<point>:<every>[:<duration>]
+//	error:<point>:<every>
 //
-// e.g. "panic:pool.worker:7,stall:engine.eval:13:20ms". Empty spec means
-// no plan (nil, nil).
+// e.g. "panic:pool.worker:7,stall:engine.eval:13:20ms,error:cluster.dial:5".
+// Empty spec means no plan (nil, nil).
 func ParseSpec(spec string, seed int64) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -215,6 +271,11 @@ func ParseSpec(spec string, seed int64) (*Plan, error) {
 				return nil, fmt.Errorf("faults: directive %q: panic takes no duration", dir)
 			}
 			r.PanicEvery = every
+		case "error":
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("faults: directive %q: error takes no duration", dir)
+			}
+			r.ErrorEvery = every
 		case "stall":
 			r.StallEvery = every
 			if len(parts) == 4 {

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -105,13 +106,76 @@ func TestDisabledAndUnruledPoints(t *testing.T) {
 	}
 }
 
+// InjectErr returns ErrInjected-wrapped errors on the seeded schedule and
+// stays deterministic: the same hit sequence fails the same hits.
+func TestInjectErr(t *testing.T) {
+	p := NewPlan(9, map[Point]Rule{ClusterDial: {ErrorEvery: 3}})
+	Enable(p)
+	defer Disable()
+	const n = 300
+	var failed []int
+	for i := 0; i < n; i++ {
+		if err := InjectErr(ClusterDial); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v is not ErrInjected", err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) < n/9 || len(failed) > n {
+		t.Fatalf("ErrorEvery=3 failed %d of %d hits", len(failed), n)
+	}
+	if got := p.Fired(ClusterDial); got != int64(len(failed)) {
+		t.Fatalf("Fired = %d, want %d", got, len(failed))
+	}
+	// Replay: a fresh plan with the same seed fails the same hit numbers.
+	p2 := NewPlan(9, map[Point]Rule{ClusterDial: {ErrorEvery: 3}})
+	Enable(p2)
+	var failed2 []int
+	for i := 0; i < n; i++ {
+		if err := InjectErr(ClusterDial); err != nil {
+			failed2 = append(failed2, i)
+		}
+	}
+	if len(failed) != len(failed2) {
+		t.Fatalf("replay failed %d hits, want %d", len(failed2), len(failed))
+	}
+	for i := range failed {
+		if failed[i] != failed2[i] {
+			t.Fatalf("replay diverged at %d: hit %d vs %d", i, failed[i], failed2[i])
+		}
+	}
+}
+
+// InjectErr with no plan, no rule, or a stall-only rule returns nil (and
+// stall rules still fire in place).
+func TestInjectErrNonErrorRules(t *testing.T) {
+	Disable()
+	if err := InjectErr(ClusterDial); err != nil {
+		t.Fatalf("disabled InjectErr = %v", err)
+	}
+	p := NewPlan(1, map[Point]Rule{ClusterBody: {StallEvery: 1, Stall: 30 * time.Millisecond}})
+	Enable(p)
+	defer Disable()
+	start := time.Now()
+	if err := InjectErr(ClusterBody); err != nil {
+		t.Fatalf("stall-only InjectErr = %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("stall slept %v, want ~30ms", d)
+	}
+}
+
 func TestParseSpec(t *testing.T) {
-	p, err := ParseSpec("panic:pool.worker:7,stall:engine.eval:13:20ms,stall:sat.solve:3", 42)
+	p, err := ParseSpec("panic:pool.worker:7,stall:engine.eval:13:20ms,stall:sat.solve:3,error:cluster.dial:5", 42)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r := p.rules[PoolWorker]; r.PanicEvery != 7 {
 		t.Fatalf("pool.worker rule = %+v", r)
+	}
+	if r := p.rules[ClusterDial]; r.ErrorEvery != 5 {
+		t.Fatalf("cluster.dial rule = %+v", r)
 	}
 	if r := p.rules[EngineEval]; r.StallEvery != 13 || r.Stall != 20*time.Millisecond {
 		t.Fatalf("engine.eval rule = %+v", r)
@@ -125,6 +189,7 @@ func TestParseSpec(t *testing.T) {
 	for _, bad := range []string{
 		"panic:pool.worker", "panic:nosuch.point:3", "explode:pool.worker:3",
 		"panic:pool.worker:0", "panic:pool.worker:3:10ms", "stall:pool.worker:3:bogus",
+		"error:cluster.dial:3:10ms",
 	} {
 		if _, err := ParseSpec(bad, 1); err == nil {
 			t.Fatalf("ParseSpec(%q) accepted", bad)

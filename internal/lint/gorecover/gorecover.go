@@ -1,6 +1,6 @@
-// Package gorecover flags raw go statements in the serving and pool
-// packages (internal/server, internal/pool). Those packages are the
-// process's panic-isolation boundary: a goroutine spawned outside the
+// Package gorecover flags raw go statements in the serving, pool and
+// cluster packages (internal/server, internal/pool, internal/cluster).
+// Those packages are the process's panic-isolation boundary: a goroutine spawned outside the
 // recover-wrapping helper (pool.Go) that panics kills the whole server —
 // caches, in-flight requests and all — which is exactly the failure mode
 // the fault-tolerance work removed. Every goroutine there must route
@@ -23,7 +23,7 @@ var Analyzer = &lint.Analyzer{
 	SkipTests: true,
 	Doc: `flag raw go statements in the panic-isolated packages
 
-internal/server and internal/pool promise that a panic anywhere in a
+internal/server, internal/pool and internal/cluster promise that a panic anywhere in a
 request becomes a structured error, never a process crash. A raw go
 statement breaks that promise: an unrecovered panic on any goroutine is
 fatal to the process. Spawn through pool.Go (which recovers and converts
@@ -35,8 +35,9 @@ when the goroutine body provably cannot panic.`,
 // scopePkgs are the package basenames the analyzer applies to: the
 // packages that promise panic isolation.
 var scopePkgs = map[string]bool{
-	"server": true,
-	"pool":   true,
+	"server":  true,
+	"pool":    true,
+	"cluster": true,
 }
 
 func run(pass *lint.Pass) {

@@ -1,0 +1,142 @@
+// Package nakedretry flags naked retry waits: raw time.Sleep calls, bare
+// <-time.After receives, and unbounded retry/wait loops with no context
+// exit. The cluster tier (PR 9) centralised retry policy in one helper —
+// internal/cluster's backoff.sleep, which is jittered, capped and
+// context-aware — precisely because ad-hoc waits are how retry storms
+// start: a raw time.Sleep cannot be cancelled when the request budget or
+// the drain sequence wants the goroutine back, and an unbounded loop that
+// sleeps between attempts retries forever against a dead peer. The
+// sanctioned helper never trips this analyzer because it waits on a
+// timer inside a select with ctx.Done; everything else either does the
+// same or carries a justified suppression.
+package nakedretry
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the nakedretry analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "nakedretry",
+	Directive: "nakedretry",
+	SkipTests: true,
+	Doc: `flag raw sleeps and unbounded retry loops outside the backoff helper
+
+Retry waits must be cancellable and bounded: a raw time.Sleep (or a bare
+<-time.After) ignores request budgets and drain, and an unbounded for
+loop that waits between iterations with no ctx.Done/ctx.Err exit retries
+forever. Route waits through internal/cluster's backoff.sleep (jittered,
+capped, context-aware), give the loop a context exit, or suppress with
+"//lint:nakedretry <reason>" for waits that are provably not retry waits
+(e.g. deliberate injected stalls).`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		// Receives that are select comm cases are the sanctioned wait
+		// shape (they sit next to a ctx.Done case); collect them so the
+		// bare-receive rule skips them.
+		inSelect := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				return true
+			}
+			switch s := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				inSelect[s.X] = true
+			case *ast.AssignStmt:
+				for _, r := range s.Rhs {
+					inSelect[r] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if isTimePkgCall(pass, x, "Sleep") {
+					pass.Reportf(x.Pos(), "raw time.Sleep cannot be cancelled by the request budget or drain; wait through cluster's backoff.sleep (ctx-aware) or select on the context")
+				}
+			case *ast.UnaryExpr:
+				if x.Op != token.ARROW || inSelect[x] {
+					return true
+				}
+				if call, ok := x.X.(*ast.CallExpr); ok && isTimePkgCall(pass, call, "After") {
+					pass.Reportf(x.Pos(), "bare <-time.After is an uncancellable sleep; select on it together with the context's Done channel")
+				}
+			case *ast.ForStmt:
+				if x.Cond == nil && hasWait(pass, x.Body) && !hasCtxExit(pass, x.Body) {
+					pass.Reportf(x.Pos(), "unbounded loop waits between iterations but has no context exit (ctx.Done/ctx.Err); this retries forever against a dead peer — bound it or wait through cluster's backoff.sleep")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isTimePkgCall reports whether call is time.<name> — resolved through the
+// typechecker, so a local helper that happens to be named Sleep does not
+// match, and an aliased import of package time does.
+func isTimePkgCall(pass *lint.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == name
+}
+
+// hasWait reports whether the block waits between iterations: a
+// time.Sleep/time.After call, or a call to something named like a sleep
+// helper (cluster's backoff.sleep and friends — any callee whose name
+// starts with "sleep").
+func hasWait(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if isTimePkgCall(pass, call, "Sleep") || isTimePkgCall(pass, call, "After") {
+			found = true
+			return false
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		if strings.HasPrefix(strings.ToLower(name), "sleep") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCtxExit reports whether the block can leave when its context is
+// cancelled: a call to a method named Done (select on ctx.Done()) or Err
+// (polling ctx.Err()) anywhere in the body.
+func hasCtxExit(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

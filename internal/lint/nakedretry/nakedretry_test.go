@@ -1,0 +1,11 @@
+package nakedretry
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestNakedRetry(t *testing.T) {
+	linttest.Run(t, Analyzer, "retry")
+}

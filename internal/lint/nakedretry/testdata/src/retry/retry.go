@@ -1,0 +1,118 @@
+// Package retry is nakedretry testdata: raw sleeps and unbounded retry
+// loops are diagnostics; context-aware waits modelled on the cluster
+// backoff helper are not.
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// rawSleep is the canonical offence: an uncancellable wait.
+func rawSleep() {
+	time.Sleep(time.Second) // want `raw time.Sleep cannot be cancelled`
+}
+
+// bareAfter is the same offence spelled with a channel.
+func bareAfter() {
+	<-time.After(time.Second) // want `bare <-time.After is an uncancellable sleep`
+}
+
+// injectedStall is a justified exception: the wait is a test fixture's
+// deliberate stall, not a retry wait.
+func injectedStall(d time.Duration) {
+	time.Sleep(d) //lint:nakedretry deliberate injected stall for fault testing, bounded by the rule's duration
+}
+
+// ctxSleep is the sanctioned wait shape — the cluster backoff helper's
+// body: a timer raced against the context inside a select.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// selectAfter is fine too: time.After as a select case next to Done.
+func selectAfter(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Second):
+		return nil
+	}
+}
+
+// retryForever is the loop shape the analyzer exists for: waits between
+// attempts, no attempt bound, no context exit — it hammers a dead peer
+// until the process dies.
+func retryForever(dial func() error, wait func()) error {
+	for { // want `unbounded loop waits between iterations but has no context exit`
+		if err := dial(); err == nil {
+			return nil
+		}
+		sleepABit(wait)
+	}
+}
+
+func sleepABit(wait func()) { wait() }
+
+// sleep is a local helper whose name marks it as a wait.
+func sleep(d time.Duration) { _ = d }
+
+// pollForever waits via the local helper; still flagged — the loop has no
+// way out when the caller's context is cancelled.
+func pollForever(ready func() bool) {
+	for { // want `unbounded loop waits between iterations but has no context exit`
+		if ready() {
+			return
+		}
+		sleep(time.Millisecond)
+	}
+}
+
+// retryBudgeted is the fixed version of retryForever: the wait is
+// ctx-aware and the loop polls ctx.Err, so cancellation ends it.
+func retryBudgeted(ctx context.Context, dial func() error) error {
+	for {
+		if err := dial(); err == nil {
+			return nil
+		}
+		if err := ctxSleep(ctx, 10*time.Millisecond); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// eventLoop never waits between iterations — select blocks on real work,
+// and the Done case is the exit. Not a retry loop, not flagged.
+func eventLoop(ctx context.Context, ch <-chan int) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// boundedRetry has a loop condition, so it cannot retry forever even
+// though its wait is naked — only the sleep itself is flagged.
+func boundedRetry(dial func() error) error {
+	for i := 0; i < 3; i++ {
+		if err := dial(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond) // want `raw time.Sleep cannot be cancelled`
+	}
+	return errors.New("exhausted")
+}

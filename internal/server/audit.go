@@ -27,12 +27,26 @@ import (
 // draining and recovered panics) are recorded for forensics but excluded
 // from replay comparison.
 
+// RoleFrontend marks audit entries written by the cluster frontend.
+const RoleFrontend = "frontend"
+
 // AuditEntry is one JSONL record.
 type AuditEntry struct {
 	Seq      int64     `json:"seq"`
 	Time     time.Time `json:"time"`
 	Endpoint string    `json:"endpoint"`
 	Tenant   string    `json:"tenant,omitempty"`
+
+	// Cluster provenance. Role is "" for a standalone or worker process and
+	// "frontend" for the cluster frontend; RequestID is the frontend-
+	// assigned X-Ratest-Request-Id joining the frontend's entry with the
+	// worker entries for the same request; Attempt is the 1-based attempt
+	// that produced a worker entry (or, on a frontend entry, the total
+	// attempts spent); Worker is the worker that served a frontend entry.
+	Role      string `json:"role,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	Attempt   int    `json:"attempt,omitempty"`
+	Worker    string `json:"worker,omitempty"`
 
 	// The replayable request payload (exactly one is set, matching
 	// Endpoint).
@@ -63,20 +77,60 @@ type auditLog struct {
 	dropped atomic.Int64 // entries lost to write errors
 }
 
-// newAuditLog builds the logger from the config: an explicit writer wins
-// (tests), else a path is opened append-only, else logging is off.
-func newAuditLog(cfg Config) (*auditLog, error) {
-	if cfg.AuditWriter != nil {
-		return &auditLog{w: cfg.AuditWriter}, nil
+// newAuditLog builds the logger: an explicit writer wins (tests), else a
+// path is opened append-only, else logging is off.
+func newAuditLog(path string, w io.Writer) (*auditLog, error) {
+	if w != nil {
+		return &auditLog{w: w}, nil
 	}
-	if cfg.AuditPath == "" {
+	if path == "" {
 		return nil, nil
 	}
-	f, err := os.OpenFile(cfg.AuditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("opening audit log: %w", err)
 	}
 	return &auditLog{w: f, f: f}, nil
+}
+
+// AuditSink is the exported audit-log handle the cluster frontend writes
+// through: the same JSONL format and drop-on-write-error semantics as the
+// server's own log, so frontend and worker logs join cleanly in -replay. A
+// nil *AuditSink discards everything.
+type AuditSink struct{ log *auditLog }
+
+// NewAuditSink opens an audit sink on a writer (which wins) or an
+// append-only file path; both empty means a discarding sink.
+func NewAuditSink(path string, w io.Writer) (*AuditSink, error) {
+	l, err := newAuditLog(path, w)
+	if err != nil {
+		return nil, err
+	}
+	return &AuditSink{log: l}, nil
+}
+
+// Append writes one entry, stamping seq and time.
+func (s *AuditSink) Append(e *AuditEntry) {
+	if s == nil {
+		return
+	}
+	s.log.append(e)
+}
+
+// Close flushes and closes the sink.
+func (s *AuditSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+// Counters reports entries written and entries dropped to write errors.
+func (s *AuditSink) Counters() (entries, dropped int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.log.counters()
 }
 
 // append writes one entry, stamping seq and time. Write failures drop the
@@ -177,17 +231,14 @@ type ReplayReport struct {
 	Matched    int
 	Mismatched int
 	Skipped    int // non-deterministic or non-request entries
+	Joined     int // frontend entries join-verified against worker entries
 	Errors     []string
 }
 
-// Replay re-runs an audit-log corpus against srv and compares each
-// deterministic outcome byte-for-byte with the logged one. The server
-// should be configured like the original (same instance caps; budgets
-// only matter for entries that exhausted them, which are skipped). Returns
-// an error only for corpus-level problems; per-entry mismatches are
-// reported in the report.
-func Replay(r io.Reader, srv *Server, progress io.Writer) (*ReplayReport, error) {
-	rep := &ReplayReport{}
+// ReadAuditLog parses one JSONL audit stream into entries (blank lines are
+// skipped).
+func ReadAuditLog(r io.Reader) ([]AuditEntry, error) {
+	var out []AuditEntry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	line := 0
@@ -197,32 +248,127 @@ func Replay(r io.Reader, srv *Server, progress io.Writer) (*ReplayReport, error)
 		if len(raw) == 0 {
 			continue
 		}
-		rep.Total++
 		var e AuditEntry
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return rep, fmt.Errorf("audit line %d: %w", line, err)
+			return out, fmt.Errorf("audit line %d: %w", line, err)
 		}
-		if !replayable(&e) {
-			rep.Skipped++
-			continue
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("reading audit log: %w", err)
+	}
+	return out, nil
+}
+
+// Replay re-runs an audit-log corpus against srv and compares each
+// deterministic outcome byte-for-byte with the logged one. The server
+// should be configured like the original (same instance caps; budgets
+// only matter for entries that exhausted them, which are skipped). Returns
+// an error only for corpus-level problems; per-entry mismatches are
+// reported in the report.
+func Replay(r io.Reader, srv *Server, progress io.Writer) (*ReplayReport, error) {
+	return ReplayLogs([]io.Reader{r}, srv, progress)
+}
+
+// ReplayLogs replays a set of audit logs together — typically the cluster
+// frontend's log plus the logs of the workers it routed to. Worker (and
+// standalone) entries are re-run through srv exactly as in Replay. Every
+// deterministic frontend entry is additionally join-verified: a worker
+// entry with the same frontend-assigned request id must exist and carry
+// the identical deterministic outcome, proving the frontend returned what
+// some worker actually computed — regardless of which replica or retry
+// attempt produced it. When only a frontend log is supplied (worker logs
+// lost), its entries still carry the request payloads and are re-run
+// directly instead of joined.
+func ReplayLogs(logs []io.Reader, srv *Server, progress io.Writer) (*ReplayReport, error) {
+	rep := &ReplayReport{}
+	var frontend, workers []AuditEntry
+	for i, r := range logs {
+		entries, err := ReadAuditLog(r)
+		if err != nil {
+			return rep, fmt.Errorf("log %d: %w", i+1, err)
 		}
-		rep.Replayed++
-		got := srv.replayEntry(&e)
-		want := outcomeOf(&e)
-		if reflect.DeepEqual(got, want) {
-			rep.Matched++
-			continue
+		for _, e := range entries {
+			if e.Role == RoleFrontend {
+				frontend = append(frontend, e)
+			} else {
+				workers = append(workers, e)
+			}
 		}
+	}
+	rep.Total = len(frontend) + len(workers)
+
+	mismatch := func(e *AuditEntry, kind string, got, want replayOutcome) {
 		rep.Mismatched++
 		gb, _ := json.Marshal(got)
 		wb, _ := json.Marshal(want)
-		rep.Errors = append(rep.Errors, fmt.Sprintf("seq %d (%s): got %s, want %s", e.Seq, e.Endpoint, gb, wb))
+		rep.Errors = append(rep.Errors, fmt.Sprintf("%s seq %d (%s): got %s, want %s", kind, e.Seq, e.Endpoint, gb, wb))
 		if progress != nil {
-			fmt.Fprintf(progress, "MISMATCH seq %d (%s):\n  got  %s\n  want %s\n", e.Seq, e.Endpoint, gb, wb)
+			fmt.Fprintf(progress, "MISMATCH %s seq %d (%s):\n  got  %s\n  want %s\n", kind, e.Seq, e.Endpoint, gb, wb)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return rep, fmt.Errorf("reading audit log: %w", err)
+	rerun := func(e *AuditEntry, kind string) {
+		if !replayable(e) {
+			rep.Skipped++
+			return
+		}
+		rep.Replayed++
+		got, want := srv.replayEntry(e), outcomeOf(e)
+		if reflect.DeepEqual(got, want) {
+			rep.Matched++
+		} else {
+			mismatch(e, kind, got, want)
+		}
+	}
+
+	for i := range workers {
+		rerun(&workers[i], "worker")
+	}
+
+	if len(workers) == 0 {
+		// Frontend log alone: no join possible, but the entries are
+		// self-contained requests — replay them directly.
+		for i := range frontend {
+			rerun(&frontend[i], "frontend")
+		}
+		return rep, nil
+	}
+
+	// Join: index worker outcomes by request id, then verify each
+	// deterministic frontend outcome against them.
+	byID := map[string][]replayOutcome{}
+	for _, e := range workers {
+		if e.RequestID != "" {
+			byID[e.RequestID] = append(byID[e.RequestID], outcomeOf(&e))
+		}
+	}
+	for i := range frontend {
+		e := &frontend[i]
+		if !replayable(e) || e.RequestID == "" {
+			rep.Skipped++
+			continue
+		}
+		want := outcomeOf(e)
+		matched := false
+		for _, got := range byID[e.RequestID] {
+			if reflect.DeepEqual(got, want) {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			rep.Joined++
+			rep.Matched++
+		} else if len(byID[e.RequestID]) == 0 {
+			rep.Mismatched++
+			msg := fmt.Sprintf("join seq %d (%s): no worker entry for request id %s", e.Seq, e.Endpoint, e.RequestID)
+			rep.Errors = append(rep.Errors, msg)
+			if progress != nil {
+				fmt.Fprintln(progress, "MISMATCH "+msg)
+			}
+		} else {
+			mismatch(e, "join", byID[e.RequestID][0], want)
+		}
 	}
 	return rep, nil
 }

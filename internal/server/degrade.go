@@ -80,6 +80,32 @@ func (srv *Server) latency() float64 {
 	return math.Float64frombits(srv.latEWMA.Load())
 }
 
+// retryAfterS derives Retry-After for 429 shed and 503 draining responses
+// from live signals instead of a constant: the latency EWMA estimates
+// per-request service time and the queue depth says how much backlog must
+// drain before a returning client could be admitted — queue-ahead ×
+// service-time ÷ slots, clamped to [1s, 60s]. Frontend backoff and client
+// retry schedules thereby track real recovery time: an idle server says
+// "come right back", a deeply backed-up one pushes clients out far enough
+// that their retries don't re-amplify the overload.
+func (srv *Server) retryAfterS() int {
+	ewma := srv.latency()
+	if ewma <= 0 {
+		// Cold server, no latency signal yet: assume a quarter of the
+		// default budget per queued request.
+		ewma = float64(srv.cfg.DefaultTimeout.Milliseconds()) / 4
+	}
+	waiting := float64(srv.waiting.Load())
+	s := int(math.Ceil(ewma * (waiting + 1) / float64(srv.cfg.MaxConcurrent) / 1000))
+	if s < 1 {
+		return 1
+	}
+	if s > 60 {
+		return 60
+	}
+	return s
+}
+
 // clampBudgets applies the level-1+ budget clamps to a request's effective
 // budget and conflict cap.
 func (srv *Server) clampBudgets(budget time.Duration, maxConflicts int64) (time.Duration, int64) {

@@ -44,9 +44,9 @@ type instance struct {
 // server uses it to map its tuple cap onto SF.
 const tpchTuplesPerSF = 8_660_000
 
-// cacheKey returns the instance-cache key for a spec, or "" when the spec
+// CacheKey returns the instance-cache key for a spec, or "" when the spec
 // is not cacheable (inline data).
-func (s InstanceSpec) cacheKey() string {
+func (s InstanceSpec) CacheKey() string {
 	switch s.Kind {
 	case "course":
 		return fmt.Sprintf("course:%d:%d", s.sizeOrDefault(), s.Seed)
@@ -80,7 +80,7 @@ func (srv *Server) resolve(spec InstanceSpec) (*instance, bool, error) {
 		if n > srv.cfg.MaxInstanceTuples {
 			return nil, false, fmt.Errorf("course instance size %d exceeds the server cap %d", n, srv.cfg.MaxInstanceTuples)
 		}
-		key := spec.cacheKey()
+		key := spec.CacheKey()
 		if inst, ok := srv.instances.Get(key); ok {
 			return inst, true, nil
 		}
@@ -97,7 +97,7 @@ func (srv *Server) resolve(spec InstanceSpec) (*instance, bool, error) {
 		if math.IsNaN(sf) || sf*tpchTuplesPerSF > float64(srv.cfg.MaxInstanceTuples) {
 			return nil, false, fmt.Errorf("tpch sf %g (≈%.0f tuples) exceeds the server cap %d tuples", sf, sf*tpchTuplesPerSF, srv.cfg.MaxInstanceTuples)
 		}
-		key := spec.cacheKey()
+		key := spec.CacheKey()
 		if inst, ok := srv.instances.Get(key); ok {
 			return inst, true, nil
 		}

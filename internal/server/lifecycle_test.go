@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"testing"
@@ -82,6 +84,73 @@ func TestDrainSetsRetryAfterHeader(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("no Retry-After header on a draining refusal")
+	}
+}
+
+// Retry-After is adaptive, not a constant: it scales with the latency
+// EWMA and the queue depth (queue-ahead x service-time / slots), clamped
+// to [1s, 60s], so a backed-up server pushes clients out far enough that
+// their retries don't re-amplify the overload.
+func TestAdaptiveRetryAfter(t *testing.T) {
+	srv := mustNew(t, Config{MaxConcurrent: 2, DefaultTimeout: 10 * time.Second})
+
+	// Cold server, empty queue: no latency signal yet, so a quarter of the
+	// default budget (2.5s) stands in per request -> ceil(2.5/2) = 2s.
+	if got := srv.retryAfterS(); got != 2 {
+		t.Fatalf("cold retryAfterS = %d, want 2", got)
+	}
+
+	// Fast requests, empty queue: "come right back" (the 1s floor).
+	for i := 0; i < 100; i++ {
+		srv.observeLatency(100)
+	}
+	if got := srv.retryAfterS(); got != 1 {
+		t.Fatalf("fast+idle retryAfterS = %d, want 1", got)
+	}
+
+	// Same latency, deep queue: 100 queued ahead at ~100ms each over 2
+	// slots -> ceil(100 * 101 / 2 / 1000) = 6s. The backlog alone moved it.
+	srv.waiting.Store(100)
+	if got := srv.retryAfterS(); got != 6 {
+		t.Fatalf("fast+backlog retryAfterS = %d, want 6", got)
+	}
+
+	// Slow requests and a deep queue: clamped at the 60s ceiling rather
+	// than quoting minutes.
+	for i := 0; i < 200; i++ {
+		srv.observeLatency(10_000)
+	}
+	if got := srv.retryAfterS(); got != 60 {
+		t.Fatalf("slow+backlog retryAfterS = %d, want 60", got)
+	}
+	srv.waiting.Store(0)
+
+	// The live value is what refusals quote: a draining server's 503
+	// carries the adaptive number, header and body agreeing.
+	srv2, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	for i := 0; i < 100; i++ {
+		srv2.observeLatency(4_000) // ~4s per request observed
+	}
+	srv2.BeginDrain()
+	resp, err := http.Post(ts.URL+"/explain", "application/json",
+		jsonBody(t, ExplainRequest{Q1: refQ, Q2: refQ, Instance: courseSpec(300)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body ExplainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	want := srv2.retryAfterS()
+	if body.RetryAfterS != want {
+		t.Fatalf("draining retry_after_s = %d, want the adaptive %d", body.RetryAfterS, want)
+	}
+	if h := resp.Header.Get("Retry-After"); h != fmt.Sprint(want) {
+		t.Fatalf("Retry-After header = %q, want %d", h, want)
+	}
+	if want < 2 {
+		t.Fatalf("adaptive Retry-After = %d under 4s-latency load; the signal is not being used", want)
 	}
 }
 
@@ -289,8 +358,8 @@ func TestTenantRateLimit(t *testing.T) {
 // Freed slots rotate round-robin across tenants with queued waiters, so a
 // tenant with a deep queue cannot starve the others.
 func TestFairQueueRoundRobin(t *testing.T) {
-	q := newFairQueue(1)
-	if !q.acquire(context.Background(), "main") {
+	q := NewFairQueue(1)
+	if !q.Acquire(context.Background(), "main") {
 		t.Fatal("initial acquire failed")
 	}
 
@@ -301,9 +370,9 @@ func TestFairQueueRoundRobin(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if q.acquire(context.Background(), tenant) {
+			if q.Acquire(context.Background(), tenant) {
 				order <- label
-				q.release()
+				q.Release()
 			}
 		}()
 		// Wait until the waiter is actually queued so the enqueue order —
@@ -327,7 +396,7 @@ func TestFairQueueRoundRobin(t *testing.T) {
 	start("a2", "a")
 	start("b1", "b")
 
-	q.release() // main's slot: a1 → (a1 releases) b1 → (b1 releases) a2
+	q.Release() // main's slot: a1 → (a1 releases) b1 → (b1 releases) a2
 	wg.Wait()
 	close(order)
 	var got []string
@@ -345,13 +414,13 @@ func TestFairQueueRoundRobin(t *testing.T) {
 // A waiter whose context dies while queued must be skipped by the grant
 // path, not granted a slot nobody will release.
 func TestFairQueueCanceledWaiter(t *testing.T) {
-	q := newFairQueue(1)
-	if !q.acquire(context.Background(), "a") {
+	q := NewFairQueue(1)
+	if !q.Acquire(context.Background(), "a") {
 		t.Fatal("initial acquire failed")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan bool, 1)
-	go func() { done <- q.acquire(ctx, "b") }()
+	go func() { done <- q.Acquire(ctx, "b") }()
 	for {
 		q.mu.Lock()
 		n := len(q.queues["b"])
@@ -365,12 +434,12 @@ func TestFairQueueCanceledWaiter(t *testing.T) {
 	if ok := <-done; ok {
 		t.Fatal("canceled waiter was admitted")
 	}
-	q.release()
+	q.Release()
 	// The slot must be free again despite the dead waiter in the queue.
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel2()
-	if !q.acquire(ctx2, "c") {
+	if !q.Acquire(ctx2, "c") {
 		t.Fatal("slot lost to a canceled waiter")
 	}
-	q.release()
+	q.Release()
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -129,8 +130,8 @@ type Server struct {
 	cfg       Config
 	plans     *lru[string, *plannedQuery]
 	instances *lru[string, *instance]
-	admission *fairQueue
-	limiter   *tenantLimiter
+	admission *FairQueue
+	limiter   *TenantLimiter
 	audit     *auditLog
 	started   time.Time
 
@@ -163,7 +164,7 @@ type Server struct {
 // setup (an unopenable path).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.Normalize()
-	audit, err := newAuditLog(cfg)
+	audit, err := newAuditLog(cfg.AuditPath, cfg.AuditWriter)
 	if err != nil {
 		return nil, err
 	}
@@ -172,8 +173,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		plans:      newLRU[string, *plannedQuery](cfg.PlanCacheSize),
 		instances:  newLRU[string, *instance](cfg.InstanceCacheSize),
-		admission:  newFairQueue(cfg.MaxConcurrent),
-		limiter:    newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
+		admission:  NewFairQueue(cfg.MaxConcurrent),
+		limiter:    NewTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
 		audit:      audit,
 		started:    time.Now(),
 		hardCtx:    hardCtx,
@@ -230,7 +231,36 @@ const (
 	StatusError          = "error"           // malformed request or failed search
 	StatusShed           = "shed"            // 429: overload shed or tenant over rate limit
 	StatusDraining       = "draining"        // 503: server is shutting down
+	StatusUnavailable    = "unavailable"     // 503: no worker replica could serve (cluster frontend)
 )
+
+// Cluster propagation headers: the frontend assigns a request id and a
+// 1-based attempt counter per try; the worker echoes the id and reports
+// the degradation level it applied, so the frontend and worker audit logs
+// join on the id and the frontend can account degraded answers without
+// re-parsing bodies.
+const (
+	HeaderRequestID = "X-Ratest-Request-Id"
+	HeaderAttempt   = "X-Ratest-Attempt"
+	HeaderDegraded  = "X-Ratest-Degraded"
+)
+
+// requestIDOf reads the frontend-assigned cluster headers off a request.
+func requestIDOf(r *http.Request) (string, int) {
+	attempt, _ := strconv.Atoi(r.Header.Get(HeaderAttempt))
+	return r.Header.Get(HeaderRequestID), attempt
+}
+
+// writeClusterHeaders echoes the request id and reports the applied
+// degradation level on the response.
+func writeClusterHeaders(w http.ResponseWriter, reqID, degraded string) {
+	if reqID != "" {
+		w.Header().Set(HeaderRequestID, reqID)
+	}
+	if degraded != "" {
+		w.Header().Set(HeaderDegraded, degraded)
+	}
+}
 
 // ExplainRequest is the body of POST /explain.
 type ExplainRequest struct {
@@ -440,11 +470,14 @@ func (srv *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !srv.decode(w, r, &req) {
 		return
 	}
-	tenant := tenantOf(req.Tenant, r.Header.Get("X-Tenant"))
+	tenant := TenantOf(req.Tenant, r.Header.Get("X-Tenant"))
+	reqID, attempt := requestIDOf(r)
 	status, resp := srv.explain(r.Context(), &req, tenant)
 	e := auditOf("/explain", tenant, status, resp)
 	e.Request = &req
+	e.RequestID, e.Attempt = reqID, attempt
 	srv.audit.append(e)
+	writeClusterHeaders(w, reqID, resp.Degraded)
 	writeResponse(w, status, resp.RetryAfterS, resp)
 }
 
@@ -454,12 +487,15 @@ func (srv *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 	if !srv.decode(w, r, &req) {
 		return
 	}
-	tenant := tenantOf(req.Tenant, r.Header.Get("X-Tenant"))
+	tenant := TenantOf(req.Tenant, r.Header.Get("X-Tenant"))
+	reqID, attempt := requestIDOf(r)
 	status, out := srv.grade(r.Context(), &req, tenant)
 	e := auditOf("/grade", tenant, status, &out.ExplainResponse)
 	e.GradeRequest = &req
 	e.Grade = out.Grade
+	e.RequestID, e.Attempt = reqID, attempt
 	srv.audit.append(e)
+	writeClusterHeaders(w, reqID, out.Degraded)
 	writeResponse(w, status, out.RetryAfterS, out)
 }
 
@@ -565,12 +601,12 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest, tenant stri
 	if srv.Draining() {
 		return finish(http.StatusServiceUnavailable, &ExplainResponse{
 			Status:      StatusDraining,
-			RetryAfterS: 5,
+			RetryAfterS: srv.retryAfterS(),
 			Error:       "server is draining; retry against another replica",
 		})
 	}
 	// Per-tenant rate limit.
-	if ok, wait := srv.limiter.allow(tenant, time.Now()); !ok {
+	if ok, wait := srv.limiter.Allow(tenant, time.Now()); !ok {
 		srv.rateLimited.Add(1)
 		return finish(http.StatusTooManyRequests, &ExplainResponse{
 			Status:      StatusShed,
@@ -584,7 +620,7 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest, tenant stri
 		return finish(http.StatusTooManyRequests, &ExplainResponse{
 			Status:      StatusShed,
 			Degraded:    degradeName(level),
-			RetryAfterS: 1,
+			RetryAfterS: srv.retryAfterS(),
 			Error:       "server overloaded; request shed",
 		})
 	}
@@ -627,7 +663,7 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest, tenant stri
 	if err != nil {
 		return errResp(http.StatusBadRequest, err)
 	}
-	instKey := req.Instance.cacheKey()
+	instKey := req.Instance.CacheKey()
 	p1, q1Hit, err := srv.plan(req.Q1, inst, instKey)
 	if err != nil {
 		return errResp(http.StatusBadRequest, fmt.Errorf("parsing q1: %w", err))
@@ -808,7 +844,7 @@ func (srv *Server) budget(timeoutMS int64) time.Duration {
 // context expires, reporting whether the request was admitted.
 func (srv *Server) admit(ctx context.Context, tenant string) bool {
 	srv.waiting.Add(1)
-	ok := srv.admission.acquire(ctx, tenant)
+	ok := srv.admission.Acquire(ctx, tenant)
 	srv.waiting.Add(-1)
 	if ok {
 		srv.inFlight.Add(1)
@@ -818,7 +854,7 @@ func (srv *Server) admit(ctx context.Context, tenant string) bool {
 
 func (srv *Server) release() {
 	srv.inFlight.Add(-1)
-	srv.admission.release()
+	srv.admission.Release()
 }
 
 // decode reads a JSON request body, enforcing method and size limits.

@@ -8,14 +8,16 @@
 // Usage:
 //
 //	ratestd [-addr :8080] [-default-timeout 10s] [-max-timeout 60s]
-//	        [-plan-cache 256] [-instance-cache 8] [-max-concurrent N]
-//	        [-max-instance-tuples 200000] [-shutdown-grace 30s]
-//	        [-audit-log FILE] [-tenant-rate R] [-tenant-burst B]
-//	        [-faults SPEC] [-fault-seed N]
+//	        [-plan-cache 256] [-instance-cache 8] [-session-cache 64]
+//	        [-max-concurrent N] [-max-instance-tuples 200000]
+//	        [-shutdown-grace 30s] [-audit-log FILE]
+//	        [-tenant-rate R] [-tenant-burst B] [-faults SPEC] [-fault-seed N]
 //	ratestd -frontend -workers host:port,host:port,... [frontend flags]
 //	ratestd -replay FILE[,FILE...] [server flags]
 //
-// Endpoints: POST /explain, POST /grade, GET /healthz, GET /stats. See
+// Endpoints: POST /explain, POST /grade, GET /healthz, GET /stats, and the
+// stateful live-grading session API (POST /session, POST /session/{id}/revise,
+// GET/DELETE /session/{id}) backed by incremental view maintenance. See
 // internal/server, docs/OPERATIONS.md and the README's "Running the server"
 // section for the request/response formats and the operational runbook.
 //
@@ -63,6 +65,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	planCache := flag.Int("plan-cache", 256, "parsed-plan LRU cache entries")
 	instanceCache := flag.Int("instance-cache", 8, "generated-instance LRU cache entries")
+	sessionCache := flag.Int("session-cache", 64, "resident live-grading sessions (LRU; creating past the cap evicts the oldest)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent explanations (0 = one per CPU)")
 	defaultTimeout := flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request sets none")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "largest per-request budget a request may ask for")
@@ -87,6 +90,7 @@ func main() {
 	cfg := server.Config{
 		PlanCacheSize:     *planCache,
 		InstanceCacheSize: *instanceCache,
+		SessionCacheSize:  *sessionCache,
 		MaxConcurrent:     *maxConcurrent,
 		DefaultTimeout:    *defaultTimeout,
 		MaxTimeout:        *maxTimeout,

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// This file is the live-grading session: the paper's interactive use case (a
+// student iterating on a wrong query against a fixed instance) held resident
+// between requests. A LiveSession owns a private Problem — the instance MUST
+// NOT be shared, because committed insertions mutate it — and keeps an
+// engine.PreparedDiff retained across revisions, so instance updates
+// (insert/delete/update) re-grade through ApplyDelta in time proportional to
+// the delta, and query edits re-prepare once instead of re-evaluating per
+// keystroke thereafter. Plan pairs the delta subsystem refuses
+// (ErrNotIncremental: oversized derivation counts) degrade to a
+// materialize-and-evaluate fallback that stays correct, just not fast.
+
+// SessionUpdate is one instance revision: deletions by tuple id and
+// insertions by relation + tuple, with updates expressed as delete+insert.
+type SessionUpdate struct {
+	Remove []relation.TupleID
+	Insert []engine.Insert
+}
+
+// Update paths, reported per revision so callers (and /stats) can tell how
+// much of the workload the incremental engine absorbed.
+const (
+	PathIncremental = "incremental" // ApplyDelta + Commit on retained state
+	PathReprepare   = "reprepare"   // plan shape changed: PrepareDiff from scratch
+	PathFallback    = "fallback"    // plan not incrementalizable: full evaluation
+)
+
+// LiveGrade is the session's current verdict: whether the queries agree on
+// the live instance, the difference sizes, and a bounded witness sample per
+// direction.
+type LiveGrade struct {
+	Agree                bool
+	Size12, Size21       int
+	Witness12, Witness21 []relation.Tuple
+}
+
+// witnessSample bounds the tuples a LiveGrade carries per direction.
+const witnessSample = 5
+
+// LiveSession is a stateful incremental grading session. It is NOT safe for
+// concurrent use — callers serialize access (the server holds one mutex per
+// session).
+type LiveSession struct {
+	p    Problem
+	prep *engine.PreparedDiff // nil ⇒ fallback mode
+	// removed holds fallback-mode tombstones (the prepared path tracks its
+	// own inside PreparedDiff).
+	removed map[relation.TupleID]bool
+	epoch   int // applied revisions (updates + query edits)
+
+	nIncremental, nReprepared, nFallback int
+}
+
+// NewLiveSession prepares a session over p. p.DB must be private to the
+// session (clone shared instances first): committed insertions mutate it.
+// A plan pair the delta subsystem cannot maintain falls back to full
+// evaluation; a pair that cannot be evaluated at all is an error.
+func NewLiveSession(p Problem) (*LiveSession, error) {
+	s := &LiveSession{p: p, removed: map[relation.TupleID]bool{}}
+	if err := s.prepare(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// prepare (re)builds the retained state for the session's current Problem,
+// entering fallback mode when the plan pair is unpreparable but evaluable.
+func (s *LiveSession) prepare() error {
+	prep, err := engine.PrepareDiff(s.p.Q1, s.p.Q2, s.p.DB, s.p.Params, s.p.engineOpts())
+	if err == nil {
+		s.prep = prep
+		return nil
+	}
+	if errors.Is(err, ErrBudget) || s.p.interrupted() != nil {
+		return fmt.Errorf("%w: %w", ErrBudget, err)
+	}
+	// Not incrementalizable (oversized counts, row-budget blowup): degrade
+	// to fallback — but only if the pair evaluates at all; surface real
+	// errors (unknown relations, incompatible schemas) to the caller.
+	if _, _, _, everr := s.p.disagrees(s.p.DB); everr != nil {
+		return everr
+	}
+	s.prep = nil
+	return nil
+}
+
+// Incremental reports whether the session holds retained delta state (false
+// in fallback mode).
+func (s *LiveSession) Incremental() bool { return s.prep != nil }
+
+// Epoch counts applied revisions (instance updates and query edits).
+func (s *LiveSession) Epoch() int { return s.epoch }
+
+// BaseSize is the number of live tuples in the session instance.
+func (s *LiveSession) BaseSize() int {
+	if s.prep != nil {
+		return s.prep.BaseSize()
+	}
+	return s.p.DB.Size() - len(s.removed)
+}
+
+// Counters reports how many applied revisions took each path.
+func (s *LiveSession) Counters() (incremental, reprepared, fallback int) {
+	return s.nIncremental, s.nReprepared, s.nFallback
+}
+
+// Query2 returns the session's current candidate query.
+func (s *LiveSession) Query2() ra.Node { return s.p.Q2 }
+
+// bind points the session's budget at the current request's context: the
+// Problem fields drive fallback evaluations and ShrinkGreedy, and the
+// retained prepared state's stop hook must follow (it was built under the
+// creating request's context, which has long expired).
+func (s *LiveSession) bind(ctx context.Context) {
+	s.p.Ctx = ctx
+	if s.prep != nil {
+		s.prep.SetStop(s.p.engineOpts().Stop)
+	}
+}
+
+// CurrentDB materializes the live instance (committed inserts included,
+// deletions dropped). The result preserves tuple identifiers, so
+// counterexample ids remain meaningful across revisions.
+func (s *LiveSession) CurrentDB() *relation.Database {
+	keep := map[relation.TupleID]bool{}
+	if s.prep != nil {
+		for _, id := range s.prep.LiveIDs() {
+			keep[id] = true
+		}
+	} else {
+		for _, id := range s.p.DB.AllIDs() {
+			if !s.removed[id] {
+				keep[id] = true
+			}
+		}
+	}
+	return s.p.DB.Subinstance(keep)
+}
+
+// Update applies one instance revision under ctx's budget and reports which
+// path graded it. Failed updates (validation, budget, refused deltas that
+// cannot fall back) leave the session state unchanged.
+func (s *LiveSession) Update(ctx context.Context, up SessionUpdate) (string, error) {
+	s.bind(ctx)
+	if s.prep == nil {
+		if err := s.applyFallback(up); err != nil {
+			return "", err
+		}
+		s.epoch++
+		s.nFallback++
+		return PathFallback, nil
+	}
+	res, err := s.prep.ApplyDelta(up.Remove, up.Insert)
+	if errors.Is(err, engine.ErrNotIncremental) {
+		// The update would outgrow exact delta arithmetic; re-preparing
+		// cannot help (the counts are a property of the plan + instance),
+		// so degrade this session to fallback mode and apply there.
+		s.demote()
+		if err := s.applyFallback(up); err != nil {
+			return "", err
+		}
+		s.epoch++
+		s.nFallback++
+		return PathFallback, nil
+	}
+	if err != nil {
+		return "", err
+	}
+	if err := res.Commit(); err != nil {
+		return "", err
+	}
+	s.epoch++
+	s.nIncremental++
+	return PathIncremental, nil
+}
+
+// demote drops the retained state, converting its live set into fallback
+// tombstones.
+func (s *LiveSession) demote() {
+	live := map[relation.TupleID]bool{}
+	for _, id := range s.prep.LiveIDs() {
+		live[id] = true
+	}
+	for _, id := range s.p.DB.AllIDs() {
+		if !live[id] {
+			s.removed[id] = true
+		}
+	}
+	s.prep = nil
+}
+
+// applyFallback validates and applies an update directly to the session
+// database (tombstoning deletions), mirroring ApplyDelta's contract:
+// unknown/dead ids are ignored, bad insertions are errors, and nothing is
+// applied unless everything validates.
+func (s *LiveSession) applyFallback(up SessionUpdate) error {
+	for _, ins := range up.Insert {
+		r := s.p.DB.Relation(ins.Rel)
+		if r == nil {
+			return fmt.Errorf("core: insert into unknown relation %q", ins.Rel)
+		}
+		if len(ins.Tuple) != r.Schema.Arity() {
+			return fmt.Errorf("core: arity mismatch inserting into %q: got %d want %d",
+				ins.Rel, len(ins.Tuple), r.Schema.Arity())
+		}
+	}
+	for _, id := range up.Remove {
+		if _, _, ok := s.p.DB.Lookup(id); ok {
+			s.removed[id] = true
+		}
+	}
+	for _, ins := range up.Insert {
+		s.p.DB.Insert(ins.Rel, ins.Tuple)
+	}
+	return nil
+}
+
+// ReviseQuery replaces the candidate query Q2 and re-prepares the retained
+// state over the current live instance — the plan shape changed, so the
+// per-operator state cannot be patched. The materialized instance keeps its
+// tuple ids, so subsequent updates and counterexamples stay coherent.
+func (s *LiveSession) ReviseQuery(ctx context.Context, q2 ra.Node) (string, error) {
+	s.bind(ctx)
+	old, oldRemoved, oldPrep := s.p, s.removed, s.prep
+	s.p.DB = s.CurrentDB()
+	s.p.Q2 = q2
+	s.removed = map[relation.TupleID]bool{}
+	if err := s.prepare(); err != nil {
+		s.p, s.removed, s.prep = old, oldRemoved, oldPrep
+		return "", err
+	}
+	s.epoch++
+	s.nReprepared++
+	return PathReprepare, nil
+}
+
+// Grade reports the session's current verdict under ctx's budget. The
+// incremental path reads the retained difference state (no evaluation);
+// fallback mode pays a full evaluation of the live instance.
+func (s *LiveSession) Grade(ctx context.Context) (*LiveGrade, error) {
+	s.bind(ctx)
+	if s.prep != nil {
+		d12, d21 := s.prep.Diffs()
+		return &LiveGrade{
+			Agree:     !s.prep.Disagrees(),
+			Size12:    d12.Len(),
+			Size21:    d21.Len(),
+			Witness12: sampleTuples(d12.Tuples),
+			Witness21: sampleTuples(d21.Tuples),
+		}, nil
+	}
+	disagree, r12, r21, err := s.p.disagrees(s.CurrentDB())
+	if err != nil {
+		return nil, err
+	}
+	return &LiveGrade{
+		Agree:     !disagree,
+		Size12:    r12.Len(),
+		Size21:    r21.Len(),
+		Witness12: sampleTuples(r12.Tuples),
+		Witness21: sampleTuples(r21.Tuples),
+	}, nil
+}
+
+func sampleTuples(ts []relation.Tuple) []relation.Tuple {
+	if len(ts) > witnessSample {
+		ts = ts[:witnessSample]
+	}
+	return append([]relation.Tuple(nil), ts...)
+}
+
+// Minimize runs the solver-free greedy shrink on the current live instance,
+// producing a verified minimal counterexample for the session's present
+// state. The shrink works on a materialized copy; session state is
+// untouched.
+func (s *LiveSession) Minimize(ctx context.Context) (*Counterexample, *Stats, error) {
+	s.bind(ctx)
+	p := s.p
+	p.DB = s.CurrentDB()
+	return ShrinkGreedy(p)
+}

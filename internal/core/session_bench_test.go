@@ -1,0 +1,141 @@
+// Live-session benchmarks: the keystroke revision loop — a resident grading
+// session absorbing a stream of single-tuple updates (delete+insert of a
+// Registration row with a changed grade), re-grading after every one — run
+// through the retained-state LiveSession (one ApplyDelta + Commit per
+// revision) against re-preparing the delta state from scratch on every
+// revision. This is the acceptance benchmark for the session subsystem
+// (target: ≥20×); timings are exported to BENCH_session.json via the
+// BENCH_SESSION_JSON env var.
+package core_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/course"
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// sessionWorkload is the benchmark input: the |D|=5000 course instance, the
+// q4-vs-q6 disagreeing pair, and a fixed pseudo-random stream of 256
+// single-tuple Registration updates (remove one row, insert it back with a
+// different grade).
+func sessionWorkload() (db *relation.Database, ups []core.SessionUpdate) {
+	db = course.GenerateDB(5000, 7)
+	var regIDs []relation.TupleID
+	for _, id := range db.AllIDs() {
+		if rel, _, _ := db.Lookup(id); rel == "Registration" {
+			regIDs = append(regIDs, id)
+		}
+	}
+	sort.Slice(regIDs, func(i, j int) bool { return regIDs[i] < regIDs[j] })
+	rng := rand.New(rand.NewSource(11))
+	for _, i := range rng.Perm(len(regIDs))[:256] {
+		id := regIDs[i]
+		_, t, _ := db.Lookup(id)
+		nt := t.Clone()
+		nt[3] = relation.Int(int64(40 + rng.Intn(61)))
+		ups = append(ups, core.SessionUpdate{
+			Remove: []relation.TupleID{id},
+			Insert: []engine.Insert{{Rel: "Registration", Tuple: nt}},
+		})
+	}
+	return db, ups
+}
+
+type sessionBenchRow struct {
+	Revisions        int     `json:"revisions"`
+	SessionNsPerOp   float64 `json:"session_ns_per_op"`
+	ReprepareNsPerOp float64 `json:"reprepare_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+}
+
+var sessionBenchRow256 = &sessionBenchRow{Revisions: 256}
+
+// BenchmarkSession times the revision loop on a resident session: one
+// NewLiveSession, then per revision one Update (ApplyDelta + Commit) and one
+// Grade off the retained difference state.
+func BenchmarkSession(b *testing.B) {
+	db, ups := sessionWorkload()
+	qs := course.Questions()
+	q1, q2 := qs[3].Correct, qs[5].Correct
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewLiveSession(core.Problem{Q1: q1, Q2: q2, DB: db.Clone()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.Incremental() {
+			b.Fatal("course pair did not prepare incrementally")
+		}
+		for _, up := range ups {
+			if _, err := s.Update(ctx, up); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Grade(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	sessionBenchRow256.SessionNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+}
+
+// BenchmarkSessionReprepare times the same revision loop without retained
+// state: every revision is applied to the instance and the full delta state
+// is re-prepared from scratch (the cost a stateless server pays per edit).
+func BenchmarkSessionReprepare(b *testing.B) {
+	db, ups := sessionWorkload()
+	qs := course.Questions()
+	q1, q2 := qs[3].Correct, qs[5].Correct
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := db.Clone()
+		dead := map[relation.TupleID]bool{}
+		for _, up := range ups {
+			for _, id := range up.Remove {
+				dead[id] = true
+			}
+			for _, ins := range up.Insert {
+				cur.Insert(ins.Rel, ins.Tuple)
+			}
+			keep := map[relation.TupleID]bool{}
+			for _, id := range cur.AllIDs() {
+				if !dead[id] {
+					keep[id] = true
+				}
+			}
+			p, err := engine.PrepareDiff(q1, q2, cur.Subinstance(keep), nil, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = p.Disagrees()
+		}
+	}
+	sessionBenchRow256.ReprepareNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if path := os.Getenv("BENCH_SESSION_JSON"); path != "" {
+		row := *sessionBenchRow256
+		if row.SessionNsPerOp > 0 {
+			row.Speedup = row.ReprepareNsPerOp / row.SessionNsPerOp
+		}
+		out := map[string]any{
+			"workload": "course q4-vs-q6 keystroke revision loop, |D|=5000, 256 single-tuple updates (delete+insert)",
+			"results":  []sessionBenchRow{row},
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("session revision loop speedup: %.1fx\n", row.Speedup)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/ra"
+	"repro/internal/relation"
+)
+
+// randomSessionUpdate draws a small instance revision against the session's
+// live ids: deletions, insertions into A/B, and updates as delete+insert.
+func randomSessionUpdate(rng *rand.Rand, live []relation.TupleID) SessionUpdate {
+	var up SessionUpdate
+	for i := rng.Intn(2); i > 0 && len(live) > 0; i-- {
+		up.Remove = append(up.Remove, live[rng.Intn(len(live))])
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		if rng.Intn(2) == 0 {
+			up.Insert = append(up.Insert, engine.Insert{Rel: "A", Tuple: relation.NewTuple(
+				relation.Int(int64(rng.Intn(4))), relation.Int(int64(rng.Intn(3))))})
+		} else {
+			up.Insert = append(up.Insert, engine.Insert{Rel: "B", Tuple: relation.NewTuple(
+				relation.Int(int64(rng.Intn(4))), relation.Int(int64(rng.Intn(3))))})
+		}
+	}
+	return up
+}
+
+// checkSessionGrade compares the session's grade against a from-scratch
+// evaluation of its materialized live instance.
+func checkSessionGrade(t *testing.T, trial, step int, s *LiveSession, q1 ra.Node) {
+	t.Helper()
+	g, err := s.Grade(context.Background())
+	if err != nil {
+		t.Fatalf("trial %d step %d: Grade: %v", trial, step, err)
+	}
+	disagree, r12, r21, err := Disagrees(q1, s.Query2(), s.CurrentDB(), nil)
+	if err != nil {
+		t.Fatalf("trial %d step %d: scratch: %v", trial, step, err)
+	}
+	if g.Agree != !disagree || g.Size12 != r12.Len() || g.Size21 != r21.Len() {
+		t.Fatalf("trial %d step %d: grade mismatch: got agree=%v sizes=(%d,%d), want agree=%v sizes=(%d,%d)",
+			trial, step, g.Agree, g.Size12, g.Size21, !disagree, r12.Len(), r21.Len())
+	}
+	if s.BaseSize() != s.CurrentDB().Size() {
+		t.Fatalf("trial %d step %d: BaseSize %d != materialized size %d", trial, step, s.BaseSize(), s.CurrentDB().Size())
+	}
+}
+
+// TestLiveSessionDifferential drives random sessions through interleaved
+// instance updates, query revisions, and minimizations, checking every
+// grade against a from-scratch evaluation.
+func TestLiveSessionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	incremental := 0
+	for trial := 0; trial < 50; trial++ {
+		db := randomSmallDB(rng)
+		q1, q2 := randomQueryPair(rng)
+		s, err := NewLiveSession(Problem{Q1: q1, Q2: q2, DB: db})
+		if err != nil {
+			t.Fatalf("trial %d: NewLiveSession: %v", trial, err)
+		}
+		if s.Incremental() {
+			incremental++
+		}
+		checkSessionGrade(t, trial, -1, s, q1)
+		for step := 0; step < 6; step++ {
+			prevEpoch := s.Epoch()
+			if step == 3 {
+				// Query edit: plan shape changes, state must re-prepare.
+				_, alt := randomQueryPair(rng)
+				path, err := s.ReviseQuery(context.Background(), alt)
+				if err != nil {
+					t.Fatalf("trial %d step %d: ReviseQuery: %v", trial, step, err)
+				}
+				if path != PathReprepare {
+					t.Fatalf("trial %d step %d: ReviseQuery path %q", trial, step, path)
+				}
+			} else {
+				up := randomSessionUpdate(rng, s.CurrentDB().AllIDs())
+				path, err := s.Update(context.Background(), up)
+				if err != nil {
+					t.Fatalf("trial %d step %d: Update: %v", trial, step, err)
+				}
+				if s.Incremental() && path != PathIncremental {
+					t.Fatalf("trial %d step %d: incremental session took path %q", trial, step, path)
+				}
+			}
+			if s.Epoch() != prevEpoch+1 {
+				t.Fatalf("trial %d step %d: epoch did not advance", trial, step)
+			}
+			checkSessionGrade(t, trial, step, s, q1)
+		}
+		// When the final state disagrees, the session minimizes to a
+		// verified counterexample over its live instance.
+		if g, _ := s.Grade(context.Background()); !g.Agree {
+			ce, _, err := s.Minimize(context.Background())
+			if err != nil {
+				t.Fatalf("trial %d: Minimize: %v", trial, err)
+			}
+			p := Problem{Q1: q1, Q2: s.Query2(), DB: s.CurrentDB()}
+			if err := Verify(p, ce); err != nil {
+				t.Fatalf("trial %d: minimized counterexample failed verification: %v", trial, err)
+			}
+		}
+	}
+	if incremental < 40 {
+		t.Fatalf("only %d/50 sessions took the incremental path", incremental)
+	}
+}
+
+// TestLiveSessionFallback: a plan pair the delta subsystem refuses
+// (derivation counts past the exact-arithmetic bound) still grades
+// correctly through the fallback path.
+func TestLiveSessionFallback(t *testing.T) {
+	db := relation.NewDatabase()
+	db.CreateRelation("R", relation.NewSchema(relation.Attr("a", relation.KindInt)))
+	db.CreateRelation("S", relation.NewSchema(relation.Attr("a", relation.KindInt)))
+	for i := 0; i < 2; i++ {
+		db.Insert("R", relation.NewTuple(relation.Int(1)))
+	}
+	db.Insert("S", relation.NewTuple(relation.Int(1)))
+	var tower ra.Node = &ra.Rel{Name: "R"}
+	for i := 0; i < 5; i++ {
+		tower = &ra.Join{L: tower, R: tower} // counts reach 2^32: refused
+	}
+	s, err := NewLiveSession(Problem{Q1: tower, Q2: &ra.Rel{Name: "S"}, DB: db})
+	if err != nil {
+		t.Fatalf("NewLiveSession: %v", err)
+	}
+	if s.Incremental() {
+		t.Fatal("saturating tower unexpectedly prepared incrementally")
+	}
+	path, err := s.Update(context.Background(), SessionUpdate{
+		Insert: []engine.Insert{{Rel: "R", Tuple: relation.NewTuple(relation.Int(2))}},
+	})
+	if err != nil || path != PathFallback {
+		t.Fatalf("fallback Update: path=%q err=%v", path, err)
+	}
+	g, err := s.Grade(context.Background())
+	if err != nil {
+		t.Fatalf("Grade: %v", err)
+	}
+	if g.Agree {
+		t.Fatal("tower and S agree after insert — expected disagreement")
+	}
+	if s.BaseSize() != 4 {
+		t.Fatalf("BaseSize: got %d, want 4", s.BaseSize())
+	}
+	// Bad insertions are rejected without state change in fallback too.
+	if _, err := s.Update(context.Background(), SessionUpdate{
+		Insert: []engine.Insert{{Rel: "nope", Tuple: relation.NewTuple(relation.Int(0))}},
+	}); err == nil {
+		t.Fatal("insert into unknown relation succeeded in fallback mode")
+	}
+	if s.BaseSize() != 4 {
+		t.Fatalf("failed update changed BaseSize to %d", s.BaseSize())
+	}
+}
+
+// TestLiveSessionBudget: an expired context surfaces ErrBudget from the
+// session's evaluation paths without corrupting state.
+func TestLiveSessionBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomSmallDB(rng)
+	q1, q2 := randomQueryPair(rng)
+	s, err := NewLiveSession(Problem{Q1: q1, Q2: q2, DB: db})
+	if err != nil {
+		t.Fatalf("NewLiveSession: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Minimize(ctx); !errors.Is(err, ErrBudget) {
+		t.Fatalf("Minimize under dead context: got %v, want ErrBudget", err)
+	}
+	// The session still works under a live context.
+	if _, err := s.Grade(context.Background()); err != nil {
+		t.Fatalf("Grade after budget failure: %v", err)
+	}
+}

@@ -122,6 +122,46 @@ func BenchmarkPreparedDiff(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyDelta times the bidirectional update path: per step one
+// single-tuple update (delete + reinsert with a changed attribute) applied
+// through ApplyDelta + Commit on retained state. Because Commit folds
+// insertions into the underlying database, each iteration prepares over a
+// private clone.
+func BenchmarkApplyDelta(b *testing.B) {
+	db, order := shrinkWorkload()
+	q1, q2 := course.Questions()[3].Correct, course.Questions()[5].Correct
+	const steps = 256
+	tuples := make([]relation.Tuple, steps)
+	rels := make([]string, steps)
+	for s := 0; s < steps; s++ {
+		rel, t, ok := db.Lookup(order[s])
+		if !ok {
+			b.Fatalf("workload id %d not in instance", order[s])
+		}
+		nt := append(relation.Tuple{}, t...)
+		if len(nt) > 3 {
+			nt[3] = relation.Int(int64(40 + s%61))
+		}
+		rels[s], tuples[s] = rel, nt
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := engine.PrepareDiff(q1, q2, db.Clone(), nil, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < steps; s++ {
+			res, err := p.ApplyDelta(order[s:s+1], []engine.Insert{{Rel: rels[s], Tuple: tuples[s]}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkEvalBatchDiffs times the same shrink loop without retained
 // state: every step re-evaluates Q1 − Q2 / Q2 − Q1 on the current kept set
 // with one EvalBatchDiffs pass (K = 1; the steps are sequential — step s+1

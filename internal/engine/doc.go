@@ -39,14 +39,21 @@
 // [PrepareDiff] evaluates Q1 and Q2 once under the counting semiring and
 // retains per-operator state (scan position maps, both join-side hash
 // tables, indexed set-operation outputs, γ group membership, derivation
-// counts). [PreparedDiff.EvalDelta] answers "do the queries still disagree
-// with these tuples deleted" in time proportional to the delta;
-// [DeltaResult.Commit] rebases the retained state for sequential shrink
-// loops. Invariants: a prepared state answers deltas only against its
-// current base (stale commits fail with [ErrStaleDelta]); plans whose
-// derivation counts saturate refuse to prepare with [ErrNotIncremental]
-// (saturation is not invertible, so signed delta arithmetic would be
-// unsound).
+// counts). [PreparedDiff.ApplyDelta] propagates one signed update —
+// deletions plus insertions, updates expressed as delete+insert — through
+// the retained state in time proportional to the delta;
+// [PreparedDiff.EvalDelta] is the deletion-only special case, and
+// [DeltaResult.Commit] rebases the retained state (assigning fresh
+// TupleIDs to committed insertions in deterministic order) for sequential
+// shrink loops and live sessions. Invariants: a prepared state answers
+// deltas only against its current base (stale commits fail with
+// [ErrStaleDelta]); derivation counts are kept exact and below a safe
+// bound — a plan or delta that would saturate them is refused with
+// [ErrNotIncremental] before any state mutates (saturation is not
+// invertible, so signed delta arithmetic over it would be unsound), and
+// the prepared state stays usable. Because committing insertions mutates
+// the underlying database, a prepared object whose callers insert must
+// own a private clone of its instance.
 //
 // # Budgets and parallelism
 //

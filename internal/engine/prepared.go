@@ -3,8 +3,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/ra"
 	"repro/internal/relation"
@@ -15,11 +13,13 @@ import (
 // and retains per-operator state — base-scan relations with a TupleID →
 // position map, join hash tables partitioned by join key, the output (with
 // its lazily-built tuple index) of every union/difference node, and per-group
-// membership for γ. PreparedDiff.EvalDelta then answers "what do Q1 − Q2 and
-// Q2 − Q1 look like after deleting these base tuples" by propagating only the
-// deletion delta up the operator DAG:
+// membership for γ. PreparedDiff.ApplyDelta (delta.go) then answers "what do
+// Q1 − Q2 and Q2 − Q1 look like after this update" — deletions, insertions,
+// and updates expressed as delete+insert — by propagating only the signed
+// delta up the operator DAG:
 //
-//   - scans translate removed ids into per-tuple count decrements,
+//   - scans translate removed ids into per-tuple count decrements and
+//     inserted tuples into increments,
 //   - joins probe the retained hash table of the *other* side
 //     (Δ(L⋈R) = ΔL⋈R + L⋈ΔR + ΔL⋈ΔR over signed counts),
 //   - unions add the child deltas,
@@ -41,10 +41,11 @@ import (
 // the whole query; uncommitted results are independent, which is what the
 // candidate accept/reject checks need.
 
-// ErrNotIncremental is returned by PrepareDiff when the plan or its
+// ErrNotIncremental is returned by PrepareDiff — and by ApplyDelta for
+// updates that would break the invariant afterwards — when the plan or its
 // evaluation state cannot be maintained incrementally (currently: derivation
-// counts that saturated the counting semiring, making count arithmetic
-// unsound). Callers fall back to the batch or per-candidate path.
+// counts beyond maxSafeCount, where exact count arithmetic could overflow).
+// Callers fall back to the batch or per-candidate path, or re-prepare.
 var ErrNotIncremental = errors.New("engine: plan is not delta-incrementalizable")
 
 // ErrStaleDelta is returned by DeltaResult.Commit when the prepared state
@@ -52,9 +53,10 @@ var ErrNotIncremental = errors.New("engine: plan is not delta-incrementalizable"
 // Committing a stale delta would corrupt the retained per-operator state.
 var ErrStaleDelta = errors.New("engine: delta result is stale: prepared state has advanced")
 
-// zsum is the ring ℤ used for deletion deltas: signed count changes merge by
-// plain addition. No saturation is needed — PrepareDiff rejects saturated
-// base counts, and every delta magnitude is bounded by a base count.
+// zsum is the ring ℤ used for update deltas: signed count changes merge by
+// plain addition. No saturation is needed — PrepareDiff and ApplyDelta keep
+// every retained count within maxSafeCount, which bounds every delta product
+// and partial sum inside int64.
 type zsumRing struct{}
 
 func (zsumRing) Zero() Count                          { return 0 }
@@ -72,27 +74,31 @@ var zsum zsumRing
 // exactAdd and exactMul are the delta subsystem's ℤ-ring count arithmetic.
 // Unlike Counting.Plus/Times they do not saturate — deliberately: signed
 // delta arithmetic must be invertible, and it cannot overflow because
-// PrepareDiff rejects plans whose base counts saturated and every delta
-// magnitude is bounded by a base count.
+// PrepareDiff and ApplyDelta keep every retained count within maxSafeCount,
+// which bounds every product and partial sum the delta rules form.
 
 func exactAdd(a, b Count) Count {
-	//lint:saturated exact ℤ-ring delta arithmetic; PrepareDiff rejects saturated base counts, so no overflow
+	//lint:saturated exact ℤ-ring delta arithmetic; the maxSafeCount invariant bounds operands, so no overflow
 	return a + b
 }
 
 func exactMul(a, b Count) Count {
-	//lint:saturated exact ℤ-ring delta arithmetic; PrepareDiff rejects saturated base counts, so no overflow
+	//lint:saturated exact ℤ-ring delta arithmetic; the maxSafeCount invariant bounds operands, so no overflow
 	return a * b
 }
 
-// deltaCtx carries one EvalDelta computation: the (sorted, deduplicated,
-// still-live) removed ids and the per-node memoized deltas. Nodes are shared
-// between the two difference directions and between Q1 and Q2 (base scans),
-// so memoization keeps every node's delta computed exactly once per call.
+// deltaCtx carries one ApplyDelta computation: the (sorted, deduplicated,
+// still-live) removed ids, the inserted tuples bucketed by base relation,
+// and the per-node memoized deltas. Nodes are shared between the two
+// difference directions and between Q1 and Q2 (base scans), so memoization
+// keeps every node's delta computed exactly once per call.
 type deltaCtx struct {
-	removed []relation.TupleID
-	memo    map[pnode]*Rel[Count]
-	aux     map[pnode][]groupChange
+	removed  []relation.TupleID
+	inserted map[string][]relation.Tuple
+	poll     func() error // budget stop hook, polled via pollStep
+	ops      int
+	memo     map[pnode]*Rel[Count]
+	aux      map[pnode][]groupChange
 }
 
 // pnode is one prepared operator: retained base output plus delta/commit.
@@ -102,7 +108,8 @@ type pnode interface {
 	// consumers must read counts, never assume presence implies membership.
 	rel() *Rel[Count]
 	// delta computes the signed count changes this operator's output
-	// undergoes for ctx's removed tuples, memoized in ctx.
+	// undergoes for ctx's update (removed ids + inserted tuples), memoized
+	// in ctx.
 	delta(ctx *deltaCtx) (*Rel[Count], error)
 	// commit folds the memoized delta of ctx into the retained state.
 	commit(ctx *deltaCtx)
@@ -146,10 +153,13 @@ func applyDelta(base *Rel[Count], d *Rel[Count]) {
 }
 
 // pscan is a retained base-relation scan: the deduplicated annotated scan
-// output plus the id → output-position map deletions are translated through.
+// output plus the id → output-position map deletions are translated
+// through. Insertions enter here as +1 count increments; Commit registers
+// their freshly-assigned ids in pos.
 type pscan struct {
-	out *Rel[Count]
-	pos map[relation.TupleID]int
+	name string
+	out  *Rel[Count]
+	pos  map[relation.TupleID]int
 }
 
 func (n *pscan) rel() *Rel[Count] { return n.out }
@@ -165,6 +175,9 @@ func (n *pscan) delta(ctx *deltaCtx) (*Rel[Count], error) {
 			continue // a tuple of some other relation
 		}
 		d.Add(zsum, n.out.Tuples[p], -1)
+	}
+	for _, t := range ctx.inserted[n.name] {
+		d.Add(zsum, t, 1)
 	}
 	ctx.memo[n] = d
 	return d, nil
@@ -352,8 +365,14 @@ func (n *pjoin) outTuple(lt, rt relation.Tuple) relation.Tuple {
 }
 
 // emitDelta adds one pair's signed contribution, applying the residual
-// θ-condition.
-func (n *pjoin) emitDelta(d *Rel[Count], lt, rt relation.Tuple, c Count) error {
+// θ-condition. It polls the budget stop hook: the pair loops are the delta
+// propagation's only superlinear work (an inserted tuple can match
+// everything on the other side), so this is where a wide delta must stay
+// interruptible.
+func (n *pjoin) emitDelta(ctx *deltaCtx, d *Rel[Count], lt, rt relation.Tuple, c Count) error {
+	if err := ctx.pollStep(); err != nil {
+		return err
+	}
 	if c == 0 {
 		return nil
 	}
@@ -398,14 +417,14 @@ func (n *pjoin) delta(ctx *deltaCtx) (*Rel[Count], error) {
 				continue
 			}
 			for _, ri := range n.rIdx[k.Key()] {
-				if err := n.emitDelta(d, lt, rrel.Tuples[ri], exactMul(c, rrel.Anns[ri])); err != nil {
+				if err := n.emitDelta(ctx, d, lt, rrel.Tuples[ri], exactMul(c, rrel.Anns[ri])); err != nil {
 					return nil, err
 				}
 			}
 			continue
 		}
 		for ri := range rrel.Tuples {
-			if err := n.emitDelta(d, lt, rrel.Tuples[ri], exactMul(c, rrel.Anns[ri])); err != nil {
+			if err := n.emitDelta(ctx, d, lt, rrel.Tuples[ri], exactMul(c, rrel.Anns[ri])); err != nil {
 				return nil, err
 			}
 		}
@@ -422,14 +441,14 @@ func (n *pjoin) delta(ctx *deltaCtx) (*Rel[Count], error) {
 				continue
 			}
 			for _, li := range n.lIdx[k.Key()] {
-				if err := n.emitDelta(d, lrel.Tuples[li], rt, exactMul(lrel.Anns[li], c)); err != nil {
+				if err := n.emitDelta(ctx, d, lrel.Tuples[li], rt, exactMul(lrel.Anns[li], c)); err != nil {
 					return nil, err
 				}
 			}
 			continue
 		}
 		for li := range lrel.Tuples {
-			if err := n.emitDelta(d, lrel.Tuples[li], rt, exactMul(lrel.Anns[li], c)); err != nil {
+			if err := n.emitDelta(ctx, d, lrel.Tuples[li], rt, exactMul(lrel.Anns[li], c)); err != nil {
 				return nil, err
 			}
 		}
@@ -459,7 +478,7 @@ func (n *pjoin) delta(ctx *deltaCtx) (*Rel[Count], error) {
 					continue
 				}
 			}
-			if err := n.emitDelta(d, lt, rt, exactMul(ci, cj)); err != nil {
+			if err := n.emitDelta(ctx, d, lt, rt, exactMul(ci, cj)); err != nil {
 				return nil, err
 			}
 		}
@@ -626,6 +645,9 @@ func (n *pgroup) delta(ctx *deltaCtx) (*Rel[Count], error) {
 		// stays positive, plus the fresh tuples bucketed above.
 		var members []relation.Tuple
 		for _, p := range n.groups[ks] {
+			if err := ctx.pollStep(); err != nil {
+				return nil, err
+			}
 			t := inrel.Tuples[p]
 			if exactAdd(inrel.Anns[p], deltaOf(din, t)) > 0 {
 				members = append(members, t)
@@ -801,7 +823,7 @@ func (b *pbuilder) buildScan(x *ra.Rel) (pnode, error) {
 	if r == nil {
 		return nil, fmt.Errorf("engine: unknown relation %q", x.Name)
 	}
-	n := &pscan{out: NewRel[Count](r.Schema), pos: make(map[relation.TupleID]int, r.Len())}
+	n := &pscan{name: x.Name, out: NewRel[Count](r.Schema), pos: make(map[relation.TupleID]int, r.Len())}
 	for i, t := range r.Tuples {
 		n.out.Add(Counting, t, 1)
 		n.pos[r.ID(i)] = n.out.Lookup(t)
@@ -1030,13 +1052,17 @@ func (b *pbuilder) buildGroupBy(x *ra.GroupBy, in pnode) (pnode, error) {
 }
 
 // PreparedDiff is the retained evaluation of Q1 − Q2 and Q2 − Q1 over a base
-// instance, ready to answer deletion deltas. It is NOT safe for concurrent
-// use: EvalDelta mutates lazily-synced indexes and Commit mutates retained
-// outputs.
+// instance, ready to answer signed update deltas (deletions, insertions,
+// updates as delete+insert; see ApplyDelta in delta.go). It is NOT safe for
+// concurrent use: ApplyDelta mutates lazily-synced indexes and Commit
+// mutates retained outputs and — when insertions are involved — the base
+// Database itself, which the prepared object must therefore own.
 type PreparedDiff struct {
 	db       *relation.Database
 	d12, d21 *pdiff
 	nodes    []pnode
+	scans    map[string]*pscan
+	opts     Options
 	removed  map[relation.TupleID]bool
 	epoch    int
 	liveSize int
@@ -1081,17 +1107,21 @@ func PrepareDiff(q1, q2 ra.Node, db *relation.Database, params map[string]relati
 	}
 	d12 := b.buildDiff(n1, n2)
 	d21 := b.buildDiff(n2, n1)
-	// Saturated derivation counts would make the signed delta arithmetic
-	// unsound (saturation is not invertible); such plans fall back.
+	// Oversized derivation counts would make the signed delta arithmetic
+	// unsound: saturation is not invertible, and delta products of counts
+	// near the int64 range overflow silently. maxSafeCount keeps every
+	// product and partial sum the delta rules can form exactly
+	// representable; plans beyond it fall back.
 	for _, n := range b.nodes {
 		for _, c := range n.rel().Anns {
-			if c == math.MaxInt64 {
-				return nil, fmt.Errorf("%w: derivation counts saturated", ErrNotIncremental)
+			if c > maxSafeCount {
+				return nil, fmt.Errorf("%w: derivation counts too large for exact delta arithmetic", ErrNotIncremental)
 			}
 		}
 	}
 	return &PreparedDiff{
 		db: db, d12: d12.(*pdiff), d21: d21.(*pdiff), nodes: b.nodes,
+		scans: b.scans, opts: opts,
 		removed: map[relation.TupleID]bool{}, liveSize: db.Size(),
 	}, nil
 }
@@ -1123,6 +1153,7 @@ func (p *PreparedDiff) Diffs() (*relation.Relation, *relation.Relation) {
 
 func materializeDiff(base *Rel[Count], d *Rel[Count]) *relation.Relation {
 	out := relation.NewRelation("−", base.Schema)
+	//lint:budgeted one pass over an already-materialized output; deltaOf is an O(1) annotation lookup, not delta propagation
 	for i, t := range base.Tuples {
 		if exactAdd(base.Anns[i], deltaOf(d, t)) > 0 {
 			out.Append(t)
@@ -1138,57 +1169,18 @@ func materializeDiff(base *Rel[Count], d *Rel[Count]) *relation.Relation {
 	return out
 }
 
-// DeltaResult is the effect of one deletion delta on the two difference
-// directions, relative to the prepared base instance at the epoch it was
-// computed. Multiple uncommitted results from the same epoch are
-// independent candidates; Commit folds one of them into the base.
+// DeltaResult is the effect of one signed update delta on the two
+// difference directions, relative to the prepared base instance at the
+// epoch it was computed. Multiple uncommitted results from the same epoch
+// are independent candidates; Commit folds one of them into the base.
 type DeltaResult struct {
 	p              *PreparedDiff
 	epoch          int
 	ctx            *deltaCtx
+	inserts        []Insert
+	insertedIDs    []relation.TupleID // assigned at Commit, caller order
 	size12, size21 int
 	committed      bool
-}
-
-// EvalDelta propagates the deletion of the given base tuples through the
-// retained operator DAG and reports the resulting state of Q1 − Q2 and
-// Q2 − Q1. Ids already removed by committed deltas, unknown ids and
-// duplicates are ignored. The work is proportional to the delta's footprint
-// in each operator, not to the database or plan size.
-func (p *PreparedDiff) EvalDelta(removed []relation.TupleID) (*DeltaResult, error) {
-	ids := make([]relation.TupleID, 0, len(removed))
-	seen := make(map[relation.TupleID]bool, len(removed))
-	for _, id := range removed {
-		if seen[id] || p.removed[id] {
-			continue
-		}
-		if _, _, ok := p.db.Lookup(id); !ok {
-			continue
-		}
-		seen[id] = true
-		ids = append(ids, id)
-	}
-	// Sorted ids make every delta's tuple order — and therefore committed
-	// append order — deterministic.
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	ctx := &deltaCtx{
-		removed: ids,
-		memo:    make(map[pnode]*Rel[Count], len(p.nodes)),
-		aux:     map[pnode][]groupChange{},
-	}
-	d12, err := p.d12.delta(ctx)
-	if err != nil {
-		return nil, err
-	}
-	d21, err := p.d21.delta(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return &DeltaResult{
-		p: p, epoch: p.epoch, ctx: ctx,
-		size12: p.d12.live + supportShift(p.d12.out, d12),
-		size21: p.d21.live + supportShift(p.d21.out, d21),
-	}, nil
 }
 
 // supportShift counts how many tuples enter minus leave a retained output
@@ -1245,10 +1237,14 @@ func (r *DeltaResult) materialize(n *pdiff) (*relation.Relation, error) {
 	return materializeDiff(n.out, r.ctx.memo[n]), nil
 }
 
-// Commit folds the delta into the retained state: the delta's subinstance
-// becomes the new base, and subsequent EvalDelta calls are relative to it.
-// A result computed before another Commit advanced the state returns
-// ErrStaleDelta — committing it would apply changes against the wrong base.
+// Commit folds the delta into the retained state: the delta's updated
+// instance becomes the new base, and subsequent ApplyDelta calls are
+// relative to it. Insertions are folded into the base Database, assigning
+// fresh TupleIDs in the order they were passed to ApplyDelta (see
+// InsertedIDs), and registered with the retained scan position maps so
+// later deltas can delete them by id. A result computed before another
+// Commit advanced the state returns ErrStaleDelta — committing it would
+// apply changes against the wrong base.
 func (r *DeltaResult) Commit() error {
 	if r.epoch != r.p.epoch {
 		return ErrStaleDelta
@@ -1259,7 +1255,17 @@ func (r *DeltaResult) Commit() error {
 	for _, id := range r.ctx.removed {
 		r.p.removed[id] = true
 	}
-	r.p.liveSize -= len(r.ctx.removed)
+	if len(r.inserts) > 0 {
+		r.insertedIDs = make([]relation.TupleID, 0, len(r.inserts))
+		for _, ins := range r.inserts {
+			id := r.p.db.Insert(ins.Rel, ins.Tuple)
+			r.insertedIDs = append(r.insertedIDs, id)
+			if sc, ok := r.p.scans[ins.Rel]; ok {
+				sc.pos[id] = sc.out.Lookup(ins.Tuple)
+			}
+		}
+	}
+	r.p.liveSize += len(r.inserts) - len(r.ctx.removed)
 	r.p.epoch++
 	r.committed = true
 	return nil

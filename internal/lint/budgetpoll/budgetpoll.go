@@ -52,7 +52,11 @@ var scopePkgs = map[string]bool{
 // heavyWords are identifier-word prefixes marking callees that do
 // evaluation- or solver-shaped work. Matching is per camelCase word so
 // "Resolve" does not match "solve" but "EvalBatch" matches "eval".
-var heavyWords = []string{"eval", "solve", "disagree", "verify", "enumerate", "minimiz", "shrink", "search", "propagat"}
+// The delta/revise/grade entries cover the IVM loop class: a session or
+// storm loop that applies deltas (ApplyDelta, propagateDelta) or re-grades
+// (ReviseQuery, Grade) per step runs under the same per-request budgets as
+// one-shot evaluation and must poll between steps.
+var heavyWords = []string{"eval", "solve", "disagree", "verify", "enumerate", "minimiz", "shrink", "search", "propagat", "delta", "revise", "grade"}
 
 // isHeavyName reports whether any camelCase word of name starts with a
 // heavy-work prefix.

@@ -100,6 +100,71 @@ func fixpoint(n int) int {
 	}
 }
 
+// The IVM loop class: applying a stream of deltas through retained state is
+// heavy work per step — an update storm that never polls outlives its
+// budget exactly like a shrink loop.
+type prepared struct{ stop func() bool }
+
+func (p *prepared) applyDelta(id int) bool { return id%2 == 0 }
+
+func (p *prepared) pollStop() bool { return p.stop != nil && p.stop() }
+
+func stormNoPoll(p *prepared, ids []int) int {
+	live := 0
+	for _, id := range ids { // want `loop calls evaluation/solver work but no budget poll`
+		if p.applyDelta(id) {
+			live++
+		}
+	}
+	return live
+}
+
+func stormPolled(p *prepared, ids []int) int {
+	live := 0
+	for _, id := range ids {
+		if p.pollStop() {
+			return live
+		}
+		if p.applyDelta(id) {
+			live++
+		}
+	}
+	return live
+}
+
+// A live-grading session's revision loop is the same class: each revision
+// re-grades, so the loop must poll between revisions.
+type liveSession struct{ epoch int }
+
+func (s *liveSession) reviseQuery(q string) { s.epoch++ }
+
+func (s *liveSession) gradeOnce() bool { return s.epoch%2 == 0 }
+
+func regradeNoPoll(s *liveSession, edits []string) int {
+	agree := 0
+	for _, q := range edits { // want `loop calls evaluation/solver work but no budget poll`
+		s.reviseQuery(q)
+		if s.gradeOnce() {
+			agree++
+		}
+	}
+	return agree
+}
+
+func regradePolled(p *problem, s *liveSession, edits []string) int {
+	agree := 0
+	for _, q := range edits {
+		if p.interrupted() {
+			return agree
+		}
+		s.reviseQuery(q)
+		if s.gradeOnce() {
+			agree++
+		}
+	}
+	return agree
+}
+
 // Structural self-recursion is not heavy work; the recursion's driver is
 // responsible for polling.
 func evalTree(depth int) int {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,16 @@ type AuditEntry struct {
 	// Endpoint).
 	Request      *ExplainRequest `json:"request,omitempty"`
 	GradeRequest *GradeRequest   `json:"grade_request,omitempty"`
+
+	// Session entries. SessionID is the id the request addressed (or the
+	// id create assigned); SessionPath is the revision path the server
+	// took; the payloads match the /session and /session/{id}/revise
+	// endpoints. Session entries replay in log order through a per-log id
+	// mapping (a replay server assigns fresh ids).
+	SessionID     string                `json:"session_id,omitempty"`
+	SessionPath   string                `json:"session_path,omitempty"`
+	SessionCreate *SessionCreateRequest `json:"session_create,omitempty"`
+	SessionRevise *SessionReviseRequest `json:"session_revise,omitempty"`
 
 	// Outcome.
 	HTTPStatus int      `json:"http_status"`
@@ -186,6 +197,115 @@ func (a *auditLog) counters() (seq, dropped int64) {
 	return a.seq.Load(), a.dropped.Load()
 }
 
+// sessionReplayable reports whether a session entry's outcome is
+// deterministic enough to assert on. Budget exhaustion, shedding, draining
+// and panics are load-dependent — and for a revision, leave the original
+// session's commit state ambiguous — so they poison the session instead.
+func sessionReplayable(e *AuditEntry) bool {
+	if e.Panic != "" || e.Stack != "" || e.Degraded != "" {
+		return false
+	}
+	switch e.Endpoint {
+	case "/session":
+		return e.SessionCreate != nil && (e.Status == StatusOK || e.Status == StatusAgree)
+	case "/session/revise":
+		return e.SessionRevise != nil && (e.Status == StatusOK || e.Status == StatusAgree)
+	case "/session/get":
+		return e.Status == StatusOK || e.Status == StatusAgree
+	case "/session/delete":
+		return e.Status == StatusDeleted
+	}
+	return false
+}
+
+// sessionOutcomeOf mirrors sessionAuditOf's deterministic projection.
+func sessionOutcomeOf(resp *SessionResponse) replayOutcome {
+	out := replayOutcome{Status: resp.Status}
+	switch resp.Status {
+	case StatusOK:
+		out.Grade = "fail"
+		out.CESize = resp.Size12 + resp.Size21
+		if w := append(append([]string{}, resp.Witness12...), resp.Witness21...); len(w) > 0 {
+			out.Witness = w
+		}
+	case StatusAgree:
+		out.Grade = "pass"
+	}
+	return out
+}
+
+// sessionReplayer re-runs session entries in log order: creates rebuild
+// sessions on the replay server (which assigns fresh ids), an id map keyed
+// by (source log, original id) translates every subsequent entry, and a
+// non-replayable or mismatching entry poisons its session so the remaining
+// entries for it are skipped instead of reported as cascade mismatches.
+type sessionReplayer struct {
+	srv      *Server
+	idmap    map[string]string
+	poisoned map[string]bool
+}
+
+func newSessionReplayer(srv *Server) *sessionReplayer {
+	return &sessionReplayer{srv: srv, idmap: map[string]string{}, poisoned: map[string]bool{}}
+}
+
+func (sr *sessionReplayer) replay(logIdx int, e *AuditEntry, rep *ReplayReport,
+	mismatch func(e *AuditEntry, kind string, got, want replayOutcome)) {
+	ctx := context.Background()
+	key := fmt.Sprintf("%d/%s", logIdx, e.SessionID)
+	compare := func(resp *SessionResponse) bool {
+		rep.Replayed++
+		got, want := sessionOutcomeOf(resp), outcomeOf(e)
+		if reflect.DeepEqual(got, want) {
+			rep.Matched++
+			return true
+		}
+		mismatch(e, "session", got, want)
+		return false
+	}
+	if e.Endpoint == "/session" {
+		if !sessionReplayable(e) {
+			sr.poisoned[key] = true
+			rep.Skipped++
+			return
+		}
+		_, resp := sr.srv.sessionCreate(ctx, e.SessionCreate, e.Tenant)
+		if resp.SessionID != "" {
+			sr.idmap[key] = resp.SessionID
+		}
+		if !compare(resp) || resp.SessionID == "" {
+			sr.poisoned[key] = true
+		}
+		return
+	}
+	if sr.poisoned[key] {
+		rep.Skipped++
+		return
+	}
+	newID, ok := sr.idmap[key]
+	if !ok || !sessionReplayable(e) {
+		sr.poisoned[key] = true
+		rep.Skipped++
+		return
+	}
+	var resp *SessionResponse
+	switch e.Endpoint {
+	case "/session/revise":
+		_, resp = sr.srv.sessionRevise(ctx, newID, e.SessionRevise, e.Tenant)
+	case "/session/get":
+		_, resp = sr.srv.sessionGet(ctx, newID)
+	case "/session/delete":
+		_, resp = sr.srv.sessionDelete(newID)
+		delete(sr.idmap, key)
+	default:
+		rep.Skipped++
+		return
+	}
+	if !compare(resp) {
+		sr.poisoned[key] = true
+	}
+}
+
 // replayOutcome is the deterministic projection of an entry that a replay
 // must reproduce byte-for-byte.
 type replayOutcome struct {
@@ -283,6 +403,7 @@ func Replay(r io.Reader, srv *Server, progress io.Writer) (*ReplayReport, error)
 func ReplayLogs(logs []io.Reader, srv *Server, progress io.Writer) (*ReplayReport, error) {
 	rep := &ReplayReport{}
 	var frontend, workers []AuditEntry
+	var workerLog []int // source log of each worker entry (session id scope)
 	for i, r := range logs {
 		entries, err := ReadAuditLog(r)
 		if err != nil {
@@ -293,6 +414,7 @@ func ReplayLogs(logs []io.Reader, srv *Server, progress io.Writer) (*ReplayRepor
 				frontend = append(frontend, e)
 			} else {
 				workers = append(workers, e)
+				workerLog = append(workerLog, i)
 			}
 		}
 	}
@@ -321,7 +443,14 @@ func ReplayLogs(logs []io.Reader, srv *Server, progress io.Writer) (*ReplayRepor
 		}
 	}
 
+	// Session entries replay strictly in log order (state carries across
+	// entries); stateless explain/grade entries re-run independently.
+	sessions := newSessionReplayer(srv)
 	for i := range workers {
+		if strings.HasPrefix(workers[i].Endpoint, "/session") {
+			sessions.replay(workerLog[i], &workers[i], rep, mismatch)
+			continue
+		}
 		rerun(&workers[i], "worker")
 	}
 

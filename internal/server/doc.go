@@ -11,10 +11,18 @@
 //   - POST /grade — grade a submitted query against a course assignment
 //     question: "pass" when it agrees with the reference on the instance,
 //     "fail" with a counterexample otherwise; see [GradeRequest].
+//   - POST /session, POST /session/{id}/revise, GET/DELETE /session/{id}
+//     — stateful live-grading sessions: create prepares a resident
+//     [core.LiveSession] (incremental state over a private instance
+//     clone), revise applies instance updates or a replacement candidate
+//     query and re-grades along the incremental / reprepare / fallback
+//     path; see [SessionCreateRequest] / [SessionReviseRequest] /
+//     [SessionResponse] and the "Sessions" section below.
 //   - GET /healthz — liveness (?probe=live) and readiness probes;
 //     readiness fails once the server is draining.
 //   - GET /stats — request counters, cache sizes and hit rates, admission
-//     gauges, recovered-panic and shed counts, the latency EWMA.
+//     gauges, recovered-panic and shed counts, session and revision-path
+//     counters, the latency EWMA.
 //
 // # Caching
 //
@@ -52,6 +60,25 @@
 // than run late. Admission is fair-queued per tenant (round-robin across
 // tenants with waiters) with optional per-tenant token-bucket rate limits
 // in front.
+//
+// # Sessions
+//
+// Sessions are the one deliberately stateful part of the server. Each
+// holds a [core.LiveSession] — retained incremental evaluation state over
+// a private clone of its instance (committed insertions mutate it, so
+// sessions never share databases with the instance cache) — behind a
+// per-session mutex; concurrent revisions to one session serialize.
+// Sessions live in their own LRU ([Config].SessionCacheSize): creating
+// past the cap evicts the least recently used session, and an evicted,
+// deleted, or poisoned session answers structured 404s — the client
+// contract is "recreate and replay your edits". Creation and revision
+// pass the same admission, tenant-fairness, drain and degradation gates
+// as /explain. A panic mid-revision fail-stops that session (it is
+// removed and counted in stats) rather than leaving half-mutated state
+// resident. Audit entries carry the session id and payloads; Replay
+// re-runs each session's create/revise stream in log order, cutting the
+// stream off at the first non-replayable entry instead of reporting
+// false mismatches.
 //
 // # Fault tolerance
 //

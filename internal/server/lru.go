@@ -18,6 +18,10 @@ type lru[K comparable, V any] struct {
 	items  map[K]*list.Element
 	hits   int64
 	misses int64
+	// onEvict, when set, observes capacity evictions (not explicit Removes).
+	// It runs after the cache mutex is released, so it may call back into
+	// the cache.
+	onEvict func(K, V)
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -48,22 +52,47 @@ func (c *lru[K, V]) Get(key K) (V, bool) {
 // Add inserts (or refreshes) a value, evicting the least recently used
 // entry when the cache is full.
 func (c *lru[K, V]) Add(key K, val V) {
+	var evicted []*lruEntry[K, V]
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cap <= 0 {
+		c.mu.Unlock()
 		return
 	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry[K, V]).val = val
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	for c.order.Len() >= c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.items, last.Value.(*lruEntry[K, V]).key)
+		e := last.Value.(*lruEntry[K, V])
+		delete(c.items, e.key)
+		evicted = append(evicted, e)
 	}
 	c.items[key] = c.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, e := range evicted {
+			c.onEvict(e.key, e.val)
+		}
+	}
+}
+
+// Remove drops an entry, reporting whether it was present. The eviction
+// callback does not fire (removal is the caller's own act, not pressure).
+func (c *lru[K, V]) Remove(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return el.Value.(*lruEntry[K, V]).val, true
 }
 
 // Len returns the current number of entries.

@@ -34,6 +34,10 @@ type Config struct {
 	// instances (default 8; instances dominate the server's memory, so the
 	// cap is deliberately small).
 	InstanceCacheSize int
+	// SessionCacheSize bounds how many live-grading sessions stay resident
+	// (default 64). Creating past the cap evicts the least recently used
+	// session; its subsequent revisions answer structured 404s.
+	SessionCacheSize int
 	// MaxConcurrent bounds how many explanations run at once; further
 	// requests queue until a slot frees or their deadline passes. The
 	// default is one slot per pool worker divided by nothing — i.e.
@@ -87,6 +91,9 @@ func (c Config) Normalize() Config {
 	if c.InstanceCacheSize == 0 {
 		c.InstanceCacheSize = 8
 	}
+	if c.SessionCacheSize == 0 {
+		c.SessionCacheSize = 64
+	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = pool.DefaultWorkers
 	}
@@ -130,6 +137,7 @@ type Server struct {
 	cfg       Config
 	plans     *lru[string, *plannedQuery]
 	instances *lru[string, *instance]
+	sessions  *lru[string, *session]
 	admission *FairQueue
 	limiter   *TenantLimiter
 	audit     *auditLog
@@ -158,6 +166,18 @@ type Server struct {
 	rateLimited     atomic.Int64
 	inFlight        atomic.Int64
 	waiting         atomic.Int64
+
+	// Live-grading session state (see session.go).
+	sessionSeq       atomic.Int64
+	sessionReqs      atomic.Int64
+	sessionsCreated  atomic.Int64
+	sessionsEvicted  atomic.Int64
+	sessionsDeleted  atomic.Int64
+	sessionsPoisoned atomic.Int64
+	sessionsNotFound atomic.Int64
+	revIncremental   atomic.Int64
+	revReprepare     atomic.Int64
+	revFallback      atomic.Int64
 }
 
 // New builds a Server from the configuration. It fails only on audit-log
@@ -169,17 +189,20 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	hardCtx, hardCancel := context.WithCancel(context.Background())
-	return &Server{
+	srv := &Server{
 		cfg:        cfg,
 		plans:      newLRU[string, *plannedQuery](cfg.PlanCacheSize),
 		instances:  newLRU[string, *instance](cfg.InstanceCacheSize),
+		sessions:   newLRU[string, *session](cfg.SessionCacheSize),
 		admission:  NewFairQueue(cfg.MaxConcurrent),
 		limiter:    NewTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
 		audit:      audit,
 		started:    time.Now(),
 		hardCtx:    hardCtx,
 		hardCancel: hardCancel,
-	}, nil
+	}
+	srv.sessions.onEvict = srv.evictSession
+	return srv, nil
 }
 
 // Handler returns the server's HTTP routing table. Every handler runs
@@ -192,6 +215,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("/grade", srv.wrap("/grade", srv.handleGrade))
 	mux.HandleFunc("/healthz", srv.wrap("/healthz", srv.handleHealthz))
 	mux.HandleFunc("/stats", srv.wrap("/stats", srv.handleStats))
+	srv.sessionRoutes(mux)
 	return mux
 }
 
@@ -232,6 +256,7 @@ const (
 	StatusShed           = "shed"            // 429: overload shed or tenant over rate limit
 	StatusDraining       = "draining"        // 503: server is shutting down
 	StatusUnavailable    = "unavailable"     // 503: no worker replica could serve (cluster frontend)
+	StatusDeleted        = "deleted"         // session released by DELETE /session/{id}
 )
 
 // Cluster propagation headers: the frontend assigns a request id and a
@@ -436,6 +461,7 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"requests": map[string]int64{
 			"explain": srv.explainReqs.Load(),
 			"grade":   srv.gradeReqs.Load(),
+			"session": srv.sessionReqs.Load(),
 		},
 		"responses": map[string]int64{
 			"ok":              srv.okResponses.Load(),
@@ -447,6 +473,20 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"plan_cache":     statsFor(srv.plans, srv.cfg.PlanCacheSize),
 		"instance_cache": statsFor(srv.instances, srv.cfg.InstanceCacheSize),
+		"sessions": map[string]any{
+			"active":    srv.sessions.Len(),
+			"cap":       srv.cfg.SessionCacheSize,
+			"created":   srv.sessionsCreated.Load(),
+			"evicted":   srv.sessionsEvicted.Load(),
+			"deleted":   srv.sessionsDeleted.Load(),
+			"poisoned":  srv.sessionsPoisoned.Load(),
+			"not_found": srv.sessionsNotFound.Load(),
+			"revisions": map[string]int64{
+				"incremental": srv.revIncremental.Load(),
+				"reprepare":   srv.revReprepare.Load(),
+				"fallback":    srv.revFallback.Load(),
+			},
+		},
 		"admission": map[string]int64{
 			"limit":     int64(srv.cfg.MaxConcurrent),
 			"in_flight": srv.inFlight.Load(),
@@ -572,20 +612,7 @@ func (srv *Server) explain(ctx context.Context, req *ExplainRequest, tenant stri
 	start := time.Now()
 	finish := func(status int, resp *ExplainResponse) (int, *ExplainResponse) {
 		resp.ElapsedMS = msSince(start)
-		switch resp.Status {
-		case StatusOK:
-			srv.okResponses.Add(1)
-		case StatusAgree:
-			srv.agreeResponses.Add(1)
-		case StatusBudgetExceeded:
-			srv.budgetExceeded.Add(1)
-		case StatusShed:
-			srv.shedResponses.Add(1)
-		case StatusDraining:
-			srv.drainRefused.Add(1)
-		default:
-			srv.errorResponses.Add(1)
-		}
+		srv.countStatus(resp.Status)
 		// Refusals are cheap and would drag the latency signal down right
 		// when it matters; only served requests feed the EWMA.
 		if resp.Status != StatusShed && resp.Status != StatusDraining {
@@ -826,6 +853,25 @@ func renderPlanRegions(r *engine.PlanReport) []PlanRegionJSON {
 		out = append(out, j)
 	}
 	return out
+}
+
+// countStatus feeds the /stats response counters, shared by the explain,
+// grade, and session pipelines. A released session counts as ok.
+func (srv *Server) countStatus(status string) {
+	switch status {
+	case StatusOK, StatusDeleted:
+		srv.okResponses.Add(1)
+	case StatusAgree:
+		srv.agreeResponses.Add(1)
+	case StatusBudgetExceeded:
+		srv.budgetExceeded.Add(1)
+	case StatusShed:
+		srv.shedResponses.Add(1)
+	case StatusDraining:
+		srv.drainRefused.Add(1)
+	default:
+		srv.errorResponses.Add(1)
+	}
 }
 
 // budget clamps a requested timeout to the server's bounds.

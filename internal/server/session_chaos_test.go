@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/course"
+	"repro/internal/faults"
+	"repro/internal/ra"
+	"repro/internal/raparser"
+)
+
+const wrongQ2 = `project[name, major](select[grade >= 90](Student join Registration))`
+
+// sessionLedger is one client's record of the revisions its session
+// actually committed (the server reports a commit by setting path), replayed
+// locally after the storm to re-verify the server's resident state.
+type sessionLedger struct {
+	size    int
+	id      string
+	ops     []SessionReviseRequest
+	final   SessionResponse
+	alive   bool // final GET answered 200
+	created bool
+}
+
+// TestSessionChaosSoak drives concurrent live-grading sessions through an
+// update storm while seeded faults panic and stall inside the engine and the
+// handlers, and a flood of extra creates forces mid-soak evictions from a
+// tiny session cache. Invariants:
+//
+//   - every response is structured; a revision either commits (path set) or
+//     provably does not (error/budget/404 without path);
+//   - a panic mid-revision poisons the session (structured 404s after)
+//     instead of serving half-mutated state;
+//   - for every session that survives, replaying its committed revisions
+//     locally from a regenerated instance reproduces the server's final
+//     grade, epoch, and instance size exactly;
+//   - the audit log of the whole storm replays with zero mismatches on a
+//     fresh server.
+func TestSessionChaosSoak(t *testing.T) {
+	plan := withFaults(t, 20260808, map[faults.Point]faults.Rule{
+		faults.EngineEval: {PanicEvery: 31, StallEvery: 45, Stall: time.Millisecond},
+		faults.Handler:    {PanicEvery: 29},
+	})
+	var log syncBuffer
+	srv, ts := newTestServer(t, Config{AuditWriter: &log, SessionCacheSize: 5, MaxConcurrent: 4})
+
+	const (
+		workers   = 6
+		revisions = 12
+	)
+	ledgers := make([]*sessionLedger, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		led := &sessionLedger{size: 400 + 50*(g%2)}
+		ledgers[g] = led
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var created SessionResponse
+			code := postJSON(t, ts.URL+"/session", SessionCreateRequest{
+				Q1: refQ, Q2: wrongQ, Instance: InstanceSpec{Kind: "course", Size: led.size, Seed: 1},
+				Tenant: fmt.Sprintf("t%d", g%3), TimeoutMS: 30_000,
+			}, &created)
+			if code != http.StatusOK || created.SessionID == "" {
+				return // refused or failed under faults; nothing to soak
+			}
+			led.created = true
+			led.id = created.SessionID
+			base := ts.URL + "/session/" + created.SessionID
+			for i := 0; i < revisions; i++ {
+				req := SessionReviseRequest{TimeoutMS: 30_000}
+				switch i % 4 {
+				case 0:
+					req.Ops = []SessionOp{{Op: "delete", ID: (g*37 + i*11) % led.size}}
+				case 1:
+					req.Ops = []SessionOp{{Op: "insert", Rel: "Registration", Tuple: []string{
+						fmt.Sprintf("'s%05d'", (g*5+i)%80), fmt.Sprintf("'CS%d'", 100+i), "'CS'", fmt.Sprint(60 + (g+i)%40),
+					}}}
+				case 2:
+					req.Ops = []SessionOp{{Op: "update", ID: (g*13 + i*7) % led.size, Rel: "Registration", Tuple: []string{
+						fmt.Sprintf("'s%05d'", (g*3+i)%80), fmt.Sprintf("'E%d'", i), "'ECON'", "95",
+					}}}
+				case 3:
+					if i == 7 {
+						req.Q2 = wrongQ2
+					} else {
+						req.Ops = []SessionOp{
+							{Op: "delete", ID: (g + i*29) % led.size},
+							{Op: "insert", Rel: "Registration", Tuple: []string{
+								fmt.Sprintf("'s%05d'", (g+i)%80), fmt.Sprintf("'H%d'", i), "'HIST'", "70",
+							}},
+						}
+					}
+				}
+				var resp SessionResponse
+				postJSON(t, base+"/revise", req, &resp)
+				if resp.Path != "" {
+					// The server committed this revision (even when the grade
+					// read after it ran out of budget).
+					led.ops = append(led.ops, req)
+				}
+			}
+			if code := getJSON(t, base, &led.final); code == http.StatusOK &&
+				(led.final.Status == StatusOK || led.final.Status == StatusAgree) {
+				led.alive = true
+			}
+		}(g)
+	}
+	// The flood: extra sessions against a 5-slot cache evict soaking
+	// sessions out from under their owners mid-storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			time.Sleep(2 * time.Millisecond)
+			var resp SessionResponse
+			postJSON(t, ts.URL+"/session", SessionCreateRequest{
+				Q1: refQ, Q2: wrongQ, Instance: courseSpec(300), Tenant: "flood", TimeoutMS: 30_000,
+			}, &resp)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("session soak hung")
+	}
+	faults.Disable()
+
+	if plan.Fired(faults.EngineEval) == 0 && plan.Fired(faults.Handler) == 0 {
+		t.Fatal("no faults fired; the soak exercised nothing")
+	}
+	if srv.sessionsEvicted.Load() == 0 {
+		t.Fatal("the flood forced no evictions; the cache-pressure path went untested")
+	}
+	if srv.revIncremental.Load() == 0 {
+		t.Fatal("no revision took the incremental path")
+	}
+
+	// Re-verify every surviving session: replay its committed revisions
+	// locally from a regenerated instance and compare the end state.
+	verified := 0
+	ctx := context.Background()
+	q1 := mustParse(t, refQ)
+	for g, led := range ledgers {
+		if !led.alive {
+			continue
+		}
+		p := core.Problem{Q1: q1, Q2: mustParse(t, wrongQ), DB: course.GenerateDB(led.size, 1)}
+		ls, err := core.NewLiveSession(p)
+		if err != nil {
+			t.Fatalf("worker %d: local session: %v", g, err)
+		}
+		for i, req := range led.ops {
+			if req.Q2 != "" {
+				_, err = ls.ReviseQuery(ctx, mustParse(t, req.Q2))
+			} else {
+				var up core.SessionUpdate
+				up, err = lowerOps(req.Ops)
+				if err == nil {
+					_, err = ls.Update(ctx, up)
+				}
+			}
+			if err != nil {
+				t.Fatalf("worker %d: replaying committed revision %d locally: %v", g, i, err)
+			}
+		}
+		g2, err := ls.Grade(ctx)
+		if err != nil {
+			t.Fatalf("worker %d: local grade: %v", g, err)
+		}
+		f := led.final
+		if ls.Epoch() != f.Epoch || ls.BaseSize() != f.BaseSize ||
+			g2.Agree != (f.Status == StatusAgree) || g2.Size12 != f.Size12 || g2.Size21 != f.Size21 {
+			t.Fatalf("worker %d: server session diverged from its committed history:\n"+
+				"server epoch=%d base=%d status=%q sizes=(%d,%d)\nlocal  epoch=%d base=%d agree=%v sizes=(%d,%d)",
+				g, f.Epoch, f.BaseSize, f.Status, f.Size12, f.Size21,
+				ls.Epoch(), ls.BaseSize(), g2.Agree, g2.Size12, g2.Size21)
+		}
+		verified++
+	}
+	if verified == 0 {
+		t.Fatal("no session survived the storm; the fault plan is too aggressive to verify anything")
+	}
+	t.Logf("soak: %d/%d sessions survived and re-verified; evicted=%d poisoned=%d panics=%d",
+		verified, workers, srv.sessionsEvicted.Load(), srv.sessionsPoisoned.Load(), srv.panicsRecovered.Load())
+
+	// The server still serves sessions afterwards.
+	var after SessionResponse
+	if code := postJSON(t, ts.URL+"/session", SessionCreateRequest{
+		Q1: refQ, Q2: wrongQ, Instance: courseSpec(500),
+	}, &after); code != http.StatusOK {
+		t.Fatalf("post-soak create = %d (%s)", code, after.Error)
+	}
+
+	// And the whole storm's audit log replays clean: poisoned/evicted
+	// streams cut off at their first non-deterministic entry, everything
+	// else reproduces byte-for-byte. The replay server keeps the default
+	// session cap so replayed sessions are never evicted mid-stream.
+	rep, err := Replay(bytes.NewReader(log.Bytes()), mustNew(t, Config{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("session audit log does not replay: %+v\n%v", rep, rep.Errors)
+	}
+	if rep.Replayed == 0 {
+		t.Fatal("replay asserted nothing")
+	}
+}
+
+func mustParse(t *testing.T, src string) ra.Node {
+	t.Helper()
+	q, err := raparser.Parse(src)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	return q
+}

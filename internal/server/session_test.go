@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func deleteJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode
+}
+
+// TestSessionLifecycle walks one session end to end: create, instance
+// revisions down each path, a query edit, a read, and deletion.
+func TestSessionLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	var created SessionResponse
+	code := postJSON(t, ts.URL+"/session", SessionCreateRequest{
+		Q1: refQ, Q2: wrongQ, Instance: courseSpec(500), Tenant: "alice",
+	}, &created)
+	if code != http.StatusOK || created.Status != StatusOK {
+		t.Fatalf("create = %d / %q (%s), want disagreeing session", code, created.Status, created.Error)
+	}
+	if created.SessionID == "" || !created.Incremental || created.Epoch != 0 {
+		t.Fatalf("create response %+v: want id, incremental, epoch 0", created)
+	}
+	if created.Size12 != 0 || created.Size21 == 0 {
+		t.Fatalf("refQ ⊆ wrongQ: want only size21 > 0, got (%d, %d)", created.Size12, created.Size21)
+	}
+	base := ts.URL + "/session/" + created.SessionID
+
+	// Instance revision: insert a non-CS registration for a CS-registered
+	// student — both queries keep their verdict, the grade updates in place.
+	var revised SessionResponse
+	code = postJSON(t, base+"/revise", SessionReviseRequest{
+		Ops: []SessionOp{
+			{Op: "insert", Rel: "Registration", Tuple: []string{"'s00000'", "'HIST101'", "'HIST'", "77"}},
+		},
+	}, &revised)
+	if code != http.StatusOK || revised.Path != "incremental" {
+		t.Fatalf("revise = %d path=%q (%s), want incremental", code, revised.Path, revised.Error)
+	}
+	if revised.Epoch != 1 || revised.BaseSize != created.BaseSize+1 {
+		t.Fatalf("revise state: epoch %d, base %d (was %d)", revised.Epoch, revised.BaseSize, created.BaseSize)
+	}
+
+	// Deleting the inserted tuple restores the original grade. The id of
+	// an insertion is deterministic: the database's next id (= base size of
+	// the original instance since generation).
+	var reverted SessionResponse
+	postJSON(t, base+"/revise", SessionReviseRequest{
+		Ops: []SessionOp{{Op: "delete", ID: created.BaseSize}},
+	}, &reverted)
+	if reverted.Size12 != created.Size12 || reverted.Size21 != created.Size21 {
+		t.Fatalf("revert: sizes (%d,%d), want (%d,%d)", reverted.Size12, reverted.Size21, created.Size12, created.Size21)
+	}
+
+	// Query edit: submitting the reference itself re-prepares and agrees.
+	var edited SessionResponse
+	code = postJSON(t, base+"/revise", SessionReviseRequest{Q2: refQ}, &edited)
+	if code != http.StatusOK || edited.Status != StatusAgree || edited.Path != "reprepare" {
+		t.Fatalf("query edit = %d / %q path=%q (%s)", code, edited.Status, edited.Path, edited.Error)
+	}
+
+	var got SessionResponse
+	if code := getJSON(t, base, &got); code != http.StatusOK || got.Status != StatusAgree || got.Epoch != 3 {
+		t.Fatalf("get = %d / %q epoch=%d", code, got.Status, got.Epoch)
+	}
+
+	var deleted SessionResponse
+	if code := deleteJSON(t, base, &deleted); code != http.StatusOK || deleted.Status != StatusDeleted {
+		t.Fatalf("delete = %d / %q", code, deleted.Status)
+	}
+	var gone SessionResponse
+	if code := getJSON(t, base, &gone); code != http.StatusNotFound || gone.Status != StatusError {
+		t.Fatalf("get after delete = %d / %q, want structured 404", code, gone.Status)
+	}
+
+	inc, _, _ := sessionRevisionCounters(srv)
+	if inc != 2 || srv.revReprepare.Load() != 1 {
+		t.Fatalf("revision counters: incremental=%d reprepare=%d, want 2/1", inc, srv.revReprepare.Load())
+	}
+	if srv.sessionsCreated.Load() != 1 || srv.sessionsDeleted.Load() != 1 || srv.sessions.Len() != 0 {
+		t.Fatalf("session accounting: created=%d deleted=%d active=%d",
+			srv.sessionsCreated.Load(), srv.sessionsDeleted.Load(), srv.sessions.Len())
+	}
+}
+
+func sessionRevisionCounters(srv *Server) (inc, rep, fb int64) {
+	return srv.revIncremental.Load(), srv.revReprepare.Load(), srv.revFallback.Load()
+}
+
+// TestSessionValidation: malformed revisions answer structured 400s and
+// leave the session state untouched.
+func TestSessionValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var created SessionResponse
+	postJSON(t, ts.URL+"/session", SessionCreateRequest{Q1: refQ, Q2: wrongQ, Instance: courseSpec(300)}, &created)
+	base := ts.URL + "/session/" + created.SessionID
+
+	for name, req := range map[string]SessionReviseRequest{
+		"empty":       {},
+		"both":        {Ops: []SessionOp{{Op: "delete", ID: 1}}, Q2: refQ},
+		"unknown op":  {Ops: []SessionOp{{Op: "upsert", Rel: "Registration"}}},
+		"unknown rel": {Ops: []SessionOp{{Op: "insert", Rel: "nope", Tuple: []string{"1"}}}},
+		"bad arity":   {Ops: []SessionOp{{Op: "insert", Rel: "Registration", Tuple: []string{"1"}}}},
+		"bad q2":      {Q2: "select[[("},
+	} {
+		var resp SessionResponse
+		code := postJSON(t, base+"/revise", req, &resp)
+		if code == http.StatusOK || resp.Status != StatusError {
+			t.Errorf("%s revision = %d / %q, want a structured client error", name, code, resp.Status)
+		}
+	}
+	var got SessionResponse
+	if code := getJSON(t, base, &got); code != http.StatusOK || got.Epoch != 0 || got.BaseSize != created.BaseSize {
+		t.Fatalf("failed revisions moved the session: %d epoch=%d base=%d", code, got.Epoch, got.BaseSize)
+	}
+}
+
+// TestSessionEviction: creating past the session cap evicts the least
+// recently used session, whose handle then answers structured 404s.
+func TestSessionEviction(t *testing.T) {
+	srv, ts := newTestServer(t, Config{SessionCacheSize: 2})
+	ids := make([]string, 3)
+	for i := range ids {
+		var resp SessionResponse
+		if code := postJSON(t, ts.URL+"/session", SessionCreateRequest{
+			Q1: refQ, Q2: wrongQ, Instance: courseSpec(300),
+		}, &resp); code != http.StatusOK {
+			t.Fatalf("create %d = %d (%s)", i, code, resp.Error)
+		}
+		ids[i] = resp.SessionID
+	}
+	if srv.sessionsEvicted.Load() != 1 || srv.sessions.Len() != 2 {
+		t.Fatalf("evicted=%d active=%d, want 1/2", srv.sessionsEvicted.Load(), srv.sessions.Len())
+	}
+	var resp SessionResponse
+	code := postJSON(t, ts.URL+"/session/"+ids[0]+"/revise", SessionReviseRequest{
+		Ops: []SessionOp{{Op: "delete", ID: 0}},
+	}, &resp)
+	if code != http.StatusNotFound || resp.Status != StatusError {
+		t.Fatalf("revise on evicted session = %d / %q, want structured 404", code, resp.Status)
+	}
+	// The survivors still serve.
+	var ok SessionResponse
+	if code := getJSON(t, ts.URL+"/session/"+ids[2], &ok); code != http.StatusOK {
+		t.Fatalf("survivor get = %d", code)
+	}
+}
+
+// TestSessionDrainRefusal: a draining server refuses session creation and
+// revision with 503 + Retry-After, like every other endpoint.
+func TestSessionDrainRefusal(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	var created SessionResponse
+	postJSON(t, ts.URL+"/session", SessionCreateRequest{Q1: refQ, Q2: wrongQ, Instance: courseSpec(300)}, &created)
+
+	srv.BeginDrain()
+	var refused SessionResponse
+	if code := postJSON(t, ts.URL+"/session", SessionCreateRequest{
+		Q1: refQ, Q2: wrongQ, Instance: courseSpec(300),
+	}, &refused); code != http.StatusServiceUnavailable || refused.Status != StatusDraining {
+		t.Fatalf("create while draining = %d / %q", code, refused.Status)
+	}
+	var revise SessionResponse
+	if code := postJSON(t, ts.URL+"/session/"+created.SessionID+"/revise", SessionReviseRequest{
+		Ops: []SessionOp{{Op: "delete", ID: 0}},
+	}, &revise); code != http.StatusServiceUnavailable || revise.Status != StatusDraining {
+		t.Fatalf("revise while draining = %d / %q", code, revise.Status)
+	}
+}
+
+// TestSessionFallbackPath: a plan pair the delta subsystem refuses still
+// gets a session — revisions take the fallback path and stay correct.
+func TestSessionFallbackPath(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	// A self-join tower over a duplicate-heavy inline relation: derivation
+	// counts blow past the exact-arithmetic bound at prepare time.
+	tower := "R join R join R join R join R join R join R join R"
+	tower = fmt.Sprintf("(%s) join (%s)", tower, tower)
+	inline := InstanceSpec{Kind: "inline", Data: "relation R(a: int)\n" +
+		"1\n1\n1\n1\n1\n1\n1\n1\n"}
+	var created SessionResponse
+	code := postJSON(t, ts.URL+"/session", SessionCreateRequest{Q1: tower, Q2: "R", Instance: inline}, &created)
+	if code != http.StatusOK {
+		t.Fatalf("fallback create = %d (%s)", code, created.Error)
+	}
+	if created.Incremental {
+		t.Fatal("saturating tower prepared incrementally")
+	}
+	var revised SessionResponse
+	code = postJSON(t, ts.URL+"/session/"+created.SessionID+"/revise", SessionReviseRequest{
+		Ops: []SessionOp{{Op: "insert", Rel: "R", Tuple: []string{"2"}}},
+	}, &revised)
+	if code != http.StatusOK || revised.Path != "fallback" {
+		t.Fatalf("fallback revise = %d path=%q (%s)", code, revised.Path, revised.Error)
+	}
+	if revised.Status != StatusAgree {
+		// tower and R are set-equal on any instance (self-joins only).
+		t.Fatalf("fallback grade = %q, want agree", revised.Status)
+	}
+	if fb := srv.revFallback.Load(); fb != 1 {
+		t.Fatalf("fallback counter = %d", fb)
+	}
+}
